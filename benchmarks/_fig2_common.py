@@ -1,0 +1,26 @@
+"""Shared runner for the Figure 2 benchmarks (one workload set each)."""
+
+from __future__ import annotations
+
+from repro.experiments.fig2 import Fig2Row, format_fig2, run_fig2
+
+from .conftest import BENCH_SCALE, BENCH_SEED
+
+
+def run_set(benchmark, set_name: str) -> list[Fig2Row]:
+    """Benchmark one workload set at benchmark scale and print the figure."""
+    rows = benchmark.pedantic(
+        run_fig2,
+        args=(set_name,),
+        kwargs={"work_scale": BENCH_SCALE, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_fig2(set_name, rows))
+    return rows
+
+
+def average_improvement(rows: list[Fig2Row], policy: str) -> float:
+    """Mean improvement across applications for one policy."""
+    return sum(r.improvement(policy) for r in rows) / len(rows)

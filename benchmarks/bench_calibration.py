@@ -1,0 +1,25 @@
+"""CAL-1: platform calibration (STREAM capacity, solo rates).
+
+Paper references: 29.5 tx/µs sustained (STREAM), 1797 MB/s, BBMA 23.6
+tx/µs, nBBMA 0.0037 tx/µs, solo application rates 0.48 … 23.31 tx/µs.
+"""
+
+from repro.experiments.calibration import format_calibration, run_calibration
+
+from .conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_cal1_platform_calibration(benchmark):
+    result = benchmark.pedantic(
+        run_calibration,
+        kwargs={"work_scale": BENCH_SCALE, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_calibration(result))
+    # shape gates: the anchors every experiment relies on
+    assert abs(result.stream_rate_txus - 29.5) / 29.5 < 0.03
+    assert abs(result.bbma_rate_txus - 23.6) / 23.6 < 0.05
+    rates = list(result.solo_rates_txus.values())
+    assert rates == sorted(rates)

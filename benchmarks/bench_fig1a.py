@@ -1,0 +1,31 @@
+"""FIG-1A: cumulative bus transaction rates in the four Section 3 configs.
+
+Paper reference (Figure 1A): solo rates 0.48 … 23.31 tx/µs in increasing
+order; the +BBMA configurations run near saturation (the paper's workload
+average is 28.34 tx/µs); +nBBMA configurations match the solo rates.
+"""
+
+from repro.experiments.fig1 import format_fig1a, run_fig1
+
+from .conftest import BENCH_SCALE, BENCH_SEED
+
+
+def test_fig1a_bus_transaction_rates(benchmark):
+    rows = benchmark.pedantic(
+        run_fig1,
+        kwargs={"work_scale": BENCH_SCALE, "seed": BENCH_SEED},
+        rounds=1,
+        iterations=1,
+    )
+    print()
+    print(format_fig1a(rows))
+    # shape gates
+    solo = [r.rates_txus["solo"] for r in rows]
+    assert solo == sorted(solo)  # figure order preserved
+    assert 0.4 < solo[0] < 0.6  # Radiosity ~0.48
+    assert 21.0 < solo[-1] < 24.0  # CG ~23.31
+    for r in rows:
+        assert abs(r.rates_txus["+BBMA"] - 29.5) < 1.5  # saturation plateau
+        assert abs(r.rates_txus["+nBBMA"] - r.rates_txus["solo"]) < max(
+            0.3, 0.12 * r.rates_txus["solo"]
+        )

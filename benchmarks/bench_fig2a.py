@@ -1,0 +1,18 @@
+"""FIG-2A: 2 apps + 4 BBMA — improvement over the Linux scheduler.
+
+Paper reference (Figure 2A / Section 5): Latest Quantum improves average
+turnaround by 4–68 % (41 % average); Quanta Window by 2–53 % (31 %
+average). Every application benefits on the saturated bus.
+"""
+
+from ._fig2_common import average_improvement, run_set
+
+
+def test_fig2a_saturated_bus(benchmark):
+    rows = run_set(benchmark, "A")
+    # shape gates: everyone improves, averages in the tens of percent
+    for row in rows:
+        for cell in row.cells:
+            assert cell.improvement_percent > 0, (row.name, cell.policy)
+    assert 15.0 < average_improvement(rows, "latest-quantum") < 60.0  # paper avg 41%
+    assert 15.0 < average_improvement(rows, "quanta-window") < 55.0  # paper avg 31%

@@ -1,0 +1,21 @@
+"""FIG-2C: 2 apps + 2 BBMA + 2 nBBMA — improvement over Linux.
+
+Paper reference (Figure 2C / Section 5): Latest Quantum up to 50 %, 26 %
+average (LU the only regression, −7 %); Quanta Window up to 47 %, 25 %
+average (Water-nsqr −2 %, LU −5 %).
+"""
+
+from ._fig2_common import average_improvement, run_set
+
+
+def test_fig2c_mixed_environment(benchmark):
+    rows = run_set(benchmark, "C")
+    avg_latest = average_improvement(rows, "latest-quantum")
+    avg_window = average_improvement(rows, "quanta-window")
+    # paper: both policies average ~25-26% in the mixed set
+    assert 12.0 < avg_latest < 45.0
+    assert 12.0 < avg_window < 45.0
+    # regressions, if any, stay small (paper's worst: -7%)
+    for row in rows:
+        for cell in row.cells:
+            assert cell.improvement_percent > -12.0, (row.name, cell.policy)

@@ -1,0 +1,34 @@
+"""TAB-1: the Section 5 headline summary (max/avg improvement per set).
+
+Paper reference: set A 68/41 % and 53/31 %; set B 60/13 % and 64/21 %;
+set C 50/26 % and 47/25 %; overall average improvement 26 %.
+"""
+
+from repro.experiments.fig2 import run_fig2
+from repro.experiments.tables import build_table1, format_table1, overall_average
+
+from .conftest import BENCH_SCALE, BENCH_SEED
+
+
+def _run_all_sets():
+    return {
+        s: run_fig2(s, work_scale=BENCH_SCALE, seed=BENCH_SEED) for s in ("A", "B", "C")
+    }
+
+
+def test_tab1_headline_summary(benchmark):
+    results = benchmark.pedantic(_run_all_sets, rounds=1, iterations=1)
+    rows = build_table1(results)
+    print()
+    print(format_table1(rows))
+    # shape gates: the overall average lands near the paper's 26 %
+    overall = overall_average(rows)
+    assert 15.0 < overall < 45.0
+    # every (set, policy) average is positive
+    for row in rows:
+        assert row.avg_percent > 0.0, (row.set_name, row.policy)
+    # set A (saturated) beats set B (benign partners) on average — the
+    # paper's ordering of where bandwidth-awareness matters most
+    a_avg = sum(r.avg_percent for r in rows if r.set_name == "A") / 2
+    b_avg = sum(r.avg_percent for r in rows if r.set_name == "B") / 2
+    assert a_avg > b_avg

@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""Section-3-style saturation study for a custom application.
+
+Sweeps the per-thread bus demand of a synthetic two-thread application and
+measures, for each demand level, the slowdown it suffers when (a) doubled
+and (b) run next to two streaming BBMA microbenchmarks — reproducing the
+analysis behind the paper's Figure 1 for *your* application instead of the
+NAS/Splash-2 codes. Prints a table plus ASCII bars of the slowdown curve
+and marks the saturation knee.
+
+Usage::
+
+    python examples/saturation_study.py [--points 8] [--work 150000]
+"""
+
+import argparse
+
+from repro import SimulationSpec, run_simulation, solo_run
+from repro.experiments.reporting import bar
+from repro.workloads import ApplicationSpec, ConstantPattern, bbma_spec
+
+
+def build_app(rate_per_thread: float, work_us: float) -> ApplicationSpec:
+    """A two-thread application with a flat demand profile."""
+    return ApplicationSpec(
+        name=f"synthetic@{rate_per_thread:.1f}",
+        n_threads=2,
+        work_per_thread_us=work_us,
+        pattern=ConstantPattern(rate_per_thread),
+        footprint_lines=4096.0,
+    )
+
+
+def measure(app: ApplicationSpec, seed: int) -> tuple[float, float, float]:
+    """Return (solo, doubled, +BBMA) turnaround times."""
+    solo = solo_run(app, seed=seed).mean_target_turnaround_us()
+    doubled = run_simulation(
+        SimulationSpec(targets=[app, app], scheduler="dedicated", seed=seed, trace=False)
+    ).mean_target_turnaround_us()
+    with_bbma = run_simulation(
+        SimulationSpec(
+            targets=[app],
+            background=[bbma_spec(), bbma_spec()],
+            scheduler="dedicated",
+            seed=seed,
+            trace=False,
+        )
+    ).mean_target_turnaround_us()
+    return solo, doubled, with_bbma
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--points", type=int, default=8, help="demand levels to sweep")
+    parser.add_argument("--work", type=float, default=150_000.0, help="work per thread (us)")
+    parser.add_argument("--max-rate", type=float, default=12.0, help="max per-thread tx/us")
+    parser.add_argument("--seed", type=int, default=42)
+    args = parser.parse_args()
+
+    print(f"{'tx/us/thr':>9s} {'x2 slowdown':>12s} {'+BBMA slowdown':>15s}   x2 profile")
+    knee = None
+    for i in range(1, args.points + 1):
+        rate = args.max_rate * i / args.points
+        app = build_app(rate, args.work)
+        solo, doubled, with_bbma = measure(app, args.seed)
+        s2 = doubled / solo
+        sb = with_bbma / solo
+        if knee is None and s2 > 1.10:
+            knee = rate
+        print(f"{rate:9.2f} {s2:11.2f}x {sb:14.2f}x   |{bar(s2 - 1.0, 1.2, width=30)}|")
+
+    print()
+    if knee is not None:
+        print(f"saturation knee: doubling the application starts to hurt at "
+              f"~{knee:.1f} tx/us per thread ({4 * knee:.1f} tx/us offered by 4 threads; "
+              f"the bus sustains 29.5).")
+    else:
+        print("no saturation observed in the swept range — raise --max-rate.")
+    print("Next to two BBMA streams, even low-demand levels pay the latency tax")
+    print("of a saturated bus; memory-bound levels approach the paper's 2-3x.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Setup shim.
+
+The primary build configuration lives in ``pyproject.toml``. This file
+exists so that environments without the ``wheel`` package (where PEP 660
+editable installs are unavailable) can still do a legacy editable install:
+
+    pip install -e . --no-build-isolation --no-use-pep517
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,200 @@
+"""Command-line interface: ``python -m repro <experiment>``.
+
+Regenerates every table and figure of the paper from the terminal::
+
+    python -m repro calibration          # CAL-1 platform anchors
+    python -m repro fig1                 # FIG-1A + FIG-1B
+    python -m repro fig2 --set A         # FIG-2A (or B / C, or all)
+    python -m repro table1               # TAB-1 headline summary
+    python -m repro ablations            # ABL-W/Q/F/A
+    python -m repro all                  # everything, full scale
+
+``--scale`` shrinks application work (0.25 runs in seconds and preserves
+every qualitative shape); ``--seed`` changes all random streams.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the CLI argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro-smp",
+        description=(
+            "Reproduce 'Scheduling Algorithms with Bus Bandwidth Considerations "
+            "for SMPs' (ICPP 2003) on a simulated 4-way Xeon SMP."
+        ),
+    )
+    parser.add_argument(
+        "experiment",
+        choices=["calibration", "fig1", "fig2", "table1", "ablations", "smt", "io", "kernels", "validate", "all"],
+        help="which artefact to regenerate",
+    )
+    parser.add_argument("--set", dest="set_name", choices=["A", "B", "C", "all"], default="all")
+    parser.add_argument("--scale", type=float, default=1.0, help="application work scale")
+    parser.add_argument("--seed", type=int, default=42, help="root random seed")
+    parser.add_argument(
+        "--apps", type=str, default=None, help="comma-separated application subset"
+    )
+    parser.add_argument(
+        "--csv", type=str, default=None, metavar="DIR",
+        help="with 'all': also export every experiment as CSV into DIR",
+    )
+    return parser
+
+
+def _apps_arg(args: argparse.Namespace) -> list[str] | None:
+    if args.apps is None:
+        return None
+    return [a.strip() for a in args.apps.split(",") if a.strip()]
+
+
+def _run_calibration(args: argparse.Namespace) -> None:
+    from .experiments.calibration import format_calibration, run_calibration
+
+    print(format_calibration(run_calibration(seed=args.seed, work_scale=args.scale)))
+
+
+def _run_fig1(args: argparse.Namespace) -> None:
+    from .experiments.fig1 import format_fig1a, format_fig1b, run_fig1
+
+    rows = run_fig1(seed=args.seed, work_scale=args.scale, apps=_apps_arg(args))
+    print(format_fig1a(rows))
+    print()
+    print(format_fig1b(rows))
+
+
+def _run_fig2(args: argparse.Namespace) -> None:
+    from .experiments.fig2 import format_fig2, run_fig2
+
+    sets = ["A", "B", "C"] if args.set_name == "all" else [args.set_name]
+    for set_name in sets:
+        rows = run_fig2(
+            set_name, seed=args.seed, work_scale=args.scale, apps=_apps_arg(args)
+        )
+        print(format_fig2(set_name, rows))
+        print()
+
+
+def _run_table1(args: argparse.Namespace) -> None:
+    from .experiments.fig2 import run_fig2
+    from .experiments.tables import build_table1, format_table1
+
+    results = {
+        s: run_fig2(s, seed=args.seed, work_scale=args.scale, apps=_apps_arg(args))
+        for s in ("A", "B", "C")
+    }
+    print(format_table1(build_table1(results)))
+
+
+def _run_ablations(args: argparse.Namespace) -> None:
+    from .experiments.ablations import (
+        format_arbitration_ablation,
+        format_fitness_ablation,
+        format_model_ablation,
+        format_quantum_ablation,
+        format_saturation_ablation,
+        format_window_ablation,
+        run_arbitration_ablation,
+        run_fitness_ablation,
+        run_model_ablation,
+        run_quantum_ablation,
+        run_saturation_ablation,
+        run_window_ablation,
+    )
+
+    print(format_window_ablation(run_window_ablation(seed=args.seed, work_scale=args.scale)))
+    print()
+    print(format_quantum_ablation(run_quantum_ablation(seed=args.seed, work_scale=args.scale)))
+    print()
+    print(format_fitness_ablation(run_fitness_ablation(seed=args.seed, work_scale=args.scale)))
+    print()
+    print(
+        format_arbitration_ablation(
+            run_arbitration_ablation(seed=args.seed, work_scale=args.scale)
+        )
+    )
+    print()
+    print(
+        format_saturation_ablation(
+            run_saturation_ablation(seed=args.seed, work_scale=args.scale)
+        )
+    )
+    print()
+    print(
+        format_model_ablation(
+            run_model_ablation(seed=args.seed, work_scale=args.scale)
+        )
+    )
+
+
+def _run_smt(args: argparse.Namespace) -> None:
+    from .experiments.smt import format_smt_experiment, run_smt_experiment
+
+    rows = run_smt_experiment(
+        apps=_apps_arg(args), seed=args.seed, work_scale=args.scale
+    )
+    print(format_smt_experiment(rows))
+
+
+def _run_io(args: argparse.Namespace) -> None:
+    from .experiments.io import format_io_experiment, run_io_experiment
+
+    rows = run_io_experiment(seed=args.seed, work_scale=args.scale)
+    print(format_io_experiment(rows))
+
+
+def _run_kernels(args: argparse.Namespace) -> None:
+    from .experiments.kernels import format_kernel_experiment, run_kernel_experiment
+
+    rows = run_kernel_experiment(
+        apps=_apps_arg(args), seed=args.seed, work_scale=args.scale
+    )
+    print(format_kernel_experiment(rows))
+
+
+def _run_validate(args: argparse.Namespace) -> None:
+    from .experiments.validation import format_validation, run_validation
+
+    print(format_validation(run_validation(seed=args.seed, work_scale=args.scale)))
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    args = build_parser().parse_args(argv)
+    start = time.time()
+    runners = {
+        "calibration": _run_calibration,
+        "fig1": _run_fig1,
+        "fig2": _run_fig2,
+        "table1": _run_table1,
+        "ablations": _run_ablations,
+        "smt": _run_smt,
+        "io": _run_io,
+        "kernels": _run_kernels,
+        "validate": _run_validate,
+    }
+    if args.experiment == "all":
+        for name in ("calibration", "fig1", "fig2", "table1", "ablations", "smt", "io", "kernels"):
+            print(f"=== {name} ===")
+            runners[name](args)
+            print()
+        if args.csv:
+            from .experiments.export import export_all
+
+            paths = export_all(args.csv, work_scale=args.scale, seed=args.seed)
+            print(f"[csv: wrote {len(paths)} files to {args.csv}]", file=sys.stderr)
+    else:
+        runners[args.experiment](args)
+    print(f"[done in {time.time() - start:.1f}s]", file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,206 @@
+"""The shared arena: the CPU manager's communication medium.
+
+The paper's CPU manager is a user-level server. Each application sends a
+*connection* message (over a UNIX socket); the manager responds by creating
+a **shared arena** — a shared-memory page per application — and tells the
+application how often to publish its bus-transaction counts there (twice
+per scheduling quantum). The manager also appends a descriptor for the
+application to a doubly-linked *circular list*, whose rotation implements
+the no-starvation guarantee (previously-running jobs move to the back; the
+head is always allocated).
+
+This module simulates that protocol one-to-one:
+
+* :class:`SharedArena` — the manager-side registry: connect / disconnect,
+  descriptor lookup, and the circular list with its rotation primitives.
+* :class:`AppDescriptor` — one application's arena page: identity, thread
+  ids, and the latest published cumulative counters, exactly the values
+  the real runtime library accumulates from per-thread performance
+  counters before writing them to the page.
+
+The publishing side (polling each thread's counters and accumulating) lives
+in the CPU manager's sampling loop, standing in for the paper's runtime
+library that is linked into each application.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..errors import ArenaError
+
+__all__ = ["AppDescriptor", "SharedArena", "ArenaSample"]
+
+
+@dataclass(frozen=True)
+class ArenaSample:
+    """One publication of an application's accumulated counters.
+
+    Attributes
+    ----------
+    time_us:
+        Simulated time of the publication.
+    cum_transactions:
+        Sum of all application threads' bus-transaction counters.
+    cum_runtime_us:
+        Sum of all application threads' on-CPU time.
+    """
+
+    time_us: float
+    cum_transactions: float
+    cum_runtime_us: float
+
+
+@dataclass
+class AppDescriptor:
+    """Arena page + manager-side descriptor of one connected application.
+
+    Attributes
+    ----------
+    app_id:
+        Application instance id.
+    name:
+        Human-readable name.
+    tids:
+        The application's thread ids (the runtime library polls these).
+    samples:
+        Published samples, most recent last. The manager-side policies
+        consume deltas between consecutive samples.
+    """
+
+    app_id: int
+    name: str
+    tids: list[int]
+    samples: list[ArenaSample] = field(default_factory=list)
+    connected: bool = True
+
+    @property
+    def n_threads(self) -> int:
+        """Thread count (the divisor of BBW/thread)."""
+        return len(self.tids)
+
+    @property
+    def latest(self) -> ArenaSample | None:
+        """The most recent publication, if any."""
+        return self.samples[-1] if self.samples else None
+
+    def publish(self, sample: ArenaSample) -> None:
+        """Append a publication (cumulative counters must not decrease).
+
+        Raises
+        ------
+        ArenaError
+            If the application is disconnected or counters regress.
+        """
+        if not self.connected:
+            raise ArenaError(f"publish on disconnected application {self.name}")
+        last = self.latest
+        if last is not None:
+            if sample.time_us < last.time_us:
+                raise ArenaError(f"{self.name}: publication time went backwards")
+            if (
+                sample.cum_transactions < last.cum_transactions - 1e-9
+                or sample.cum_runtime_us < last.cum_runtime_us - 1e-9
+            ):
+                raise ArenaError(f"{self.name}: cumulative counters regressed")
+        self.samples.append(sample)
+
+    def rate_between(self, earlier: ArenaSample, later: ArenaSample) -> float | None:
+        """Per-thread tx/µs between two samples, or ``None`` if it did not run.
+
+        Rates are computed against *accumulated run time*, not wall time,
+        so a partially-scheduled quantum still yields an unbiased rate —
+        matching the paper's equipartitioning of application bandwidth
+        across its threads.
+        """
+        d_run = later.cum_runtime_us - earlier.cum_runtime_us
+        if d_run <= 1e-9:
+            return None
+        d_tx = later.cum_transactions - earlier.cum_transactions
+        per_thread_time = d_run / self.n_threads
+        return (d_tx / self.n_threads) / per_thread_time
+
+
+class SharedArena:
+    """Manager-side registry of connected applications and the circular list.
+
+    Examples
+    --------
+    >>> arena = SharedArena(sample_period_us=100_000.0)
+    >>> d = arena.connect(app_id=1, name="CG#1", tids=[10, 11])
+    >>> arena.list_order()
+    [1]
+    """
+
+    def __init__(self, sample_period_us: float) -> None:
+        if sample_period_us <= 0:
+            raise ArenaError("sample period must be positive")
+        #: How often applications are told to publish (the connection
+        #: response carries this, per the paper).
+        self.sample_period_us = sample_period_us
+        self._descriptors: dict[int, AppDescriptor] = {}
+        self._order: list[int] = []  # circular list, head first
+
+    # -- connection protocol ---------------------------------------------------
+
+    def connect(self, app_id: int, name: str, tids: list[int]) -> AppDescriptor:
+        """Handle a connection message: create the arena page + descriptor.
+
+        Raises
+        ------
+        ArenaError
+            If the application is already connected or has no threads.
+        """
+        if app_id in self._descriptors and self._descriptors[app_id].connected:
+            raise ArenaError(f"application {name} (id {app_id}) already connected")
+        if not tids:
+            raise ArenaError(f"application {name} connected with no threads")
+        desc = AppDescriptor(app_id=app_id, name=name, tids=list(tids))
+        self._descriptors[app_id] = desc
+        self._order.append(app_id)
+        return desc
+
+    def disconnect(self, app_id: int) -> None:
+        """Handle a disconnection: drop the descriptor from the list."""
+        desc = self.descriptor(app_id)
+        desc.connected = False
+        self._order = [a for a in self._order if a != app_id]
+
+    def descriptor(self, app_id: int) -> AppDescriptor:
+        """Look up a descriptor.
+
+        Raises
+        ------
+        ArenaError
+            If the application never connected.
+        """
+        try:
+            return self._descriptors[app_id]
+        except KeyError:
+            raise ArenaError(f"unknown application id {app_id}") from None
+
+    def connected(self) -> list[AppDescriptor]:
+        """Connected descriptors in current list order."""
+        return [self._descriptors[a] for a in self._order]
+
+    # -- circular list ----------------------------------------------------------
+
+    def list_order(self) -> list[int]:
+        """Current app-id order, head first."""
+        return list(self._order)
+
+    def move_to_back(self, app_ids: list[int]) -> None:
+        """Move the given applications to the back, preserving relative order.
+
+        This is the paper's end-of-quantum rotation: "The previously
+        running jobs are then transferred to the end of the applications
+        list", which guarantees the head is always a job that waited
+        longest — the no-starvation anchor.
+        """
+        moving = set(app_ids)
+        unknown = moving - set(self._order)
+        if unknown:
+            raise ArenaError(f"cannot rotate unknown applications {sorted(unknown)}")
+        kept = [a for a in self._order if a not in moving]
+        moved = [a for a in self._order if a in moving]
+        self._order = kept + moved

@@ -1,0 +1,86 @@
+"""The fitness metric (Equations 1 and 2) and ablation alternatives.
+
+The paper's policies elect, at each list traversal, the application whose
+per-thread bus bandwidth best matches the available bus bandwidth per
+unallocated processor::
+
+    Fitness = 1000 / (1 + |ABBW/proc - BBW/thread|)           (Eq. 1)
+
+Quanta Window substitutes the windowed average of BBW/thread (Eq. 2) — the
+*metric* is identical; only the estimate differs, so this module exposes a
+single function.
+
+Key property the paper calls out: when the bus is already overcommitted,
+``ABBW/proc`` turns *negative*, making the application with the lowest
+BBW/thread the fittest — the metric degrades gracefully into
+"least-demanding first" under saturation. Tests pin this behaviour.
+
+The ablation alternatives (ABL-F) answer "how much of the win is the
+*shape* of Eq. 1?": a linear-distance score (same argmax ordering below
+saturation but different tie structure), a lowest-bandwidth-first score
+(ignores ABBW entirely), and a constant score (reduces the policy to
+FCFS-rotation gang scheduling).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+__all__ = [
+    "paper_fitness",
+    "linear_fitness",
+    "lowest_bandwidth_fitness",
+    "constant_fitness",
+    "FITNESS_FUNCTIONS",
+]
+
+#: Signature of a fitness function: (abbw_per_proc, bbw_per_thread) -> score.
+FitnessFn = Callable[[float, float], float]
+
+
+def paper_fitness(abbw_per_proc: float, bbw_per_thread: float, scale: float = 1000.0) -> float:
+    """Equation (1): ``scale / (1 + |ABBW/proc − BBW/thread|)``.
+
+    Higher is fitter. Maximised when the job's per-thread demand exactly
+    matches the per-processor bandwidth budget.
+
+    >>> paper_fitness(5.0, 5.0)
+    1000.0
+    >>> paper_fitness(5.0, 9.0)
+    200.0
+    >>> paper_fitness(-2.0, 1.0) > paper_fitness(-2.0, 6.0)  # saturation
+    True
+    """
+    return scale / (1.0 + abs(abbw_per_proc - bbw_per_thread))
+
+
+def linear_fitness(abbw_per_proc: float, bbw_per_thread: float) -> float:
+    """Negative absolute distance: same argmax as Eq. 1, linear tails.
+
+    Included to show that the *reciprocal shape* of Eq. 1 is not load-
+    bearing for the argmax (it matters only if scores are combined).
+    """
+    return -abs(abbw_per_proc - bbw_per_thread)
+
+
+def lowest_bandwidth_fitness(abbw_per_proc: float, bbw_per_thread: float) -> float:
+    """Ignore ABBW; always prefer the least-demanding job.
+
+    This is what Eq. 1 degenerates to under saturation; using it
+    unconditionally forgoes the bandwidth-matching behaviour.
+    """
+    return -bbw_per_thread
+
+
+def constant_fitness(abbw_per_proc: float, bbw_per_thread: float) -> float:
+    """All jobs equally fit: selection falls back to list order (FCFS gang)."""
+    return 0.0
+
+
+#: Registry used by the ABL-F ablation sweep.
+FITNESS_FUNCTIONS: dict[str, FitnessFn] = {
+    "paper": paper_fitness,
+    "linear": linear_fitness,
+    "lowest-bw": lowest_bandwidth_fitness,
+    "constant": constant_fitness,
+}

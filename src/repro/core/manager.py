@@ -1,0 +1,303 @@
+"""The user-level CPU manager: the server process of Section 4.
+
+The manager runs *on top of* a kernel scheduler (the paper uses the stock
+Linux scheduler underneath). Its event loop, exactly as described:
+
+* Applications **connect**; the manager creates their shared-arena pages,
+  tells them the sampling period, and appends descriptors to the circular
+  list.
+* **Twice per quantum**, each running application publishes its
+  accumulated bus-transaction counters to its arena page (the runtime
+  library polls all thread counters and accumulates — simulated here by
+  the sampling event reading the machine's counter bank for running apps).
+* At each **quantum boundary** (200 ms by default; the paper found 100 ms
+  causes excessive context switches against the kernel's own quanta):
+
+  1. update bandwidth statistics for all jobs that ran, feeding the
+     policy's estimator (per-quantum rate and the per-sample rates);
+  2. move previously-running jobs to the end of the circular list;
+  3. run the policy's selection (head first, then fitness traversals);
+  4. **block** deselected applications and **unblock** selected ones via
+     the signal protocol (with its inversion-protection counters).
+
+The kernel scheduler underneath sees only the unblocked threads and places
+them on CPUs with its usual affinity heuristics — the same division of
+labour as the paper's user-level implementation.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from ..config import ManagerConfig
+from ..errors import SchedulingError
+from ..sim.engine import Engine
+from ..sim.events import EventPriority
+from .arena import ArenaSample, SharedArena
+from .policies import BandwidthPolicy, JobView
+from .signals import SignalDispatcher
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.machine import Machine
+    from ..sched.base import KernelScheduler
+    from ..workloads.base import Application
+
+__all__ = ["CpuManager"]
+
+
+class CpuManager:
+    """The user-level CPU manager server.
+
+    Parameters
+    ----------
+    config:
+        Quantum, sampling rate, window defaults, signal costs.
+    policy:
+        The bandwidth-aware policy making selection decisions.
+    kernel:
+        The kernel scheduler running underneath (receives block-change
+        notifications so freed CPUs refill immediately).
+    """
+
+    def __init__(
+        self,
+        config: ManagerConfig,
+        policy: BandwidthPolicy,
+        kernel: "KernelScheduler",
+    ) -> None:
+        self.config = config
+        self.policy = policy
+        self.kernel = kernel
+        self._machine: "Machine | None" = None
+        self._engine: Engine | None = None
+        self.arena = SharedArena(sample_period_us=config.sample_period_us)
+        self._signals: SignalDispatcher | None = None
+        self._selected: set[int] = set()          # current *intent*
+        self._boundary_samples: dict[int, ArenaSample] = {}
+        self._last_sample_seen: dict[int, ArenaSample] = {}
+        self._quanta = 0
+        # Workload-wide transaction accounting for saturation detection:
+        # (time, cumulative transactions over all managed threads).
+        self._global_sample: tuple[float, float] = (0.0, 0.0)
+        self._global_boundary: tuple[float, float] = (0.0, 0.0)
+
+    # ------------------------------------------------------------------ wiring
+
+    def attach(self, machine: "Machine", engine: Engine, rng: np.random.Generator) -> None:
+        """Bind to the machine/engine and wire the signal path to the kernel."""
+        if self._machine is not None:
+            raise SchedulingError("CPU manager already attached")
+        self._machine = machine
+        self._engine = engine
+        self.policy.bind_rng(rng)
+        self._signals = SignalDispatcher(
+            machine,
+            engine,
+            first_hop_latency_us=self.config.signal_first_hop_us,
+            forward_latency_us=self.config.signal_forward_us,
+            on_block_change=self.kernel.on_block_change,
+            handling_cost_lines=self.config.signal_cost_lines,
+            protocol=self.config.signal_protocol,
+        )
+
+    @property
+    def machine(self) -> "Machine":
+        """The attached machine (raises if unattached)."""
+        if self._machine is None:
+            raise SchedulingError("CPU manager not attached")
+        return self._machine
+
+    @property
+    def engine(self) -> Engine:
+        """The attached engine (raises if unattached)."""
+        if self._engine is None:
+            raise SchedulingError("CPU manager not attached")
+        return self._engine
+
+    @property
+    def signals(self) -> SignalDispatcher:
+        """The signal dispatcher (raises if unattached)."""
+        if self._signals is None:
+            raise SchedulingError("CPU manager not attached")
+        return self._signals
+
+    @property
+    def quanta(self) -> int:
+        """Number of quantum boundaries processed."""
+        return self._quanta
+
+    def register_app(self, app: "Application") -> None:
+        """Handle an application's connection message."""
+        if app.n_threads > self.machine.n_cpus:
+            raise SchedulingError(
+                f"application {app.name} is wider ({app.n_threads}) than the "
+                f"machine ({self.machine.n_cpus} CPUs); a gang policy can never run it"
+            )
+        desc = self.arena.connect(app.app_id, f"{app.name}#{app.app_id}", app.tids)
+        # Initial zero publication: the runtime library starts its counters
+        # at connect time, so quantum-rate deltas are well-defined.
+        zero = ArenaSample(time_us=self.machine.now, cum_transactions=0.0, cum_runtime_us=0.0)
+        desc.publish(zero)
+        self._boundary_samples[app.app_id] = zero
+        self._last_sample_seen[app.app_id] = zero
+        # A freshly connected application is unblocked (it has received no
+        # signals), so the manager's intent set must include it: the first
+        # boundary then sends *blocks* to the losers and no redundant
+        # unblocks to the winners. A redundant unblock would poison the
+        # inversion-protection counters with a permanent unblock credit.
+        self._selected.add(app.app_id)
+
+    def register_apps(self, apps: list["Application"]) -> None:
+        """Connect several applications in order."""
+        for app in apps:
+            self.register_app(app)
+
+    # ------------------------------------------------------------------- start
+
+    def start(self) -> None:
+        """Make the first selection and start the sampling/quantum events.
+
+        The first boundary also schedules the first quantum's samples, so
+        nothing else is needed here.
+        """
+        self._quantum_boundary()
+
+    def _schedule_samples(self) -> None:
+        period = self.config.sample_period_us
+        for k in range(1, self.config.samples_per_quantum + 1):
+            self.engine.schedule_after(
+                k * period, self._sample_tick, priority=EventPriority.SAMPLE
+            )
+
+    # ----------------------------------------------------------------- sampling
+
+    def _total_transactions(self) -> float:
+        """Cumulative bus transactions of every managed thread."""
+        machine = self.machine
+        total = 0.0
+        for desc in self.arena.connected():
+            total += machine.counters.read_many(desc.tids).bus_transactions
+        return total
+
+    def _interval_saturated(self, prev: tuple[float, float]) -> tuple[bool, tuple[float, float]]:
+        """Whether the workload consumed ~full capacity since ``prev``.
+
+        Returns the verdict and the new (time, total) checkpoint. A
+        saturated interval marks every per-job rate measured over it as a
+        lower bound (the job may have demanded more than it was granted).
+        """
+        now = self.machine.now
+        total = self._total_transactions()
+        prev_t, prev_total = prev
+        if not self.config.saturation_aware or now <= prev_t:
+            return (False, (now, total))
+        rate = (total - prev_total) / (now - prev_t)
+        threshold = self.config.saturation_threshold * self.policy.bus_capacity_txus
+        return (rate >= threshold, (now, total))
+
+    def _sample_tick(self) -> None:
+        """One arena publication round (the runtime library's timer)."""
+        machine = self.machine
+        saturated, self._global_sample = self._interval_saturated(self._global_sample)
+        for desc in self.arena.connected():
+            # Only running applications update their pages: a blocked
+            # process cannot execute its sampling code.
+            if not any(machine.thread(t).cpu is not None for t in desc.tids):
+                continue
+            snap = machine.counters.read_many(desc.tids)
+            sample = ArenaSample(
+                time_us=machine.now,
+                cum_transactions=snap.bus_transactions,
+                cum_runtime_us=snap.cycles_us,
+            )
+            desc.publish(sample)
+            prev = self._last_sample_seen.get(desc.app_id)
+            if prev is not None:
+                rate = desc.rate_between(prev, sample)
+                if rate is not None:
+                    self.policy.on_sample(desc.app_id, rate, saturated=saturated)
+            self._last_sample_seen[desc.app_id] = sample
+
+    # ------------------------------------------------------------------ quantum
+
+    def _quantum_boundary(self) -> None:
+        """The end-of-quantum bookkeeping + selection + signalling."""
+        machine = self.machine
+        self._quanta += 1
+
+        # 0. Disconnect finished applications.
+        for desc in list(self.arena.connected()):
+            if all(machine.thread(t).finished for t in desc.tids):
+                self.arena.disconnect(desc.app_id)
+                self.policy.forget(desc.app_id)
+                self._selected.discard(desc.app_id)
+
+        descs = self.arena.connected()
+        if not descs:
+            return  # nothing left to manage; no further quanta needed
+
+        # 1. Update bandwidth statistics of jobs that ran last quantum.
+        saturated, self._global_boundary = self._interval_saturated(self._global_boundary)
+        for desc in descs:
+            start = self._boundary_samples.get(desc.app_id)
+            latest = desc.latest
+            if latest is None:
+                continue
+            if start is not None:
+                rate = desc.rate_between(start, latest)
+                if rate is not None:
+                    self.policy.on_quantum(desc.app_id, rate, saturated=saturated)
+            self._boundary_samples[desc.app_id] = latest
+
+        # 2. Rotate: previously running jobs to the back of the list.
+        ran = [d.app_id for d in descs if d.app_id in self._selected]
+        if ran:
+            self.arena.move_to_back(ran)
+
+        # 3. Elect the next quantum's applications.
+        jobs = [
+            JobView(
+                app_id=d.app_id,
+                width=sum(1 for t in d.tids if not machine.thread(t).finished),
+                name=d.name.rsplit("#", 1)[0],
+            )
+            for d in self.arena.connected()
+        ]
+        jobs = [j for j in jobs if j.width > 0]
+        selection = self.policy.select(jobs, machine.n_cpus)
+        new_selected = set(selection.app_ids)
+
+        # 4. Signal the deltas (block losers first so their CPUs free up
+        #    by the time the winners' unblocks land).
+        for desc in self.arena.connected():
+            live = [t for t in desc.tids if not machine.thread(t).finished]
+            if not live:
+                continue
+            if self.config.resend_intent:
+                # Loss-tolerant mode: restate the absolute intent for every
+                # job each quantum (safe only with sequence numbering).
+                if desc.app_id in new_selected:
+                    self.signals.send_unblock(live)
+                else:
+                    self.signals.send_block(live)
+            elif desc.app_id in self._selected and desc.app_id not in new_selected:
+                self.signals.send_block(live)
+            elif desc.app_id not in self._selected and desc.app_id in new_selected:
+                self.signals.send_unblock(live)
+
+        self._selected = new_selected
+        machine.trace.record(
+            machine.now,
+            "manager.quantum",
+            number=self._quanta,
+            selected=sorted(new_selected),
+            order=self.arena.list_order(),
+        )
+
+        # 5. Next quantum.
+        self.engine.schedule_after(
+            self.config.quantum_us, self._quantum_boundary, priority=EventPriority.MANAGER
+        )
+        self._schedule_samples()

@@ -1,0 +1,355 @@
+"""The scheduling policies: Latest Quantum, Quanta Window, and extensions.
+
+Both paper policies share one selection algorithm (Section 4) and differ
+only in how they estimate each application's per-thread bus bandwidth
+(BBW/thread):
+
+* **Latest Quantum** — the rate measured over the most recent quantum the
+  application actually ran.
+* **Quanta Window** — the average of the last *W* published samples
+  (paper: W = 5, two samples per quantum), trading responsiveness for
+  robustness to bursts.
+
+The selection algorithm, per quantum:
+
+1. The application at the **head of the circular list** is allocated
+   unconditionally — every job eventually reaches the head, so no job
+   starves regardless of its bandwidth profile.
+2. While unallocated processors remain, compute the available bus
+   bandwidth per unallocated processor::
+
+       ABBW/proc = (bus_capacity − Σ allocated BBW) / unallocated_cpus
+
+   traverse the list, score every job that fits with
+   ``fitness = 1000 / (1 + |ABBW/proc − BBW/thread|)`` (Equation 1), and
+   allocate the fittest; repeat.
+
+Under saturation ABBW/proc goes negative and the lowest-BBW job becomes the
+fittest — the graceful degradation the paper highlights.
+
+Extensions provided for ablations and the paper's future-work directions:
+
+* :class:`EwmaPolicy` — exponentially-weighted estimate (the paper's
+  suggested technique for wider windows).
+* :class:`OraclePolicy` — uses the workload's true mean rates; upper bound
+  on what better estimation could buy.
+* :class:`RandomGangPolicy` — keeps the gang structure and the
+  no-starvation head rule but picks the rest uniformly at random;
+  isolates the value of bandwidth-aware selection from gang-ness.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import SchedulingError
+from .fitness import FitnessFn, paper_fitness
+from .window import EwmaEstimator, MovingWindow
+
+__all__ = [
+    "JobView",
+    "Selection",
+    "BandwidthPolicy",
+    "LatestQuantumPolicy",
+    "QuantaWindowPolicy",
+    "EwmaPolicy",
+    "OraclePolicy",
+    "RandomGangPolicy",
+]
+
+
+@dataclass(frozen=True)
+class JobView:
+    """What the policy sees of one schedulable application.
+
+    Attributes
+    ----------
+    app_id:
+        Application instance id.
+    width:
+        Processors needed (list of live threads; gang all-or-nothing).
+    name:
+        Base application name (instance tag stripped); lets oracle-style
+        policies look up per-application ground truth.
+    """
+
+    app_id: int
+    width: int
+    name: str = ""
+
+
+@dataclass(frozen=True)
+class Selection:
+    """Outcome of one quantum's selection.
+
+    Attributes
+    ----------
+    app_ids:
+        Selected applications, in allocation order (head first).
+    abbw_trace:
+        The ABBW/proc value observed before each post-head allocation —
+        exposed for tests and the reporting harness.
+    """
+
+    app_ids: tuple[int, ...]
+    abbw_trace: tuple[float, ...]
+
+
+class BandwidthPolicy(ABC):
+    """Shared selection machinery; subclasses define the estimator.
+
+    Parameters
+    ----------
+    bus_capacity_txus:
+        The manager's belief of total usable bus bandwidth (the STREAM
+        measurement on the paper's platform).
+    fitness_fn:
+        Scoring function (Equation 1 by default; see ABL-F).
+    fitness_scale:
+        Numerator of Equation 1.
+    """
+
+    #: Short name used in reports.
+    name: str = "abstract"
+
+    def __init__(
+        self,
+        bus_capacity_txus: float = 29.5,
+        fitness_fn: FitnessFn | None = None,
+        fitness_scale: float = 1000.0,
+    ) -> None:
+        if bus_capacity_txus <= 0:
+            raise SchedulingError("bus capacity must be positive")
+        self.bus_capacity_txus = bus_capacity_txus
+        self._fitness_fn = fitness_fn
+        self._fitness_scale = fitness_scale
+        self._rng: np.random.Generator | None = None
+
+    def bind_rng(self, rng: np.random.Generator) -> None:
+        """Provide the policy's random stream (used by randomized variants)."""
+        self._rng = rng
+
+    def fitness(self, abbw_per_proc: float, bbw_per_thread: float) -> float:
+        """Score a candidate (Equation 1 unless overridden)."""
+        if self._fitness_fn is not None:
+            return self._fitness_fn(abbw_per_proc, bbw_per_thread)
+        return paper_fitness(abbw_per_proc, bbw_per_thread, self._fitness_scale)
+
+    # -- estimation interface (subclass responsibility) ------------------------
+
+    @abstractmethod
+    def estimate(self, app_id: int) -> float | None:
+        """Current BBW/thread estimate for an application (None = unknown)."""
+
+    def on_sample(self, app_id: int, rate_per_thread: float, saturated: bool = False) -> None:
+        """A new per-sample rate was published to the arena. Default: ignore.
+
+        ``saturated`` marks measurements taken while the whole workload
+        consumed (nearly) the full bus capacity: such a rate is only a
+        *lower bound* on the job's demand, and estimators must not let it
+        lower their estimate (see :class:`repro.config.ManagerConfig`).
+        """
+
+    def on_quantum(self, app_id: int, rate_per_thread: float, saturated: bool = False) -> None:
+        """A full-quantum rate was computed at a boundary. Default: ignore."""
+
+    def forget(self, app_id: int) -> None:
+        """An application disconnected; drop its state. Default: no-op."""
+
+    # -- selection ---------------------------------------------------------------
+
+    def effective_estimate(self, app_id: int) -> float:
+        """Estimate with the unknown-app default (0: never measured)."""
+        est = self.estimate(app_id)
+        return 0.0 if est is None else est
+
+    def select(self, jobs: list[JobView], n_cpus: int) -> Selection:
+        """Run the paper's selection algorithm over ``jobs`` in list order.
+
+        ``jobs`` must be in circular-list order (head first). Returns the
+        selected applications; the caller turns this into signals.
+        """
+        if n_cpus < 1:
+            raise SchedulingError("need at least one CPU")
+        for job in jobs:
+            if job.width > n_cpus:
+                raise SchedulingError(
+                    f"application {job.app_id} needs {job.width} CPUs on an "
+                    f"{n_cpus}-CPU machine; gang policies cannot ever run it"
+                )
+        chosen: list[JobView] = []
+        chosen_ids: set[int] = set()
+        abbw_trace: list[float] = []
+        free = n_cpus
+        # Step 1: head of the list runs by default (no starvation).
+        for job in jobs:
+            if job.width <= free:
+                chosen.append(job)
+                chosen_ids.add(job.app_id)
+                free -= job.width
+                break
+        # Step 2: fitness-driven traversals.
+        while free > 0:
+            allocated_bbw = sum(
+                self.effective_estimate(j.app_id) * j.width for j in chosen
+            )
+            abbw_per_proc = (self.bus_capacity_txus - allocated_bbw) / free
+            best: JobView | None = None
+            best_score = -float("inf")
+            for job in jobs:
+                if job.app_id in chosen_ids or job.width > free:
+                    continue
+                score = self._candidate_score(job, abbw_per_proc)
+                if score > best_score:
+                    best_score = score
+                    best = job
+            if best is None:
+                break
+            abbw_trace.append(abbw_per_proc)
+            chosen.append(best)
+            chosen_ids.add(best.app_id)
+            free -= best.width
+        return Selection(
+            app_ids=tuple(j.app_id for j in chosen), abbw_trace=tuple(abbw_trace)
+        )
+
+    def _candidate_score(self, job: JobView, abbw_per_proc: float) -> float:
+        return self.fitness(abbw_per_proc, self.effective_estimate(job.app_id))
+
+
+class LatestQuantumPolicy(BandwidthPolicy):
+    """BBW/thread = the rate over the latest quantum the job ran (Eq. 1)."""
+
+    name = "latest-quantum"
+
+    def __init__(self, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._last: dict[int, float] = {}
+
+    def on_quantum(self, app_id: int, rate_per_thread: float, saturated: bool = False) -> None:
+        current = self._last.get(app_id)
+        if saturated and current is not None and rate_per_thread < current:
+            return  # lower bound only: keep the higher previous estimate
+        self._last[app_id] = rate_per_thread
+
+    def estimate(self, app_id: int) -> float | None:
+        return self._last.get(app_id)
+
+    def forget(self, app_id: int) -> None:
+        self._last.pop(app_id, None)
+
+
+class QuantaWindowPolicy(BandwidthPolicy):
+    """BBW/thread = moving average over the last W samples (Eq. 2).
+
+    Parameters
+    ----------
+    window_length:
+        Number of samples averaged (paper: 5; two samples per quantum).
+    """
+
+    name = "quanta-window"
+
+    def __init__(self, window_length: int = 5, **kwargs) -> None:
+        super().__init__(**kwargs)
+        if window_length < 1:
+            raise SchedulingError("window length must be >= 1")
+        self.window_length = window_length
+        self._windows: dict[int, MovingWindow] = {}
+
+    def on_sample(self, app_id: int, rate_per_thread: float, saturated: bool = False) -> None:
+        window = self._windows.setdefault(app_id, MovingWindow(self.window_length))
+        current = window.average()
+        if saturated and current is not None and rate_per_thread < current:
+            # Lower bound only: re-push the current average so the window
+            # keeps sliding without dragging the estimate down.
+            window.push(current)
+            return
+        window.push(rate_per_thread)
+
+    def estimate(self, app_id: int) -> float | None:
+        w = self._windows.get(app_id)
+        return None if w is None else w.average()
+
+    def peak_estimate(self, app_id: int) -> float | None:
+        """Largest sample in the window (conservative demand bound)."""
+        w = self._windows.get(app_id)
+        return None if w is None else w.maximum()
+
+    def forget(self, app_id: int) -> None:
+        self._windows.pop(app_id, None)
+
+
+class EwmaPolicy(BandwidthPolicy):
+    """BBW/thread = exponentially-weighted sample average (paper extension).
+
+    Parameters
+    ----------
+    alpha:
+        Newest-sample weight in (0, 1]. ``alpha = 2/(W+1)`` roughly
+        corresponds to a W-sample window.
+    """
+
+    name = "ewma"
+
+    def __init__(self, alpha: float = 1.0 / 3.0, **kwargs) -> None:
+        super().__init__(**kwargs)
+        self.alpha = alpha
+        self._estimates: dict[int, EwmaEstimator] = {}
+
+    def on_sample(self, app_id: int, rate_per_thread: float, saturated: bool = False) -> None:
+        est = self._estimates.setdefault(app_id, EwmaEstimator(self.alpha))
+        current = est.average()
+        if saturated and current is not None and rate_per_thread < current:
+            return  # lower bound only
+        est.push(rate_per_thread)
+
+    def estimate(self, app_id: int) -> float | None:
+        e = self._estimates.get(app_id)
+        return None if e is None else e.average()
+
+    def forget(self, app_id: int) -> None:
+        self._estimates.pop(app_id, None)
+
+
+class OraclePolicy(BandwidthPolicy):
+    """Uses the workload's *true* mean per-thread rates (ablation upper bound).
+
+    Parameters
+    ----------
+    true_rates:
+        Mapping application *name* → true mean per-thread tx/µs.
+    """
+
+    name = "oracle"
+
+    def __init__(self, true_rates: dict[str, float], **kwargs) -> None:
+        super().__init__(**kwargs)
+        self._true = dict(true_rates)
+        self._names: dict[int, str] = {}
+
+    def estimate(self, app_id: int) -> float | None:
+        name = self._names.get(app_id)
+        return self._true.get(name) if name is not None else None
+
+    def select(self, jobs, n_cpus):
+        for job in jobs:
+            self._names[job.app_id] = job.name
+        return super().select(jobs, n_cpus)
+
+
+class RandomGangPolicy(BandwidthPolicy):
+    """Gang structure + head rule, but random fills (ablation baseline)."""
+
+    name = "random-gang"
+
+    def estimate(self, app_id: int) -> float | None:
+        return None
+
+    def _candidate_score(self, job: JobView, abbw_per_proc: float) -> float:
+        if self._rng is None:
+            raise SchedulingError("RandomGangPolicy needs bind_rng() before selection")
+        return float(self._rng.random())

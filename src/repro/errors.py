@@ -1,0 +1,61 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+Every error the library raises deliberately derives from
+:class:`ReproError`, so callers can catch the whole family with one clause
+while still distinguishing configuration mistakes from runtime protocol
+violations.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all errors raised by the :mod:`repro` library."""
+
+
+class ConfigError(ReproError):
+    """A configuration object is internally inconsistent.
+
+    Raised eagerly at construction time (``__post_init__``) so that invalid
+    machines, policies or experiments never start running.
+    """
+
+
+class SimulationError(ReproError):
+    """The simulation engine detected an impossible state.
+
+    Examples: time moving backwards, settling a negative interval, an event
+    scheduled in the past.
+    """
+
+
+class SchedulingError(ReproError):
+    """A scheduler or policy violated its own contract.
+
+    Examples: dispatching the same thread on two CPUs, gang-allocating a job
+    whose threads do not fit, blocking an unknown application.
+    """
+
+
+class ArenaError(ReproError):
+    """Violation of the CPU-manager shared-arena protocol.
+
+    Examples: publishing samples for a disconnected application, reading a
+    descriptor that was never connected.
+    """
+
+
+class CounterError(ReproError):
+    """Misuse of the performance-monitoring counter API.
+
+    Examples: reading a counter for an unknown thread, a counter observed to
+    decrease (counters are monotone by construction).
+    """
+
+
+class WorkloadError(ReproError):
+    """A workload description is invalid.
+
+    Examples: negative demand rate, zero-length phase, application with no
+    threads.
+    """

@@ -1,0 +1,22 @@
+"""Experiment harness: configurations → the paper's figures and tables.
+
+* :mod:`repro.experiments.base` — the shared runner turning a workload
+  description plus a scheduler choice into a :class:`~repro.metrics.
+  accounting.RunResult`.
+* :mod:`repro.experiments.calibration` — CAL-1: STREAM capacity and
+  per-application solo rates (the Section 3 setup measurements).
+* :mod:`repro.experiments.fig1` — FIG-1A and FIG-1B.
+* :mod:`repro.experiments.fig2` — FIG-2A, FIG-2B, FIG-2C.
+* :mod:`repro.experiments.tables` — TAB-1: the Section 5 headline numbers.
+* :mod:`repro.experiments.ablations` — ABL-W/Q/F/A sweeps.
+* :mod:`repro.experiments.reporting` — ASCII tables and CSV emission.
+"""
+
+from .base import SimulationSpec, run_simulation, run_simulation_with_handle, solo_run
+
+__all__ = [
+    "SimulationSpec",
+    "run_simulation",
+    "run_simulation_with_handle",
+    "solo_run",
+]

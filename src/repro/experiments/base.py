@@ -1,0 +1,269 @@
+"""The shared simulation runner.
+
+Everything the figure harnesses need reduces to one call:
+:func:`run_simulation` builds a machine, launches target and background
+applications, installs the requested scheduler stack (dedicated / Linux /
+round-robin gang / a bandwidth policy on top of Linux), runs until every
+*target* instance completes, and collects a
+:class:`~repro.metrics.accounting.RunResult`.
+
+Background applications (the paper's microbenchmarks) have effectively
+unbounded work; the run stops on target completion, matching the paper's
+measurement of application turnaround within a steadily multiprogrammed
+machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..config import LinuxSchedConfig, MachineConfig, ManagerConfig
+from ..core.manager import CpuManager
+from ..core.policies import BandwidthPolicy
+from ..errors import ConfigError
+from ..hw.machine import Machine
+from ..metrics.accounting import RunResult, collect_run_result
+from ..metrics.timeline import TimelineSampler
+from ..rng import RngRegistry
+from ..sched.base import KernelScheduler, jobs_from_apps
+from ..sched.dedicated import DedicatedScheduler
+from ..sched.gang import RoundRobinGangScheduler
+from ..sched.linux import LinuxScheduler
+from ..sched.linux_o1 import LinuxO1Scheduler
+from ..sim.engine import Engine
+from ..sim.trace import TraceRecorder
+from ..units import seconds
+from ..workloads.base import Application, ApplicationSpec
+
+__all__ = ["SimulationSpec", "run_simulation", "solo_run"]
+
+
+@dataclass
+class SimulationSpec:
+    """Declarative description of one simulation run.
+
+    Attributes
+    ----------
+    targets:
+        Measured applications (each spec becomes one instance; repeat a
+        spec to run two instances, as the paper's workloads do).
+    background:
+        Microbenchmark instances running for the whole measurement.
+    scheduler:
+        ``"dedicated"``, ``"linux"`` (the 2.4-like baseline), ``"linux26"``
+        (the O(1) scheduler), ``"gang"``, or a
+        :class:`~repro.core.policies.BandwidthPolicy` instance (which runs
+        inside a CPU manager on top of a kernel scheduler — pick it with
+        ``kernel``).
+    kernel:
+        The kernel substrate under a policy scheduler: ``"linux"`` (2.4,
+        the paper's setup) or ``"linux26"``.
+    machine:
+        Machine configuration (defaults to the paper's 4-way Xeon).
+    manager:
+        CPU-manager configuration (used when ``scheduler`` is a policy).
+    linux:
+        Kernel scheduler configuration (used for "linux" and policies).
+    seed:
+        Root seed for all random streams.
+    max_time_us:
+        Safety limit on simulated time.
+    dedicated_migration_interval_us:
+        Optional seeded migration process for dedicated runs (Figure 1's
+        occasional kernel rebalances).
+    trace:
+        Whether to record a trace (cheap; required for switch counting).
+    timeline_period_us:
+        Bus-utilisation sampling period, or ``None`` to disable.
+    arrivals:
+        Dynamically arriving jobs, as ``(time_us, spec)`` pairs — the
+        open-system mode the paper's CPU manager (a server accepting
+        connections at any time) supports. Arriving jobs count as targets
+        (the run ends when every target, static or arrived, completes).
+        Supported with the ``"linux"`` scheduler and with policies; the
+        static ``"dedicated"``/``"gang"`` schedulers reject arrivals.
+    """
+
+    targets: list[ApplicationSpec]
+    background: list[ApplicationSpec] = field(default_factory=list)
+    scheduler: str | BandwidthPolicy = "linux"
+    machine: MachineConfig = field(default_factory=MachineConfig)
+    manager: ManagerConfig = field(default_factory=ManagerConfig)
+    linux: LinuxSchedConfig = field(default_factory=LinuxSchedConfig)
+    seed: int = 42
+    max_time_us: float = seconds(600)
+    dedicated_migration_interval_us: float | None = None
+    trace: bool = True
+    timeline_period_us: float | None = None
+    arrivals: list[tuple[float, ApplicationSpec]] = field(default_factory=list)
+    kernel: str = "linux"
+
+
+@dataclass
+class SimulationHandle:
+    """Everything assembled for one run (exposed for tests and examples)."""
+
+    engine: Engine
+    machine: Machine
+    apps: list[Application]
+    target_apps: list[Application]
+    kernel: KernelScheduler
+    manager: CpuManager | None
+    timeline: TimelineSampler | None
+    pending_arrivals: int = 0
+
+
+def _make_kernel(name: str, spec: "SimulationSpec") -> KernelScheduler:
+    """Kernel substrate factory for policy-managed runs."""
+    if name == "linux":
+        return LinuxScheduler(spec.linux)
+    if name == "linux26":
+        return LinuxO1Scheduler()
+    raise ConfigError(f"unknown kernel substrate {name!r}")
+
+
+def _build(spec: SimulationSpec) -> SimulationHandle:
+    if not spec.targets and not spec.arrivals:
+        raise ConfigError("a simulation needs at least one target application")
+    if spec.arrivals and spec.scheduler in ("dedicated", "gang"):
+        raise ConfigError(
+            f"dynamic arrivals need a time-sharing scheduler; "
+            f"{spec.scheduler!r} has a static job set"
+        )
+    engine = Engine()
+    trace = TraceRecorder(enabled=spec.trace, capacity=200_000)
+    machine = Machine(spec.machine, engine, trace)
+    registry = RngRegistry(spec.seed)
+
+    apps: list[Application] = []
+    target_apps: list[Application] = []
+    for i, app_spec in enumerate(spec.targets):
+        app = Application.launch(
+            app_spec, machine, registry.stream(f"target{i}.{app_spec.name}")
+        )
+        apps.append(app)
+        target_apps.append(app)
+    for i, app_spec in enumerate(spec.background):
+        apps.append(
+            Application.launch(
+                app_spec, machine, registry.stream(f"bg{i}.{app_spec.name}")
+            )
+        )
+
+    manager: CpuManager | None = None
+    kernel: KernelScheduler
+    if isinstance(spec.scheduler, BandwidthPolicy):
+        kernel = _make_kernel(spec.kernel, spec)
+        manager = CpuManager(spec.manager, spec.scheduler, kernel)
+    elif spec.scheduler == "linux":
+        kernel = LinuxScheduler(spec.linux)
+    elif spec.scheduler == "linux26":
+        kernel = LinuxO1Scheduler()
+    elif spec.scheduler == "dedicated":
+        kernel = DedicatedScheduler(spec.dedicated_migration_interval_us)
+    elif spec.scheduler == "gang":
+        kernel = RoundRobinGangScheduler(jobs_from_apps(apps), spec.manager.quantum_us)
+    else:
+        raise ConfigError(f"unknown scheduler {spec.scheduler!r}")
+
+    kernel.attach(machine, engine, registry.stream("kernel"))
+    if manager is not None:
+        manager.attach(machine, engine, registry.stream("manager"))
+        manager.register_apps(apps)
+
+    timeline: TimelineSampler | None = None
+    if spec.timeline_period_us is not None:
+        timeline = TimelineSampler(machine, engine, spec.timeline_period_us)
+
+    handle = SimulationHandle(
+        engine=engine,
+        machine=machine,
+        apps=apps,
+        target_apps=target_apps,
+        kernel=kernel,
+        manager=manager,
+        timeline=timeline,
+    )
+
+    # Dynamic arrivals: each fires an engine event that launches the
+    # instance, connects it to the CPU manager (if any), and counts it as
+    # a target. `pending_arrivals` keeps the stop predicate from declaring
+    # victory before every job has even arrived.
+    handle.pending_arrivals = len(spec.arrivals)
+
+    def _arrive(index: int, app_spec: ApplicationSpec) -> None:
+        app = Application.launch(
+            app_spec, machine, registry.stream(f"arrival{index}.{app_spec.name}")
+        )
+        handle.apps.append(app)
+        handle.target_apps.append(app)
+        handle.pending_arrivals -= 1
+        machine.trace.record(
+            machine.now, "workload.arrival", app=app.name, app_id=app.app_id
+        )
+        if manager is not None:
+            manager.register_app(app)
+        kernel.on_new_threads()
+
+    for i, (at_us, app_spec) in enumerate(spec.arrivals):
+        if at_us < 0:
+            raise ConfigError("arrival times must be non-negative")
+        engine.schedule_at(at_us, lambda i=i, a=app_spec: _arrive(i, a))
+
+    return handle
+
+
+def run_simulation(spec: SimulationSpec) -> RunResult:
+    """Run one simulation to target completion and collect results."""
+    handle = _build(spec)
+    result, _ = run_simulation_with_handle(spec, handle)
+    return result
+
+
+def run_simulation_with_handle(
+    spec: SimulationSpec, handle: SimulationHandle | None = None
+) -> tuple[RunResult, SimulationHandle]:
+    """As :func:`run_simulation`, but also return the live objects.
+
+    Tests and examples use the handle to inspect traces, the arena, or the
+    timeline after the run.
+    """
+    if handle is None:
+        handle = _build(spec)
+    if handle.timeline is not None:
+        handle.timeline.start()
+    handle.kernel.start()
+    if handle.manager is not None:
+        handle.manager.start()
+
+    def done() -> bool:
+        return handle.pending_arrivals == 0 and all(
+            app.finished for app in handle.target_apps
+        )
+
+    handle.engine.run(advancer=handle.machine, stop=done, max_time=spec.max_time_us)
+    if not done():
+        raise ConfigError(
+            "simulation went quiescent before all targets finished "
+            "(deadlock or starvation; check scheduler configuration)"
+        )
+    target_names = tuple({a.name for a in handle.target_apps})
+    result = collect_run_result(handle.machine, handle.apps, target_names)
+    return result, handle
+
+
+def solo_run(
+    app_spec: ApplicationSpec,
+    machine: MachineConfig | None = None,
+    seed: int = 42,
+) -> RunResult:
+    """Run one application alone on dedicated CPUs (the Figure 1 baseline)."""
+    spec = SimulationSpec(
+        targets=[app_spec],
+        background=[],
+        scheduler="dedicated",
+        machine=machine or MachineConfig(),
+        seed=seed,
+        trace=False,
+    )
+    return run_simulation(spec)

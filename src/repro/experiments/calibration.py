@@ -1,0 +1,130 @@
+"""CAL-1: platform calibration measurements (Section 3 setup).
+
+Reproduces the paper's platform characterization:
+
+* STREAM from all processors sustains ≈29.5 bus transactions/µs
+  (≈1797 MB/s at 64 bytes/transaction);
+* each application's solo two-thread transaction rate spans
+  0.48 … 23.31 tx/µs in Figure 1A's order;
+* the BBMA microbenchmark sustains ≈23.6 tx/µs, nBBMA ≈0.0037 tx/µs.
+
+These are the anchors every other experiment relies on: the policies use
+the STREAM number as the machine's usable bandwidth, and the figure-1
+configurations are expressed in terms of the solo rates.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from ..units import txus_to_mbps
+from ..workloads.microbench import bbma_spec, nbbma_spec
+from ..workloads.stream import stream_spec
+from ..workloads.suites import PAPER_APPS, PAPER_SOLO_RATES
+from .base import SimulationSpec, run_simulation, solo_run
+from .reporting import format_table
+
+__all__ = ["CalibrationResult", "run_calibration", "format_calibration"]
+
+
+@dataclass(frozen=True)
+class CalibrationResult:
+    """Measured platform anchors.
+
+    Attributes
+    ----------
+    stream_rate_txus / stream_bandwidth_mbps:
+        Sustained 4-thread STREAM throughput.
+    bbma_rate_txus / nbbma_rate_txus:
+        Solo microbenchmark rates.
+    solo_rates_txus:
+        Measured solo cumulative rate per paper application.
+    solo_turnarounds_us:
+        Solo turnaround per application (the Figure 1B denominators).
+    """
+
+    stream_rate_txus: float
+    stream_bandwidth_mbps: float
+    bbma_rate_txus: float
+    nbbma_rate_txus: float
+    solo_rates_txus: dict[str, float]
+    solo_turnarounds_us: dict[str, float]
+
+
+def run_calibration(
+    machine: MachineConfig | None = None,
+    seed: int = 42,
+    work_scale: float = 1.0,
+) -> CalibrationResult:
+    """Measure the platform anchors on the simulated machine.
+
+    ``work_scale`` shrinks application work for quick benchmark runs
+    (rates are work-size independent; turnarounds scale linearly).
+    """
+    machine = machine or MachineConfig()
+
+    stream = run_simulation(
+        SimulationSpec(
+            targets=[stream_spec(n_threads=machine.n_cpus, work_us=500_000.0 * work_scale)],
+            scheduler="dedicated",
+            machine=machine,
+            seed=seed,
+            trace=False,
+        )
+    )
+    # Rate measured over the steady post-warmup portion is approximated by
+    # the whole-run average: warmup is ~1 ms of a 0.5 s+ run.
+    stream_rate = stream.workload_rate_txus
+
+    bbma = run_simulation(
+        SimulationSpec(
+            targets=[bbma_spec(work_us=300_000.0 * work_scale)],
+            scheduler="dedicated",
+            machine=machine,
+            seed=seed,
+            trace=False,
+        )
+    )
+    nbbma = run_simulation(
+        SimulationSpec(
+            targets=[nbbma_spec(work_us=300_000.0 * work_scale)],
+            scheduler="dedicated",
+            machine=machine,
+            seed=seed,
+            trace=False,
+        )
+    )
+
+    solo_rates: dict[str, float] = {}
+    solo_turnarounds: dict[str, float] = {}
+    for name, spec in PAPER_APPS.items():
+        result = solo_run(spec.scaled(work_scale), machine=machine, seed=seed)
+        solo_rates[name] = result.workload_rate_txus
+        solo_turnarounds[name] = result.mean_target_turnaround_us()
+
+    return CalibrationResult(
+        stream_rate_txus=stream_rate,
+        stream_bandwidth_mbps=txus_to_mbps(stream_rate),
+        bbma_rate_txus=bbma.workload_rate_txus,
+        nbbma_rate_txus=nbbma.workload_rate_txus,
+        solo_rates_txus=solo_rates,
+        solo_turnarounds_us=solo_turnarounds,
+    )
+
+
+def format_calibration(result: CalibrationResult) -> str:
+    """Render the calibration report next to the paper's numbers."""
+    rows = [
+        ["STREAM (4 threads)", f"{result.stream_rate_txus:.2f}", "29.50"],
+        ["STREAM MB/s", f"{result.stream_bandwidth_mbps:.0f}", "1797"],
+        ["BBMA", f"{result.bbma_rate_txus:.2f}", "23.60"],
+        ["nBBMA", f"{result.nbbma_rate_txus:.4f}", "0.0037"],
+    ]
+    for name, rate in result.solo_rates_txus.items():
+        rows.append([f"solo {name}", f"{rate:.2f}", f"{PAPER_SOLO_RATES[name]:.2f}"])
+    return format_table(
+        ["measurement", "simulated tx/us", "paper tx/us"],
+        rows,
+        title="CAL-1: platform calibration",
+    )

@@ -1,0 +1,133 @@
+"""CSV export of every experiment's raw rows.
+
+Plotting, spreadsheets and downstream analysis want machine-readable data,
+not ASCII tables. :func:`export_all` regenerates the experiment suite and
+writes one CSV per artefact into a directory:
+
+* ``calibration.csv`` — measurement, simulated value, paper value
+* ``fig1a.csv`` / ``fig1b.csv`` — per-application rates / slowdowns
+* ``fig2a.csv`` / ``fig2b.csv`` / ``fig2c.csv`` — per-application
+  turnarounds and improvements per policy
+* ``table1.csv`` — the headline summary with paper reference columns
+
+Each writer takes already-computed results, so callers who have run the
+experiments themselves (e.g. at a different scale) can export without
+recomputing. All functions return the written path.
+"""
+
+from __future__ import annotations
+
+import os
+
+from ..workloads.suites import PAPER_SOLO_RATES
+from .calibration import CalibrationResult, run_calibration
+from .fig1 import FIG1_CONFIGS, Fig1Row, run_fig1
+from .fig2 import Fig2Row, run_fig2
+from .reporting import format_csv
+from .tables import Table1Row, build_table1
+
+__all__ = [
+    "export_calibration",
+    "export_fig1",
+    "export_fig2",
+    "export_table1",
+    "export_all",
+]
+
+
+def _write(path: str, content: str) -> str:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(content + "\n")
+    return path
+
+
+def export_calibration(result: CalibrationResult, directory: str) -> str:
+    """Write ``calibration.csv``."""
+    rows = [
+        ["stream_txus", result.stream_rate_txus, 29.5],
+        ["bbma_txus", result.bbma_rate_txus, 23.6],
+        ["nbbma_txus", result.nbbma_rate_txus, 0.0037],
+    ]
+    for name, rate in result.solo_rates_txus.items():
+        rows.append([f"solo_{name.replace(' ', '_')}", rate, PAPER_SOLO_RATES[name]])
+    return _write(
+        os.path.join(directory, "calibration.csv"),
+        format_csv(["measurement", "simulated", "paper"], rows),
+    )
+
+
+def export_fig1(rows: list[Fig1Row], directory: str) -> tuple[str, str]:
+    """Write ``fig1a.csv`` and ``fig1b.csv``."""
+    a_rows = [[r.name] + [r.rates_txus[c] for c in FIG1_CONFIGS] for r in rows]
+    path_a = _write(
+        os.path.join(directory, "fig1a.csv"),
+        format_csv(["app"] + [f"rate_{c}" for c in FIG1_CONFIGS], a_rows),
+    )
+    b_rows = [
+        [r.name] + [r.slowdowns[c] for c in FIG1_CONFIGS if c != "solo"] for r in rows
+    ]
+    path_b = _write(
+        os.path.join(directory, "fig1b.csv"),
+        format_csv(
+            ["app"] + [f"slowdown_{c}" for c in FIG1_CONFIGS if c != "solo"], b_rows
+        ),
+    )
+    return path_a, path_b
+
+
+def export_fig2(set_name: str, rows: list[Fig2Row], directory: str) -> str:
+    """Write ``fig2<set>.csv``."""
+    policies = [c.policy for c in rows[0].cells] if rows else []
+    out_rows = []
+    for r in rows:
+        row: list = [r.name, r.linux_turnaround_us]
+        for p in policies:
+            cell = next(c for c in r.cells if c.policy == p)
+            row.extend([cell.turnaround_us, cell.improvement_percent])
+        out_rows.append(row)
+    headers = ["app", "linux_turnaround_us"]
+    for p in policies:
+        headers.extend([f"{p}_turnaround_us", f"{p}_improvement_pct"])
+    return _write(
+        os.path.join(directory, f"fig2{set_name.lower()}.csv"),
+        format_csv(headers, out_rows),
+    )
+
+
+def export_table1(rows: list[Table1Row], directory: str) -> str:
+    """Write ``table1.csv``."""
+    out_rows = [
+        [
+            r.set_name,
+            r.policy,
+            r.max_percent,
+            r.avg_percent,
+            r.min_percent,
+            r.paper_max_percent if r.paper_max_percent is not None else "",
+            r.paper_avg_percent if r.paper_avg_percent is not None else "",
+        ]
+        for r in rows
+    ]
+    return _write(
+        os.path.join(directory, "table1.csv"),
+        format_csv(
+            ["set", "policy", "max_pct", "avg_pct", "min_pct", "paper_max_pct", "paper_avg_pct"],
+            out_rows,
+        ),
+    )
+
+
+def export_all(directory: str, work_scale: float = 1.0, seed: int = 42) -> list[str]:
+    """Regenerate the full suite and write every CSV; returns the paths."""
+    os.makedirs(directory, exist_ok=True)
+    paths: list[str] = []
+    paths.append(export_calibration(run_calibration(seed=seed, work_scale=work_scale), directory))
+    fig1_rows = run_fig1(seed=seed, work_scale=work_scale)
+    paths.extend(export_fig1(fig1_rows, directory))
+    fig2_results = {}
+    for set_name in ("A", "B", "C"):
+        rows = run_fig2(set_name, seed=seed, work_scale=work_scale)
+        fig2_results[set_name] = rows
+        paths.append(export_fig2(set_name, rows, directory))
+    paths.append(export_table1(build_table1(fig2_results), directory))
+    return paths

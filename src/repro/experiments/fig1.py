@@ -1,0 +1,147 @@
+"""FIG-1A / FIG-1B: the impact of bus bandwidth on application performance.
+
+The four Section 3 configurations, for each of the eleven applications
+(every application instance uses two threads; no processor sharing —
+dedicated CPUs with the kernel's residual migration noise):
+
+1. **solo** — the application alone (2 of 4 CPUs busy);
+2. **x2** — two instances of the application (4 CPUs busy);
+3. **+BBMA** — one instance plus two BBMA microbenchmarks (4 CPUs busy);
+4. **+nBBMA** — one instance plus two nBBMA microbenchmarks.
+
+Figure 1A plots the workload's cumulative bus transaction rate in each
+configuration; Figure 1B the applications' slowdown relative to solo in
+configurations 2–4 (for x2, the arithmetic mean of the two instances'
+slowdowns — which are equal here since the mean is over identical
+instances).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from ..metrics.stats import slowdown
+from ..workloads.microbench import bbma_spec, nbbma_spec
+from ..workloads.suites import PAPER_APPS
+from .base import SimulationSpec, run_simulation
+from .reporting import format_table
+
+__all__ = ["Fig1Row", "run_fig1", "format_fig1a", "format_fig1b", "FIG1_CONFIGS"]
+
+#: Configuration labels in figure order.
+FIG1_CONFIGS = ("solo", "x2", "+BBMA", "+nBBMA")
+
+#: Mean interval of the kernel's residual migration noise in the Figure 1
+#: multiprogrammed configurations (µs). The paper attributes LU CB's and
+#: Water-nsqr's excess slowdown to thread migrations; dedicated solo runs
+#: keep a long interval so the baseline is clean.
+_MIGRATION_INTERVAL_US = 250_000.0
+
+
+@dataclass(frozen=True)
+class Fig1Row:
+    """Results of all four configurations for one application.
+
+    Attributes
+    ----------
+    name:
+        Application name.
+    rates_txus:
+        Workload cumulative transaction rate per configuration.
+    turnarounds_us:
+        Mean target turnaround per configuration.
+    slowdowns:
+        Turnaround ratio vs. solo for the three multiprogrammed
+        configurations ("x2", "+BBMA", "+nBBMA").
+    """
+
+    name: str
+    rates_txus: dict[str, float]
+    turnarounds_us: dict[str, float]
+    slowdowns: dict[str, float]
+
+
+def _config_spec(name: str, app_spec, machine: MachineConfig, seed: int) -> SimulationSpec:
+    if name == "solo":
+        return SimulationSpec(
+            targets=[app_spec],
+            scheduler="dedicated",
+            machine=machine,
+            seed=seed,
+            trace=False,
+        )
+    if name == "x2":
+        targets, background = [app_spec, app_spec], []
+    elif name == "+BBMA":
+        targets, background = [app_spec], [bbma_spec(), bbma_spec()]
+    elif name == "+nBBMA":
+        targets, background = [app_spec], [nbbma_spec(), nbbma_spec()]
+    else:
+        raise ValueError(f"unknown Figure 1 configuration {name!r}")
+    return SimulationSpec(
+        targets=targets,
+        background=background,
+        scheduler="dedicated",
+        machine=machine,
+        seed=seed,
+        dedicated_migration_interval_us=_MIGRATION_INTERVAL_US,
+        trace=False,
+    )
+
+
+def run_fig1(
+    machine: MachineConfig | None = None,
+    seed: int = 42,
+    work_scale: float = 1.0,
+    apps: list[str] | None = None,
+) -> list[Fig1Row]:
+    """Run the Figure 1 grid and return one row per application.
+
+    ``work_scale`` shrinks every application's work (for fast benches);
+    ``apps`` restricts to a subset of application names.
+    """
+    machine = machine or MachineConfig()
+    names = apps if apps is not None else list(PAPER_APPS)
+    rows: list[Fig1Row] = []
+    for name in names:
+        app_spec = PAPER_APPS[name].scaled(work_scale)
+        rates: dict[str, float] = {}
+        turnarounds: dict[str, float] = {}
+        for config in FIG1_CONFIGS:
+            result = run_simulation(_config_spec(config, app_spec, machine, seed))
+            rates[config] = result.workload_rate_txus
+            turnarounds[config] = result.mean_target_turnaround_us()
+        slowdowns = {
+            config: slowdown(turnarounds[config], turnarounds["solo"])
+            for config in FIG1_CONFIGS
+            if config != "solo"
+        }
+        rows.append(
+            Fig1Row(name=name, rates_txus=rates, turnarounds_us=turnarounds, slowdowns=slowdowns)
+        )
+    return rows
+
+
+def format_fig1a(rows: list[Fig1Row]) -> str:
+    """Figure 1A: cumulative bus transaction rates per configuration."""
+    table_rows = [
+        [r.name] + [r.rates_txus[c] for c in FIG1_CONFIGS] for r in rows
+    ]
+    return format_table(
+        ["app", "solo tx/us", "x2 tx/us", "+BBMA tx/us", "+nBBMA tx/us"],
+        table_rows,
+        title="FIG-1A: cumulative bus transactions rate (apps sorted by solo rate)",
+    )
+
+
+def format_fig1b(rows: list[Fig1Row]) -> str:
+    """Figure 1B: slowdowns in the three multiprogrammed configurations."""
+    table_rows = [
+        [r.name] + [r.slowdowns[c] for c in FIG1_CONFIGS if c != "solo"] for r in rows
+    ]
+    return format_table(
+        ["app", "x2 slowdown", "+BBMA slowdown", "+nBBMA slowdown"],
+        table_rows,
+        title="FIG-1B: slowdown vs solo execution",
+    )

@@ -1,0 +1,129 @@
+"""Multi-seed replication: mean ± confidence interval for any experiment.
+
+The paper reports single measurements. The simulator is deterministic per
+seed, so replication across seeds measures exactly the variance induced by
+workload burstiness and kernel scheduling noise — and tells us which
+figure-2 contrasts are robust (e.g. "Quanta Window beats Latest Quantum on
+Raytrace in set B") and which are single-seed luck.
+
+:func:`replicate` runs any ``seed -> float`` measurement across seeds and
+returns a :class:`Replicated` summary (mean, sample std, Student-t 95 %
+confidence interval). :func:`replicate_fig2` wraps the Figure 2 harness:
+per application and policy, the improvement percentage over the Linux
+baseline *matched by seed* (each seed's policy run is compared against the
+same seed's Linux run, eliminating between-seed workload variance from the
+contrast).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Callable, Iterable, Sequence
+
+from scipy import stats
+
+from .fig2 import run_fig2
+from .reporting import format_table
+
+__all__ = ["Replicated", "replicate", "replicate_fig2", "format_replicated_fig2"]
+
+
+@dataclass(frozen=True)
+class Replicated:
+    """Summary of one measurement replicated across seeds.
+
+    Attributes
+    ----------
+    values:
+        Per-seed measurements, seed order.
+    mean / std:
+        Sample mean and (n−1) standard deviation.
+    ci95:
+        Half-width of the Student-t 95 % confidence interval of the mean
+        (0 for a single seed).
+    """
+
+    values: tuple[float, ...]
+    mean: float
+    std: float
+    ci95: float
+
+    @property
+    def n(self) -> int:
+        """Number of replicates."""
+        return len(self.values)
+
+    def __str__(self) -> str:
+        return f"{self.mean:+.1f} ± {self.ci95:.1f} (n={self.n})"
+
+
+def summarize(values: Sequence[float], confidence: float = 0.95) -> Replicated:
+    """Build a :class:`Replicated` from raw per-seed values."""
+    vals = tuple(float(v) for v in values)
+    if not vals:
+        raise ValueError("no values to summarize")
+    n = len(vals)
+    mean = sum(vals) / n
+    if n == 1:
+        return Replicated(values=vals, mean=mean, std=0.0, ci95=0.0)
+    var = sum((v - mean) ** 2 for v in vals) / (n - 1)
+    std = math.sqrt(var)
+    t = float(stats.t.ppf(0.5 + confidence / 2.0, df=n - 1))
+    return Replicated(values=vals, mean=mean, std=std, ci95=t * std / math.sqrt(n))
+
+
+def replicate(
+    measure: Callable[[int], float],
+    seeds: Iterable[int] = (1, 2, 7, 42, 101),
+    confidence: float = 0.95,
+) -> Replicated:
+    """Run ``measure(seed)`` for every seed and summarize.
+
+    >>> r = replicate(lambda seed: float(seed % 3), seeds=(1, 2, 3, 4))
+    >>> r.n
+    4
+    """
+    return summarize([measure(seed) for seed in seeds], confidence)
+
+
+def replicate_fig2(
+    set_name: str,
+    apps: list[str],
+    seeds: Iterable[int] = (1, 2, 7, 42, 101),
+    work_scale: float = 1.0,
+    policies=None,
+) -> dict[str, dict[str, Replicated]]:
+    """Per-application, per-policy replicated Figure 2 improvements.
+
+    Returns ``app → policy → Replicated`` where each replicate is the
+    improvement over the *same-seed* Linux baseline.
+    """
+    seeds = list(seeds)
+    per_seed_rows = [
+        run_fig2(set_name, seed=seed, work_scale=work_scale, apps=apps, policies=policies)
+        for seed in seeds
+    ]
+    out: dict[str, dict[str, Replicated]] = {}
+    policy_names = [c.policy for c in per_seed_rows[0][0].cells]
+    for app_idx, app in enumerate(apps):
+        out[app] = {}
+        for policy in policy_names:
+            values = [rows[app_idx].improvement(policy) for rows in per_seed_rows]
+            out[app][policy] = summarize(values)
+    return out
+
+
+def format_replicated_fig2(
+    set_name: str, results: dict[str, dict[str, Replicated]]
+) -> str:
+    """Render replicated Figure 2 improvements with confidence intervals."""
+    policies = list(next(iter(results.values())))
+    rows = []
+    for app, by_policy in results.items():
+        rows.append([app] + [str(by_policy[p]) for p in policies])
+    return format_table(
+        ["app"] + [f"{p} impr. %" for p in policies],
+        rows,
+        title=f"FIG-2{set_name} replicated: improvement over same-seed Linux (95% CI)",
+    )

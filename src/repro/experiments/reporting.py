@@ -1,0 +1,75 @@
+"""Plain-text reporting: ASCII tables and CSV for every experiment.
+
+The benchmark harness prints the same rows/series the paper's figures
+show; these helpers keep the formatting consistent and make the output
+easy to diff against EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence
+
+__all__ = ["format_table", "format_csv", "bar"]
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Iterable[Sequence[object]],
+    title: str | None = None,
+    float_fmt: str = "{:.2f}",
+) -> str:
+    """Render an ASCII table with right-aligned numeric columns.
+
+    >>> out = format_table(["app", "x"], [["CG", 1.5]])
+    >>> out.splitlines()[-1]
+    'CG  | 1.50'
+    """
+    rendered: list[list[str]] = []
+    for row in rows:
+        out = []
+        for cell in row:
+            if isinstance(cell, float):
+                out.append(float_fmt.format(cell))
+            else:
+                out.append(str(cell))
+        rendered.append(out)
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header_line = " | ".join(h.ljust(widths[i]) for i, h in enumerate(headers))
+    lines.append(header_line)
+    lines.append("-+-".join("-" * w for w in widths))
+    for row, raw in zip(rendered, rendered):
+        cells = []
+        for i, cell in enumerate(row):
+            # Numbers right-aligned, text left-aligned.
+            if cell and (cell[0].isdigit() or cell[0] in "+-." or cell.endswith("%")):
+                cells.append(cell.rjust(widths[i]))
+            else:
+                cells.append(cell.ljust(widths[i]))
+        lines.append(" | ".join(cells))
+    return "\n".join(lines)
+
+
+def format_csv(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render rows as CSV (no quoting needed for our alphanumeric data)."""
+    lines = [",".join(headers)]
+    for row in rows:
+        lines.append(",".join(f"{c:.4f}" if isinstance(c, float) else str(c) for c in row))
+    return "\n".join(lines)
+
+
+def bar(value: float, scale: float, width: int = 40, char: str = "#") -> str:
+    """A crude horizontal bar for terminal 'figures'.
+
+    >>> bar(5.0, 10.0, width=10)
+    '#####     '
+    """
+    if scale <= 0:
+        raise ValueError("bar scale must be positive")
+    n = max(0, min(width, round(value / scale * width)))
+    return char * n + " " * (width - n)

@@ -1,0 +1,113 @@
+"""EXT-SMT: the hyperthreading extension the paper had to leave out.
+
+The paper's Xeons are 2-way hyperthreaded, but the perfctr driver "does
+not yet support concurrent execution of two threads on a physical
+processor if both threads use performance monitoring counters", so the
+authors disabled HT and listed SMT as future work ("our work can also be
+extended in the context of multithreading processors, where sharing
+happens also at the level of internal processor resources").
+
+The simulator has no such driver limitation: :class:`repro.config.
+MachineConfig` models SMT siblings sharing a core (execution efficiency
+``smt_efficiency`` when both busy) and its L2 cache. This experiment asks
+the natural question: *given the same physical machine, is it better to
+enable HT (8 logical CPUs — the whole multiprogrammed workload runs at
+once, slowly) or to disable it and gang-schedule (the paper's setup)?*
+
+For each application, the paper's set-A workload (2 instances + 4 BBMA)
+runs on:
+
+* ``HT-off + linux`` — the paper's baseline (4 CPUs, time sharing);
+* ``HT-off + window`` — the paper's contribution;
+* ``HT-on + linux`` — 8 logical CPUs, no time sharing needed;
+* ``HT-on + window`` — gang policies on logical CPUs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from ..core.policies import QuantaWindowPolicy
+from ..workloads.suites import PAPER_APPS
+from .base import SimulationSpec, run_simulation
+from .fig2 import _background
+from .reporting import format_table
+
+__all__ = ["SmtRow", "run_smt_experiment", "format_smt_experiment"]
+
+
+@dataclass(frozen=True)
+class SmtRow:
+    """Turnarounds of one application across the four configurations.
+
+    Attributes
+    ----------
+    name:
+        Application name.
+    turnarounds_us:
+        Config label → mean target turnaround.
+    """
+
+    name: str
+    turnarounds_us: dict[str, float]
+
+    def improvement_of_ht(self, scheduler: str) -> float:
+        """Percent turnaround change from enabling HT under a scheduler."""
+        off = self.turnarounds_us[f"HT-off {scheduler}"]
+        on = self.turnarounds_us[f"HT-on {scheduler}"]
+        return (off - on) / off * 100.0
+
+
+def run_smt_experiment(
+    apps: list[str] | None = None,
+    set_name: str = "A",
+    work_scale: float = 1.0,
+    seed: int = 42,
+    smt_efficiency: float = 0.62,
+) -> list[SmtRow]:
+    """Run the HT-on/off × scheduler grid for each application."""
+    names = apps if apps is not None else ["Barnes", "SP", "CG"]
+    machines = {
+        "HT-off": MachineConfig(n_cpus=4, smt_ways=1),
+        "HT-on": MachineConfig(n_cpus=4, smt_ways=2, smt_efficiency=smt_efficiency),
+    }
+    rows: list[SmtRow] = []
+    for name in names:
+        app_spec = PAPER_APPS[name].scaled(work_scale)
+        turnarounds: dict[str, float] = {}
+        for ht_label, machine in machines.items():
+            for sched_label, scheduler in (
+                ("linux", "linux"),
+                ("window", QuantaWindowPolicy()),
+            ):
+                spec = SimulationSpec(
+                    targets=[app_spec, app_spec],
+                    background=_background(set_name),
+                    scheduler=scheduler,
+                    machine=machine,
+                    seed=seed,
+                )
+                result = run_simulation(spec)
+                turnarounds[f"{ht_label} {sched_label}"] = (
+                    result.mean_target_turnaround_us()
+                )
+        rows.append(SmtRow(name=name, turnarounds_us=turnarounds))
+    return rows
+
+
+def format_smt_experiment(rows: list[SmtRow]) -> str:
+    """Render EXT-SMT."""
+    configs = list(rows[0].turnarounds_us)
+    table_rows = []
+    for r in rows:
+        table_rows.append(
+            [r.name]
+            + [r.turnarounds_us[c] / 1e3 for c in configs]
+            + [f"{r.improvement_of_ht('window'):+.1f}%"]
+        )
+    return format_table(
+        ["app"] + [f"{c} (ms)" for c in configs] + ["HT gain (window)"],
+        table_rows,
+        title="EXT-SMT: hyperthreading on/off x scheduler (set A turnarounds)",
+    )

@@ -1,0 +1,120 @@
+"""TAB-1: the Section 5 headline numbers.
+
+The paper's text reports, per workload set and policy, the range and
+average of the turnaround-time improvements, plus the overall claims
+("up to 68 %", "26 % in average"). This module aggregates the Figure 2
+rows into the same summary table so the benchmark harness can print
+paper-vs-measured side by side.
+
+Paper values (Section 5):
+
+=====  ==============  ====================  =================
+Set    Policy          Max improvement (%)   Avg improvement (%)
+=====  ==============  ====================  =================
+A      Latest Quantum  68                    41
+A      Quanta Window   53                    31
+B      Latest Quantum  60                    13
+B      Quanta Window   64                    21
+C      Latest Quantum  50                    26
+C      Quanta Window   47                    25
+=====  ==============  ====================  =================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..metrics.stats import summarize_improvements
+from .fig2 import Fig2Row
+from .reporting import format_table
+
+__all__ = ["PAPER_TABLE1", "Table1Row", "build_table1", "format_table1"]
+
+#: Paper-reported (max %, avg %) per (set, policy).
+PAPER_TABLE1: dict[tuple[str, str], tuple[float, float]] = {
+    ("A", "latest-quantum"): (68.0, 41.0),
+    ("A", "quanta-window"): (53.0, 31.0),
+    ("B", "latest-quantum"): (60.0, 13.0),
+    ("B", "quanta-window"): (64.0, 21.0),
+    ("C", "latest-quantum"): (50.0, 26.0),
+    ("C", "quanta-window"): (47.0, 25.0),
+}
+
+#: The paper's overall average improvement claim.
+PAPER_OVERALL_AVG_PERCENT: float = 26.0
+
+
+@dataclass(frozen=True)
+class Table1Row:
+    """One (set, policy) summary.
+
+    Attributes
+    ----------
+    set_name / policy:
+        The workload set and policy.
+    max_percent / avg_percent / min_percent:
+        Measured improvement statistics across the eleven applications.
+    paper_max_percent / paper_avg_percent:
+        The paper's reported values (``None`` for non-paper policies).
+    """
+
+    set_name: str
+    policy: str
+    max_percent: float
+    avg_percent: float
+    min_percent: float
+    paper_max_percent: float | None
+    paper_avg_percent: float | None
+
+
+def build_table1(results: dict[str, list[Fig2Row]]) -> list[Table1Row]:
+    """Aggregate Figure 2 rows (keyed by set name) into Table 1 rows."""
+    out: list[Table1Row] = []
+    for set_name, rows in results.items():
+        if not rows:
+            continue
+        for policy in [c.policy for c in rows[0].cells]:
+            summary = summarize_improvements([r.improvement(policy) for r in rows])
+            paper = PAPER_TABLE1.get((set_name, policy))
+            out.append(
+                Table1Row(
+                    set_name=set_name,
+                    policy=policy,
+                    max_percent=summary.max_percent,
+                    avg_percent=summary.mean_percent,
+                    min_percent=summary.min_percent,
+                    paper_max_percent=paper[0] if paper else None,
+                    paper_avg_percent=paper[1] if paper else None,
+                )
+            )
+    return out
+
+
+def overall_average(rows: list[Table1Row]) -> float:
+    """Mean of the per-(set, policy) averages — the paper's '26 % overall'."""
+    if not rows:
+        raise ValueError("no table rows")
+    return sum(r.avg_percent for r in rows) / len(rows)
+
+
+def format_table1(rows: list[Table1Row]) -> str:
+    """Render TAB-1 with paper-vs-measured columns."""
+    table_rows = []
+    for r in rows:
+        table_rows.append(
+            [
+                r.set_name,
+                r.policy,
+                f"{r.max_percent:+.0f}%",
+                f"{r.paper_max_percent:+.0f}%" if r.paper_max_percent is not None else "-",
+                f"{r.avg_percent:+.0f}%",
+                f"{r.paper_avg_percent:+.0f}%" if r.paper_avg_percent is not None else "-",
+                f"{r.min_percent:+.0f}%",
+            ]
+        )
+    body = format_table(
+        ["set", "policy", "max", "paper max", "avg", "paper avg", "min"],
+        table_rows,
+        title="TAB-1: turnaround improvement summary (measured vs paper)",
+    )
+    return body + f"\noverall measured avg: {overall_average(rows):+.1f}%  (paper: +26%)"

@@ -1,0 +1,243 @@
+"""Automated paper-vs-measured validation: one command, one verdict table.
+
+Every quantitative claim the paper makes is encoded as a
+:class:`Claim` with an acceptance band; :func:`run_validation` regenerates
+the relevant experiments and scores each claim PASS / SHAPE / MISS:
+
+* **PASS** — the measured value lies inside the paper's own band (or
+  within the stated tolerance of the paper's value);
+* **SHAPE** — the direction/ordering reproduces but the magnitude falls
+  outside the band (the documented deviations of EXPERIMENTS.md);
+* **MISS** — the claim does not reproduce (a regression gate: this should
+  never appear, and the corresponding pytest marks it as a failure).
+
+This is the repository's "am I still reproducing the paper?" smoke test —
+``python -m repro validate`` prints the table; the test suite asserts no
+MISS at small scale.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..config import MachineConfig
+from .calibration import run_calibration
+from .fig1 import run_fig1
+from .fig2 import run_fig2
+from .reporting import format_table
+
+__all__ = ["Claim", "ClaimResult", "run_validation", "format_validation"]
+
+
+@dataclass(frozen=True)
+class Claim:
+    """One quantitative claim from the paper.
+
+    Attributes
+    ----------
+    claim_id:
+        Short identifier ("CAL-stream", "F1B-cg-bbma", ...).
+    description:
+        The claim in the paper's words (abridged).
+    paper_value:
+        The number the paper states (or the band midpoint).
+    pass_band:
+        (lo, hi) — measured values in this range PASS.
+    shape_band:
+        (lo, hi) — values in this wider range count as SHAPE; outside MISS.
+    """
+
+    claim_id: str
+    description: str
+    paper_value: float
+    pass_band: tuple[float, float]
+    shape_band: tuple[float, float]
+
+
+@dataclass(frozen=True)
+class ClaimResult:
+    """A scored claim."""
+
+    claim: Claim
+    measured: float
+    verdict: str  # "PASS" | "SHAPE" | "MISS"
+
+
+def _score(claim: Claim, measured: float) -> ClaimResult:
+    lo, hi = claim.pass_band
+    slo, shi = claim.shape_band
+    if lo <= measured <= hi:
+        verdict = "PASS"
+    elif slo <= measured <= shi:
+        verdict = "SHAPE"
+    else:
+        verdict = "MISS"
+    return ClaimResult(claim=claim, measured=measured, verdict=verdict)
+
+
+def run_validation(work_scale: float = 0.25, seed: int = 42) -> list[ClaimResult]:
+    """Regenerate the experiments and score every encoded claim."""
+    machine = MachineConfig()
+    cal = run_calibration(machine=machine, seed=seed, work_scale=work_scale)
+    fig1 = {r.name: r for r in run_fig1(machine=machine, seed=seed, work_scale=work_scale)}
+    fig2 = {
+        s: {r.name: r for r in run_fig2(s, seed=seed, work_scale=work_scale)}
+        for s in ("A", "B", "C")
+    }
+
+    def avg_improvement(set_name: str, policy: str) -> float:
+        rows = fig2[set_name].values()
+        return sum(r.improvement(policy) for r in rows) / len(fig2[set_name])
+
+    moderates = ["Radiosity", "Water-nsqr", "Volrend", "Barnes", "FMM"]
+    results: list[ClaimResult] = []
+    checks: list[tuple[Claim, float]] = [
+        (
+            Claim(
+                "CAL-stream",
+                "STREAM sustains 29.5 tx/us from all processors",
+                29.5, (28.6, 30.4), (26.0, 33.0),
+            ),
+            cal.stream_rate_txus,
+        ),
+        (
+            Claim(
+                "CAL-bbma",
+                "BBMA performs 23.6 bus transactions/usec",
+                23.6, (22.2, 25.0), (20.0, 27.0),
+            ),
+            cal.bbma_rate_txus,
+        ),
+        (
+            Claim(
+                "CAL-solo-low",
+                "lowest solo rate 0.48 tx/us (Radiosity)",
+                0.48, (0.43, 0.53), (0.3, 0.7),
+            ),
+            cal.solo_rates_txus["Radiosity"],
+        ),
+        (
+            Claim(
+                "CAL-solo-high",
+                "highest solo rate 23.31 tx/us (CG)",
+                23.31, (21.0, 24.5), (18.0, 26.0),
+            ),
+            cal.solo_rates_txus["CG"],
+        ),
+        (
+            Claim(
+                "F1B-x2-cg",
+                "doubling high-bandwidth apps degrades 41-61% (CG)",
+                1.51, (1.41, 1.61), (1.25, 1.9),
+            ),
+            fig1["CG"].slowdowns["x2"],
+        ),
+        (
+            Claim(
+                "F1B-bbma-cg",
+                "memory-intensive apps slow 2-3x next to BBMA (CG)",
+                2.5, (2.0, 3.0), (1.7, 3.5),
+            ),
+            fig1["CG"].slowdowns["+BBMA"],
+        ),
+        (
+            Claim(
+                "F1B-bbma-moderate",
+                "moderate apps slow 2-55% next to BBMA (average 18%)",
+                1.18, (1.02, 1.55), (1.0, 1.7),
+            ),
+            sum(fig1[m].slowdowns["+BBMA"] for m in moderates) / len(moderates),
+        ),
+        (
+            Claim(
+                "F1B-nbbma",
+                "nBBMA leaves execution times almost identical (CG)",
+                1.0, (0.98, 1.06), (0.95, 1.15),
+            ),
+            fig1["CG"].slowdowns["+nBBMA"],
+        ),
+        (
+            Claim(
+                "F2A-latest-avg",
+                "set A: Latest Quantum improves 41% on average",
+                41.0, (25.0, 60.0), (2.0, 70.0),
+            ),
+            avg_improvement("A", "latest-quantum"),
+        ),
+        (
+            Claim(
+                "F2A-window-avg",
+                "set A: Quanta Window improves 31% on average",
+                31.0, (20.0, 45.0), (2.0, 60.0),
+            ),
+            avg_improvement("A", "quanta-window"),
+        ),
+        (
+            Claim(
+                "F2B-latest-avg",
+                "set B: Latest Quantum improves 13% on average",
+                13.0, (5.0, 25.0), (0.0, 40.0),
+            ),
+            avg_improvement("B", "latest-quantum"),
+        ),
+        (
+            Claim(
+                "F2B-window-avg",
+                "set B: Quanta Window improves 21% on average",
+                21.0, (10.0, 32.0), (0.0, 45.0),
+            ),
+            avg_improvement("B", "quanta-window"),
+        ),
+        (
+            Claim(
+                "F2C-latest-avg",
+                "set C: Latest Quantum improves 26% on average",
+                26.0, (12.0, 40.0), (0.0, 55.0),
+            ),
+            avg_improvement("C", "latest-quantum"),
+        ),
+        (
+            Claim(
+                "F2C-window-avg",
+                "set C: Quanta Window improves 25% on average",
+                25.0, (12.0, 40.0), (0.0, 55.0),
+            ),
+            avg_improvement("C", "quanta-window"),
+        ),
+        (
+            Claim(
+                "F2-overall",
+                "policies improve throughput by 26% in average",
+                26.0, (15.0, 40.0), (5.0, 55.0),
+            ),
+            sum(avg_improvement(s, p) for s in ("A", "B", "C")
+                for p in ("latest-quantum", "quanta-window")) / 6.0,
+        ),
+    ]
+    for claim, measured in checks:
+        results.append(_score(claim, measured))
+    return results
+
+
+def format_validation(results: list[ClaimResult]) -> str:
+    """Render the verdict table."""
+    rows = []
+    for r in results:
+        rows.append(
+            [
+                r.claim.claim_id,
+                r.verdict,
+                f"{r.measured:.2f}",
+                f"{r.claim.paper_value:.2f}",
+                r.claim.description,
+            ]
+        )
+    n_pass = sum(1 for r in results if r.verdict == "PASS")
+    n_shape = sum(1 for r in results if r.verdict == "SHAPE")
+    n_miss = sum(1 for r in results if r.verdict == "MISS")
+    body = format_table(
+        ["claim", "verdict", "measured", "paper", "description"],
+        rows,
+        title="VALIDATION: paper claims vs this reproduction",
+    )
+    return body + f"\n{n_pass} PASS, {n_shape} SHAPE, {n_miss} MISS of {len(results)} claims"

@@ -1,0 +1,39 @@
+"""Hardware substrate: the simulated SMP.
+
+Subsystems
+----------
+* :mod:`repro.hw.bus` — the shared front-side bus: an analytic contention
+  model that turns a set of per-thread demand rates into per-thread
+  execution speeds and actual transaction rates.
+* :mod:`repro.hw.cache` — per-CPU L2 warmth tracking, eviction by
+  co-runners, rebuild debt after migrations.
+* :mod:`repro.hw.cpu` — processor bookkeeping (running thread, idle time,
+  dispatch/context-switch accounting).
+* :mod:`repro.hw.counters` — monotone per-thread performance-monitoring
+  counters (bus transactions, cycles).
+* :mod:`repro.hw.perfctr` — a driver-style API over the counters, modelled
+  on the Linux ``perfctr`` driver the paper uses.
+* :mod:`repro.hw.machine` — the assembled machine: settles thread progress
+  over time intervals using the bus and cache models (the engine's
+  :class:`~repro.sim.engine.Advancer`).
+"""
+
+from .bus import BusModel, BusRequest, BusSolution, ThreadGrant
+from .counters import CounterBank, CounterSnapshot
+from .cpu import Cpu
+from .machine import Machine, ThreadState
+from .perfctr import PerfctrDriver, VPerfCtr
+
+__all__ = [
+    "BusModel",
+    "BusRequest",
+    "BusSolution",
+    "ThreadGrant",
+    "CounterBank",
+    "CounterSnapshot",
+    "Cpu",
+    "Machine",
+    "ThreadState",
+    "PerfctrDriver",
+    "VPerfCtr",
+]

@@ -1,0 +1,123 @@
+"""Per-CPU L2 cache warmth model.
+
+The simulator does not track individual cache lines. Instead, each CPU's L2
+tracks an approximate per-thread *resident footprint* (in lines):
+
+* while a thread runs on a CPU, the transactions it issues bring lines in,
+  growing its residency toward its working-set footprint;
+* inflow beyond a thread's own growth (steady-state misses of a streaming
+  thread) *pollutes* the cache, evicting other threads' lines
+  proportionally, as does growth when the cache is full;
+* when a thread is dispatched, its *warmth* — resident lines over footprint
+  — determines the rebuild debt of compulsory refills it owes before
+  running at full efficiency (see :class:`repro.hw.machine.Machine`).
+
+This coarse model reproduces exactly the phenomena the paper leans on:
+cache-affinity scheduling helps because residency survives on the last CPU;
+migrations hurt high-hit-ratio codes (LU CB, Water-nsqr) the most; and
+post-migration refill bursts create the short-lived bandwidth spikes that
+destabilize the Latest Quantum policy but not Quanta Window.
+"""
+
+from __future__ import annotations
+
+from ..config import CacheConfig
+
+__all__ = ["CacheL2"]
+
+
+class CacheL2:
+    """The private L2 cache of one processor.
+
+    Parameters
+    ----------
+    config:
+        Geometry and rebuild parameters.
+
+    Examples
+    --------
+    >>> from repro.config import CacheConfig
+    >>> l2 = CacheL2(CacheConfig())
+    >>> l2.warmth(tid=7, footprint_lines=1000)
+    0.0
+    >>> l2.account_run(tid=7, footprint_lines=1000, inflow_lines=500)
+    >>> l2.warmth(tid=7, footprint_lines=1000)
+    0.5
+    """
+
+    def __init__(self, config: CacheConfig) -> None:
+        self._cfg = config
+        self._total = float(config.total_lines)
+        self._resident: dict[int, float] = {}
+
+    @property
+    def total_lines(self) -> float:
+        """Cache capacity in lines."""
+        return self._total
+
+    def resident(self, tid: int) -> float:
+        """Lines of ``tid``'s working set currently resident here."""
+        return self._resident.get(tid, 0.0)
+
+    def occupancy(self) -> float:
+        """Total resident lines across all threads."""
+        return sum(self._resident.values())
+
+    def warmth(self, tid: int, footprint_lines: float) -> float:
+        """Fraction of ``tid``'s working set resident here, in [0, 1].
+
+        The footprint is capped at the cache capacity: a working set larger
+        than the L2 can never be fully warm, and a thread that has filled
+        the whole cache is as warm as it will ever get.
+        """
+        cap = min(float(footprint_lines), self._total)
+        if cap <= 0.0:
+            return 1.0
+        return min(1.0, self._resident.get(tid, 0.0) / cap)
+
+    def account_run(self, tid: int, footprint_lines: float, inflow_lines: float) -> None:
+        """Account ``inflow_lines`` transactions issued by ``tid`` running here.
+
+        Residency grows toward the (capacity-capped) footprint; all inflow —
+        growth or steady-state streaming — evicts other threads' lines when
+        the cache lacks free space.
+        """
+        if inflow_lines <= 0.0:
+            return
+        cap = min(float(footprint_lines), self._total)
+        mine = self._resident.get(tid, 0.0)
+        grow = min(inflow_lines, max(0.0, cap - mine))
+        # Pollution: every incoming line displaces something once the cache
+        # is full. Lines beyond own growth recycle the thread's own stale
+        # data too, but preferentially hit victims (LRU-ish): model all
+        # non-growth inflow as eviction pressure on others, bounded by what
+        # others actually hold.
+        free = max(0.0, self._total - self.occupancy())
+        displacing = max(0.0, inflow_lines - max(free - 0.0, 0.0))
+        self._evict_others(tid, min(displacing, self._others_total(tid)))
+        if grow > 0.0:
+            self._resident[tid] = mine + grow
+
+    def _others_total(self, tid: int) -> float:
+        return sum(v for k, v in self._resident.items() if k != tid)
+
+    def _evict_others(self, tid: int, lines: float) -> None:
+        """Remove ``lines`` from other threads' residency, proportionally."""
+        if lines <= 0.0:
+            return
+        others = self._others_total(tid)
+        if others <= 0.0:
+            return
+        frac = min(1.0, lines / others)
+        for k in list(self._resident):
+            if k == tid:
+                continue
+            kept = self._resident[k] * (1.0 - frac)
+            if kept < 1.0:  # less than one line: gone
+                del self._resident[k]
+            else:
+                self._resident[k] = kept
+
+    def forget(self, tid: int) -> None:
+        """Drop all residency bookkeeping for a departed thread."""
+        self._resident.pop(tid, None)

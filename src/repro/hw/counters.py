@@ -1,0 +1,152 @@
+"""Per-thread performance-monitoring counters.
+
+Real Xeons expose bus-transaction counts through hardware performance
+counters; the paper's CPU manager reads them through Mikael Pettersson's
+``perfctr`` Linux driver, which *virtualizes* counters per thread (a
+thread's counter only advances while that thread runs). This module is the
+simulated equivalent: the machine credits each running thread's counters
+during every settling interval, and readers (the :mod:`repro.hw.perfctr`
+driver facade, the CPU-manager runtime) take snapshots.
+
+Counters are monotone non-decreasing by construction; :class:`CounterBank`
+enforces this and raises :class:`repro.errors.CounterError` on misuse, which
+property tests rely on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CounterError
+
+__all__ = ["CounterSnapshot", "CounterBank"]
+
+
+@dataclass(frozen=True)
+class CounterSnapshot:
+    """Immutable reading of one thread's counters.
+
+    Attributes
+    ----------
+    bus_transactions:
+        Cumulative bus transactions issued by the thread.
+    cycles_us:
+        Cumulative wall time the thread spent dispatched on a CPU (µs).
+        (The simulator's stand-in for the cycle counter.)
+    work_us:
+        Cumulative useful work completed, in standalone-µs.
+    """
+
+    bus_transactions: float
+    cycles_us: float
+    work_us: float
+
+    def delta(self, earlier: "CounterSnapshot") -> "CounterSnapshot":
+        """Counter increments since an ``earlier`` snapshot of the same thread.
+
+        Raises
+        ------
+        CounterError
+            If any field would go negative (snapshots out of order).
+        """
+        d_tx = self.bus_transactions - earlier.bus_transactions
+        d_cy = self.cycles_us - earlier.cycles_us
+        d_wk = self.work_us - earlier.work_us
+        if d_tx < -1e-9 or d_cy < -1e-9 or d_wk < -1e-9:
+            raise CounterError("counter snapshots compared out of order (negative delta)")
+        return CounterSnapshot(max(d_tx, 0.0), max(d_cy, 0.0), max(d_wk, 0.0))
+
+
+class CounterBank:
+    """Monotone counters for a set of threads.
+
+    The machine is the only writer; any number of readers may snapshot.
+
+    Examples
+    --------
+    >>> bank = CounterBank()
+    >>> bank.register(1)
+    >>> bank.credit(1, bus_transactions=10.0, cycles_us=2.0, work_us=1.5)
+    >>> bank.read(1).bus_transactions
+    10.0
+    """
+
+    def __init__(self) -> None:
+        self._tx: dict[int, float] = {}
+        self._cycles: dict[int, float] = {}
+        self._work: dict[int, float] = {}
+
+    def register(self, tid: int) -> None:
+        """Start counting for thread ``tid`` (all counters at zero).
+
+        Raises
+        ------
+        CounterError
+            If ``tid`` is already registered.
+        """
+        if tid in self._tx:
+            raise CounterError(f"thread {tid} already registered")
+        self._tx[tid] = 0.0
+        self._cycles[tid] = 0.0
+        self._work[tid] = 0.0
+
+    def known(self, tid: int) -> bool:
+        """Whether ``tid`` has been registered."""
+        return tid in self._tx
+
+    def credit(
+        self,
+        tid: int,
+        bus_transactions: float = 0.0,
+        cycles_us: float = 0.0,
+        work_us: float = 0.0,
+    ) -> None:
+        """Add increments to a thread's counters.
+
+        Raises
+        ------
+        CounterError
+            If ``tid`` is unknown or any increment is negative.
+        """
+        if tid not in self._tx:
+            raise CounterError(f"credit for unknown thread {tid}")
+        if bus_transactions < 0 or cycles_us < 0 or work_us < 0:
+            raise CounterError(
+                f"negative counter increment for thread {tid}: "
+                f"tx={bus_transactions} cycles={cycles_us} work={work_us}"
+            )
+        self._tx[tid] += bus_transactions
+        self._cycles[tid] += cycles_us
+        self._work[tid] += work_us
+
+    def read(self, tid: int) -> CounterSnapshot:
+        """Snapshot one thread's counters.
+
+        Raises
+        ------
+        CounterError
+            If ``tid`` is unknown.
+        """
+        try:
+            return CounterSnapshot(self._tx[tid], self._cycles[tid], self._work[tid])
+        except KeyError:
+            raise CounterError(f"read of unknown thread {tid}") from None
+
+    def read_many(self, tids: list[int]) -> CounterSnapshot:
+        """Accumulated snapshot over several threads (e.g. one application).
+
+        This mirrors the paper's runtime library, which polls the counters
+        of all application threads and accumulates the values before writing
+        the result to the shared arena.
+        """
+        tx = cy = wk = 0.0
+        for tid in tids:
+            snap = self.read(tid)
+            tx += snap.bus_transactions
+            cy += snap.cycles_us
+            wk += snap.work_us
+        return CounterSnapshot(tx, cy, wk)
+
+    def threads(self) -> list[int]:
+        """All registered thread ids, sorted."""
+        return sorted(self._tx)

@@ -1,0 +1,93 @@
+"""Processor bookkeeping.
+
+A :class:`Cpu` tracks which thread is dispatched on it and accounts idle
+time, dispatch counts and context switches. It holds no scheduling policy —
+schedulers call :meth:`Cpu.set_thread` through the machine.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulingError
+
+__all__ = ["Cpu"]
+
+
+class Cpu:
+    """One physical processor of the simulated SMP.
+
+    Attributes
+    ----------
+    cpu_id:
+        Zero-based processor index.
+    """
+
+    __slots__ = (
+        "cpu_id",
+        "_tid",
+        "_idle_since",
+        "_idle_total",
+        "_dispatches",
+        "_switches",
+    )
+
+    def __init__(self, cpu_id: int) -> None:
+        self.cpu_id = cpu_id
+        self._tid: int | None = None
+        self._idle_since: float = 0.0
+        self._idle_total: float = 0.0
+        self._dispatches: int = 0
+        self._switches: int = 0
+
+    @property
+    def tid(self) -> int | None:
+        """Thread currently dispatched here, or ``None`` if idle."""
+        return self._tid
+
+    @property
+    def idle(self) -> bool:
+        """Whether the CPU is idle."""
+        return self._tid is None
+
+    @property
+    def dispatches(self) -> int:
+        """Total dispatch operations (idle → running or thread change)."""
+        return self._dispatches
+
+    @property
+    def context_switches(self) -> int:
+        """Dispatches that replaced a different thread (running → running)."""
+        return self._switches
+
+    def idle_time(self, now: float) -> float:
+        """Cumulative idle time up to ``now`` (µs)."""
+        total = self._idle_total
+        if self._tid is None:
+            total += now - self._idle_since
+        return total
+
+    def set_thread(self, tid: int | None, now: float) -> int | None:
+        """Dispatch ``tid`` here (or idle the CPU with ``None``).
+
+        Returns the thread that was previously running, if any.
+
+        Raises
+        ------
+        SchedulingError
+            If asked to dispatch the thread that is already running here
+            (schedulers must treat re-dispatch as a no-op themselves; the
+            machine filters these, so reaching this indicates a bug).
+        """
+        prev = self._tid
+        if tid is not None and tid == prev:
+            raise SchedulingError(f"thread {tid} is already running on cpu {self.cpu_id}")
+        if prev is None and tid is not None:
+            # leaving idle
+            self._idle_total += now - self._idle_since
+        if prev is not None and tid is None:
+            self._idle_since = now
+        if tid is not None:
+            self._dispatches += 1
+            if prev is not None:
+                self._switches += 1
+        self._tid = tid
+        return prev

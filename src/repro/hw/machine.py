@@ -1,0 +1,608 @@
+"""The assembled SMP machine: threads, CPUs, caches, bus, counters.
+
+:class:`Machine` is the simulation's continuous component (the engine's
+``Advancer``): between timer events it integrates thread progress
+analytically. All rates are piecewise constant between *reconfigurations*
+(dispatch changes, demand-segment boundaries, rebuild-debt drains), so the
+machine caches one bus solution per configuration and reports the earliest
+internal transition as its *horizon*; the engine never advances past it.
+
+Thread execution model
+----------------------
+Each thread's workload is a quantity of *work* measured in standalone-µs
+(one unit = one µs of solo execution on an unloaded machine) plus a demand
+process giving its unloaded bus-transaction rate as a piecewise-constant
+function of completed work. While dispatched, a thread advances work at
+``speed × progress_factor`` where ``speed`` comes from the bus contention
+model and ``progress_factor < 1`` only while the thread is rebuilding cache
+state after a cold dispatch.
+
+Cache rebuild
+-------------
+On dispatch, the thread's warmth on that CPU determines a rebuild debt of
+compulsory refill transactions (working-set lines not resident). While debt
+is positive the thread's bus demand is elevated by the configured fill rate
+and its progress scaled by ``rebuild_progress_factor``; the portion of its
+actual transaction rate attributable to refills drains the debt. Migrations
+(dispatch on a different CPU than the last) multiply the debt by
+``1 + migration_sensitivity`` — the knob that reproduces the paper's
+observation that very-high-hit-ratio codes (LU CB, 99.53 %; Water-nsqr) are
+disproportionately hurt by thread migrations.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Protocol
+
+from ..config import MachineConfig
+from ..errors import SchedulingError, SimulationError, WorkloadError
+from ..sim.engine import Engine
+from ..sim.trace import TraceRecorder
+from .bus import BusModel, BusRequest
+from .cache import CacheL2
+from .counters import CounterBank
+from .cpu import Cpu
+
+__all__ = ["DemandProcess", "Machine", "ThreadState"]
+
+#: Absolute tolerance (in work-µs / lines) for snapping to transitions.
+_SNAP = 1e-6
+
+
+class DemandProcess(Protocol):
+    """Per-thread demand trace: unloaded tx rate as a function of work.
+
+    ``segment(work)`` returns ``(rate_txus, end_work)``: the thread's
+    unloaded transaction rate from ``work`` until its completed work reaches
+    ``end_work`` (exclusive; ``math.inf`` if the rate never changes again).
+    Implementations must be deterministic and support monotone
+    non-decreasing ``work`` queries.
+    """
+
+    def segment(self, work: float) -> tuple[float, float]:
+        """Rate in effect at ``work`` and the work at which it next changes."""
+        ...
+
+
+class ThreadState:
+    """Mutable per-thread simulation state. Created via :meth:`Machine.add_thread`."""
+
+    __slots__ = (
+        "tid",
+        "app_id",
+        "name",
+        "demand",
+        "work_total",
+        "work_done",
+        "footprint_lines",
+        "migration_sensitivity",
+        "cpu",
+        "last_cpu",
+        "rebuild_debt",
+        "blocked",
+        "finished",
+        "finished_at",
+        "created_at",
+        "run_time_us",
+        "dispatch_count",
+        "migration_count",
+        "io_interval_work_us",
+        "io_duration_us",
+        "next_io_at_work",
+        "in_io",
+        "io_count",
+    )
+
+    def __init__(
+        self,
+        tid: int,
+        app_id: int,
+        name: str,
+        demand: DemandProcess,
+        work_total: float,
+        footprint_lines: float,
+        migration_sensitivity: float,
+        created_at: float,
+    ) -> None:
+        self.tid = tid
+        self.app_id = app_id
+        self.name = name
+        self.demand = demand
+        self.work_total = work_total
+        self.work_done = 0.0
+        self.footprint_lines = footprint_lines
+        self.migration_sensitivity = migration_sensitivity
+        self.cpu: int | None = None
+        self.last_cpu: int | None = None
+        self.rebuild_debt = 0.0
+        self.blocked = False
+        self.finished = False
+        self.finished_at: float | None = None
+        self.created_at = created_at
+        self.run_time_us = 0.0
+        self.dispatch_count = 0
+        self.migration_count = 0
+        # I/O behaviour (the paper's future-work workloads): after every
+        # ``io_interval_work_us`` of completed work the thread sleeps for
+        # ``io_duration_us`` (disk/network wait), releasing its CPU.
+        self.io_interval_work_us: float | None = None
+        self.io_duration_us = 0.0
+        self.next_io_at_work = math.inf
+        self.in_io = False
+        self.io_count = 0
+
+    @property
+    def running(self) -> bool:
+        """Whether the thread is currently dispatched on a CPU."""
+        return self.cpu is not None
+
+    @property
+    def runnable(self) -> bool:
+        """Eligible for dispatch: not finished, not blocked, not in I/O."""
+        return not self.finished and not self.blocked and not self.in_io
+
+    @property
+    def remaining_work(self) -> float:
+        """Work left to completion, in standalone-µs."""
+        return max(0.0, self.work_total - self.work_done)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        where = f"cpu{self.cpu}" if self.cpu is not None else ("blocked" if self.blocked else "ready")
+        return f"<Thread {self.tid} {self.name!r} {where} {self.work_done:.0f}/{self.work_total:.0f}>"
+
+
+class _Lane:
+    """Cached per-running-thread rates for the current configuration."""
+
+    __slots__ = ("tid", "speed", "progress_rate", "tx_rate", "fill_rate", "seg_end")
+
+    def __init__(
+        self, tid: int, speed: float, progress_rate: float, tx_rate: float, fill_rate: float, seg_end: float
+    ) -> None:
+        self.tid = tid
+        self.speed = speed
+        self.progress_rate = progress_rate
+        self.tx_rate = tx_rate
+        self.fill_rate = fill_rate
+        self.seg_end = seg_end
+
+
+class Machine:
+    """The simulated SMP (see module docstring).
+
+    Parameters
+    ----------
+    config:
+        Machine description (CPUs, bus, cache).
+    engine:
+        Simulation engine providing the clock.
+    trace:
+        Optional trace recorder for dispatch/migration records.
+    """
+
+    def __init__(
+        self,
+        config: MachineConfig,
+        engine: Engine,
+        trace: TraceRecorder | None = None,
+    ) -> None:
+        self.config = config
+        self._engine = engine
+        # Note: `trace or default` would be wrong — an empty TraceRecorder
+        # has len() == 0 and is falsy.
+        self.trace = trace if trace is not None else TraceRecorder(enabled=False)
+        self.bus = BusModel(config.bus)
+        self.counters = CounterBank()
+        # Schedulers see logical CPUs; SMT siblings share a core and its L2.
+        self.cpus = [Cpu(i) for i in range(config.n_logical_cpus)]
+        self.caches = [CacheL2(config.cache) for _ in range(config.n_cpus)]
+        self._threads: dict[int, ThreadState] = {}
+        self._time = engine.now
+        self._dirty = True
+        self._lanes: list[_Lane] = []
+        self._bus_utilisation = 0.0
+        self._bus_latency = config.bus.lam0_us
+        self._exit_listeners: list[Callable[[ThreadState], None]] = []
+        self._io_listeners: list[Callable[[ThreadState, bool], None]] = []
+        self._next_tid = 1
+
+    # ----------------------------------------------------------------- setup
+
+    @property
+    def n_cpus(self) -> int:
+        """Number of schedulable (logical) CPUs."""
+        return self.config.n_logical_cpus
+
+    def cache_of(self, cpu_id: int) -> CacheL2:
+        """The L2 cache serving a logical CPU (shared by SMT siblings)."""
+        return self.caches[self.config.core_of(cpu_id)]
+
+    def _smt_factor(self, cpu_id: int) -> float:
+        """Execution efficiency of the thread on ``cpu_id`` given siblings.
+
+        1.0 when the thread has its core to itself; ``smt_efficiency``
+        when at least one SMT sibling is also busy.
+        """
+        cfg = self.config
+        if cfg.smt_ways == 1:
+            return 1.0
+        core = cfg.core_of(cpu_id)
+        for other in self.cpus:
+            if other.cpu_id != cpu_id and cfg.core_of(other.cpu_id) == core and other.tid is not None:
+                return cfg.smt_efficiency
+        return 1.0
+
+    @property
+    def now(self) -> float:
+        """The machine's settled-up-to time (µs)."""
+        return self._time
+
+    def add_thread(
+        self,
+        name: str,
+        demand: DemandProcess,
+        work_total: float,
+        app_id: int = 0,
+        footprint_lines: float | None = None,
+        migration_sensitivity: float = 0.0,
+        io_interval_work_us: float | None = None,
+        io_duration_us: float = 0.0,
+    ) -> ThreadState:
+        """Register a new thread; it starts ready (not dispatched).
+
+        Returns the created :class:`ThreadState`; its ``tid`` is unique and
+        monotonically assigned.
+        """
+        if work_total <= 0.0:
+            raise WorkloadError(f"thread {name!r} must have positive work, got {work_total}")
+        if footprint_lines is None:
+            footprint_lines = float(self.config.cache.total_lines)
+        if footprint_lines < 0:
+            raise WorkloadError(f"negative cache footprint for thread {name!r}")
+        if migration_sensitivity < 0:
+            raise WorkloadError(f"negative migration sensitivity for thread {name!r}")
+        tid = self._next_tid
+        self._next_tid += 1
+        state = ThreadState(
+            tid=tid,
+            app_id=app_id,
+            name=name,
+            demand=demand,
+            work_total=float(work_total),
+            footprint_lines=float(footprint_lines),
+            migration_sensitivity=float(migration_sensitivity),
+            created_at=self._time,
+        )
+        if io_interval_work_us is not None:
+            if io_interval_work_us <= 0:
+                raise WorkloadError(f"thread {name!r}: io interval must be positive")
+            if io_duration_us < 0:
+                raise WorkloadError(f"thread {name!r}: negative io duration")
+            state.io_interval_work_us = float(io_interval_work_us)
+            state.io_duration_us = float(io_duration_us)
+            state.next_io_at_work = float(io_interval_work_us)
+        self._threads[tid] = state
+        self.counters.register(tid)
+        return state
+
+    def add_exit_listener(self, callback: Callable[[ThreadState], None]) -> None:
+        """Register a callback invoked whenever a thread completes its work."""
+        self._exit_listeners.append(callback)
+
+    def add_io_listener(self, callback: Callable[[ThreadState, bool], None]) -> None:
+        """Register ``callback(thread, asleep)`` for I/O sleep/wake events.
+
+        Fired when a thread starts an I/O sleep (its CPU just freed) and
+        when it wakes (it is runnable again). Listeners fire while the
+        machine may be ahead of the engine clock; schedulers must defer
+        dispatch to a same-instant engine event (the base scheduler's
+        plumbing does this).
+        """
+        self._io_listeners.append(callback)
+
+    # ------------------------------------------------------------- accessors
+
+    def thread(self, tid: int) -> ThreadState:
+        """Look up a thread by id."""
+        try:
+            return self._threads[tid]
+        except KeyError:
+            raise SchedulingError(f"unknown thread id {tid}") from None
+
+    def threads(self) -> list[ThreadState]:
+        """All threads, ordered by tid."""
+        return [self._threads[t] for t in sorted(self._threads)]
+
+    def runnable_threads(self) -> list[ThreadState]:
+        """Threads eligible for dispatch (unfinished, unblocked), by tid."""
+        return [t for t in self.threads() if t.runnable]
+
+    def running_tids(self) -> list[int]:
+        """Tids currently dispatched, in CPU order (idle CPUs skipped)."""
+        return [c.tid for c in self.cpus if c.tid is not None]
+
+    def all_finished(self) -> bool:
+        """Whether every registered thread has completed."""
+        return all(t.finished for t in self._threads.values())
+
+    @property
+    def bus_utilisation(self) -> float:
+        """Bus utilisation of the current configuration."""
+        self._ensure_solution()
+        return self._bus_utilisation
+
+    @property
+    def bus_latency_us(self) -> float:
+        """Per-transaction latency of the current configuration."""
+        self._ensure_solution()
+        return self._bus_latency
+
+    def thread_speed(self, tid: int) -> float:
+        """Current execution speed of a running thread (0 if not running)."""
+        self._ensure_solution()
+        for lane in self._lanes:
+            if lane.tid == tid:
+                return lane.speed
+        return 0.0
+
+    # ------------------------------------------------------------ scheduling
+
+    def dispatch(self, cpu_id: int, tid: int | None) -> None:
+        """Place thread ``tid`` on CPU ``cpu_id`` (or idle it with ``None``).
+
+        Preempts whatever ran there. A thread already running on another CPU
+        is migrated (removed there first). Dispatching a blocked or finished
+        thread is a scheduling bug and raises.
+        """
+        if not 0 <= cpu_id < len(self.cpus):
+            raise SchedulingError(f"no such cpu {cpu_id}")
+        self._require_settled()
+        now = self._time
+        cpu = self.cpus[cpu_id]
+        if tid is not None and cpu.tid == tid:
+            return  # idempotent re-dispatch
+        if tid is None:
+            prev = cpu.set_thread(None, now)
+            if prev is not None:
+                self._threads[prev].cpu = None
+            self._dirty = True
+            return
+        state = self.thread(tid)
+        if state.finished:
+            raise SchedulingError(f"cannot dispatch finished thread {tid}")
+        if state.blocked:
+            raise SchedulingError(f"cannot dispatch blocked thread {tid}")
+        if state.cpu is not None:
+            # migrating from another CPU: vacate it
+            self.cpus[state.cpu].set_thread(None, now)
+            state.cpu = None
+        prev = cpu.set_thread(tid, now)
+        if prev is not None:
+            self._threads[prev].cpu = None
+        migrated = state.last_cpu is not None and state.last_cpu != cpu_id
+        self._charge_rebuild(state, cpu_id, migrated)
+        state.cpu = cpu_id
+        state.last_cpu = cpu_id
+        state.dispatch_count += 1
+        if migrated:
+            state.migration_count += 1
+        self.trace.record(
+            now,
+            "sched.migrate" if migrated else "sched.dispatch",
+            cpu=cpu_id,
+            tid=tid,
+            preempted=prev,
+        )
+        self._dirty = True
+
+    def preempt_thread(self, tid: int) -> None:
+        """Remove a thread from whichever CPU it runs on (no-op if not running)."""
+        state = self.thread(tid)
+        if state.cpu is not None:
+            self.dispatch(state.cpu, None)
+
+    def set_blocked(self, tid: int, blocked: bool) -> None:
+        """Set a thread's blocked flag (CPU-manager signal semantics).
+
+        Blocking a running thread immediately vacates its CPU — a stopped
+        thread cannot execute. Schedulers learn about the freed CPU at their
+        next decision point (or via their own listeners).
+        """
+        state = self.thread(tid)
+        if state.finished:
+            return
+        if state.blocked == blocked:
+            return
+        self._require_settled()
+        state.blocked = blocked
+        if blocked and state.cpu is not None:
+            self.dispatch(state.cpu, None)
+        self.trace.record(self._time, "sched.block" if blocked else "sched.unblock", tid=tid)
+        self._dirty = True
+
+    def add_rebuild_debt(self, tid: int, lines: float) -> None:
+        """Charge extra rebuild debt to a thread (signal handling, traps).
+
+        Used by the CPU manager's signal path to model the cache
+        disturbance of asynchronous signal delivery.
+        """
+        if lines < 0:
+            raise SchedulingError(f"negative rebuild debt {lines}")
+        if lines == 0.0:
+            return
+        state = self.thread(tid)
+        if state.finished:
+            return
+        state.rebuild_debt += lines
+        if state.cpu is not None:
+            self._dirty = True
+
+    def _charge_rebuild(self, state: ThreadState, cpu_id: int, migrated: bool) -> None:
+        """Compute the rebuild debt a dispatch incurs."""
+        cache = self.cache_of(cpu_id)
+        warmth = cache.warmth(state.tid, state.footprint_lines)
+        cold_lines = (1.0 - warmth) * min(state.footprint_lines, cache.total_lines)
+        if migrated:
+            cold_lines *= 1.0 + state.migration_sensitivity
+        # Accumulate (don't reset): an interrupted rebuild still owes lines.
+        state.rebuild_debt = max(state.rebuild_debt, cold_lines)
+
+    # ----------------------------------------------------------- integration
+
+    def _require_settled(self) -> None:
+        # The machine may be momentarily *ahead* of the engine clock (exit
+        # listeners fire inside advance_to, before the engine commits the new
+        # time), but it must never be behind: reconfiguring an unsettled
+        # machine would mis-account the elapsed interval.
+        if self._engine.now > self._time + 1e-6:
+            raise SimulationError(
+                f"machine settled to t={self._time} but engine is at t={self._engine.now}; "
+                "reconfiguration attempted on an unsettled machine"
+            )
+
+    def _ensure_solution(self) -> None:
+        if not self._dirty:
+            return
+        lanes: list[_Lane] = []
+        requests: list[BusRequest] = []
+        cfg_cache = self.config.cache
+        for cpu in self.cpus:
+            if cpu.tid is None:
+                continue
+            st = self._threads[cpu.tid]
+            rate, seg_end = st.demand.segment(st.work_done)
+            if rate < 0:
+                raise WorkloadError(f"demand pattern of thread {st.tid} returned negative rate")
+            if st.rebuild_debt > _SNAP:
+                fill = cfg_cache.rebuild_fill_rate_txus
+                r_eff = rate + fill
+                pf = cfg_cache.rebuild_progress_factor
+            else:
+                fill = 0.0
+                r_eff = rate
+                pf = 1.0
+            # SMT: a thread sharing its core runs (and issues) slower.
+            smt = self._smt_factor(cpu.cpu_id)
+            r_eff *= smt
+            fill *= smt
+            pf *= smt
+            requests.append(self.bus.request_for_rate(r_eff))
+            lanes.append(_Lane(st.tid, 0.0, pf, 0.0, fill, seg_end))
+        solution = self.bus.solve(requests)
+        for lane, grant, req in zip(lanes, solution.grants, requests):
+            lane.speed = grant.speed
+            lane.progress_rate = grant.speed * lane.progress_rate  # pf folded in
+            lane.tx_rate = grant.actual_txus
+            if req.rate_txus > 0.0 and lane.fill_rate > 0.0:
+                lane.fill_rate = grant.actual_txus * (lane.fill_rate / req.rate_txus)
+        self._lanes = lanes
+        self._bus_utilisation = solution.utilisation
+        self._bus_latency = solution.latency_us
+        self._dirty = False
+
+    def horizon(self) -> float:
+        """Earliest absolute time of the next internal transition."""
+        self._ensure_solution()
+        if not self._lanes:
+            return math.inf
+        earliest = math.inf
+        for lane in self._lanes:
+            st = self._threads[lane.tid]
+            if lane.progress_rate > 0.0:
+                t_done = st.remaining_work / lane.progress_rate
+                earliest = min(earliest, t_done)
+                if math.isfinite(lane.seg_end):
+                    t_seg = max(0.0, lane.seg_end - st.work_done) / lane.progress_rate
+                    earliest = min(earliest, t_seg)
+                if math.isfinite(st.next_io_at_work):
+                    t_io = max(0.0, st.next_io_at_work - st.work_done) / lane.progress_rate
+                    earliest = min(earliest, t_io)
+            if lane.fill_rate > 0.0 and st.rebuild_debt > 0.0:
+                earliest = min(earliest, st.rebuild_debt / lane.fill_rate)
+        return self._time + earliest
+
+    def advance_to(self, t: float) -> None:
+        """Integrate machine state forward to absolute time ``t``."""
+        if t < self._time - 1e-9:
+            raise SimulationError(f"machine cannot advance backwards ({self._time} -> {t})")
+        self._ensure_solution()
+        dt = t - self._time
+        if dt > 0.0 and self._lanes:
+            for lane in self._lanes:
+                st = self._threads[lane.tid]
+                st.work_done += lane.progress_rate * dt
+                st.run_time_us += dt
+                tx = lane.tx_rate * dt
+                self.counters.credit(
+                    lane.tid,
+                    bus_transactions=tx,
+                    cycles_us=dt,
+                    work_us=lane.progress_rate * dt,
+                )
+                assert st.cpu is not None
+                self.cache_of(st.cpu).account_run(st.tid, st.footprint_lines, tx)
+                if lane.fill_rate > 0.0:
+                    st.rebuild_debt = max(0.0, st.rebuild_debt - lane.fill_rate * dt)
+        self._time = t
+        self._process_transitions()
+
+    def _process_transitions(self) -> None:
+        """Handle completions, segment boundaries and debt drains at `now`."""
+        for lane in list(self._lanes):
+            st = self._threads[lane.tid]
+            if st.finished:
+                continue
+            if st.work_done >= st.work_total - _SNAP:
+                self._finish_thread(st)
+                continue
+            if st.work_done >= st.next_io_at_work - _SNAP and not st.in_io:
+                self._start_io(st)
+                continue
+            if math.isfinite(lane.seg_end) and st.work_done >= lane.seg_end - _SNAP:
+                st.work_done = max(st.work_done, lane.seg_end)
+                self._dirty = True  # demand rate changes at the boundary
+            if lane.fill_rate > 0.0 and st.rebuild_debt <= _SNAP:
+                st.rebuild_debt = 0.0
+                self._dirty = True
+
+    def _start_io(self, st: ThreadState) -> None:
+        """Put a thread to sleep on I/O: free its CPU, arm the wakeup."""
+        st.in_io = True
+        st.io_count += 1
+        assert st.io_interval_work_us is not None
+        st.next_io_at_work = st.work_done + st.io_interval_work_us
+        if st.cpu is not None:
+            self.cpus[st.cpu].set_thread(None, self._time)
+            st.cpu = None
+        self._dirty = True
+        self.trace.record(self._time, "thread.iosleep", tid=st.tid)
+        for cb in self._io_listeners:
+            cb(st, True)
+        # The wakeup is a plain engine event; the machine is never behind
+        # the engine when it fires, so listeners may dispatch directly.
+        self._engine.schedule_at(
+            self._time + st.io_duration_us, lambda: self._end_io(st.tid)
+        )
+
+    def _end_io(self, tid: int) -> None:
+        st = self._threads[tid]
+        if st.finished or not st.in_io:
+            return
+        st.in_io = False
+        self._dirty = True
+        self.trace.record(self._time, "thread.iowake", tid=st.tid)
+        for cb in self._io_listeners:
+            cb(st, False)
+
+    def _finish_thread(self, st: ThreadState) -> None:
+        st.work_done = st.work_total
+        st.finished = True
+        st.finished_at = self._time
+        if st.cpu is not None:
+            self.cpus[st.cpu].set_thread(None, self._time)
+            st.cpu = None
+        self._dirty = True
+        self.trace.record(self._time, "thread.exit", tid=st.tid, name=st.name)
+        for cb in self._exit_listeners:
+            cb(st)

@@ -1,0 +1,131 @@
+"""A driver-style facade over the performance counters.
+
+The paper monitors its Xeons' hardware counters through Mikael Pettersson's
+``perfctr`` Linux driver and its run-time library, which *virtualize*
+counters per thread: a thread opens a virtual counter (``vperfctr_open``),
+and reads return counts accumulated only while that thread runs. This
+module mirrors that API shape against the simulated
+:class:`~repro.hw.counters.CounterBank`, so the CPU-manager runtime reads
+counters exactly the way the paper's user-level code does — and so a
+downstream user could, in principle, swap this module for real bindings.
+
+One faithful quirk is kept: the real driver could not virtualize counters
+for two hyperthreads sharing a physical processor, which is why the paper
+disabled hyperthreading. The simulated machine has no hyperthreading either,
+so :meth:`PerfctrDriver.open` enforces at most one open virtual counter per
+thread (mirroring the one-vperfctr-per-task rule).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..errors import CounterError
+from .counters import CounterBank, CounterSnapshot
+
+__all__ = ["PerfctrDriver", "VPerfCtr", "PerfctrReading"]
+
+
+@dataclass(frozen=True)
+class PerfctrReading:
+    """One read of a virtual counter.
+
+    Attributes
+    ----------
+    bus_transactions:
+        Cumulative bus transactions of the monitored thread.
+    tsc_us:
+        Cumulative on-CPU time (the simulator's time-stamp-counter analog).
+    """
+
+    bus_transactions: float
+    tsc_us: float
+
+
+class VPerfCtr:
+    """A virtualized per-thread counter handle (cf. ``vperfctr_open``).
+
+    Handles are obtained from :meth:`PerfctrDriver.open` and remain valid
+    until :meth:`close`.
+    """
+
+    def __init__(self, driver: "PerfctrDriver", tid: int) -> None:
+        self._driver = driver
+        self._tid = tid
+        self._closed = False
+
+    @property
+    def tid(self) -> int:
+        """The monitored thread's id."""
+        return self._tid
+
+    @property
+    def closed(self) -> bool:
+        """Whether the handle has been released."""
+        return self._closed
+
+    def read(self) -> PerfctrReading:
+        """Read the thread's virtualized counters.
+
+        Raises
+        ------
+        CounterError
+            If the handle is closed.
+        """
+        if self._closed:
+            raise CounterError(f"read on closed vperfctr for thread {self._tid}")
+        snap: CounterSnapshot = self._driver._bank.read(self._tid)
+        return PerfctrReading(bus_transactions=snap.bus_transactions, tsc_us=snap.cycles_us)
+
+    def close(self) -> None:
+        """Release the handle (idempotent)."""
+        if not self._closed:
+            self._closed = True
+            self._driver._release(self._tid)
+
+
+class PerfctrDriver:
+    """Factory of per-thread virtual counters over a :class:`CounterBank`.
+
+    Parameters
+    ----------
+    bank:
+        The machine's counter bank (``machine.counters``).
+
+    Examples
+    --------
+    >>> from repro.hw.counters import CounterBank
+    >>> bank = CounterBank(); bank.register(1)
+    >>> drv = PerfctrDriver(bank)
+    >>> h = drv.open(1)
+    >>> h.read().bus_transactions
+    0.0
+    """
+
+    def __init__(self, bank: CounterBank) -> None:
+        self._bank = bank
+        self._open: set[int] = set()
+
+    def open(self, tid: int) -> VPerfCtr:
+        """Open a virtual counter for thread ``tid``.
+
+        Raises
+        ------
+        CounterError
+            If the thread is unknown or already has an open handle (the
+            real driver allows one vperfctr per task).
+        """
+        if not self._bank.known(tid):
+            raise CounterError(f"cannot open vperfctr: unknown thread {tid}")
+        if tid in self._open:
+            raise CounterError(f"thread {tid} already has an open vperfctr")
+        self._open.add(tid)
+        return VPerfCtr(self, tid)
+
+    def _release(self, tid: int) -> None:
+        self._open.discard(tid)
+
+    @property
+    def open_count(self) -> int:
+        """Number of currently open handles."""
+        return len(self._open)

@@ -1,0 +1,33 @@
+"""Measurement: per-run accounting, derived statistics, timelines.
+
+* :mod:`repro.metrics.accounting` — per-application and per-run result
+  records extracted from a finished simulation.
+* :mod:`repro.metrics.stats` — derived quantities: slowdowns, turnaround
+  improvements, workload summaries (the numbers the paper's figures plot).
+* :mod:`repro.metrics.timeline` — periodic sampling of bus utilisation and
+  running sets over simulated time.
+"""
+
+from .accounting import AppResult, RunResult, collect_run_result
+from .gantt import GanttChart, render_gantt
+from .stats import (
+    geometric_mean,
+    improvement_percent,
+    slowdown,
+    summarize_improvements,
+)
+from .timeline import TimelineSampler, TimelinePoint
+
+__all__ = [
+    "AppResult",
+    "RunResult",
+    "collect_run_result",
+    "slowdown",
+    "improvement_percent",
+    "geometric_mean",
+    "summarize_improvements",
+    "TimelineSampler",
+    "TimelinePoint",
+    "GanttChart",
+    "render_gantt",
+]

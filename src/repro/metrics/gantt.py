@@ -1,0 +1,186 @@
+"""ASCII Gantt charts of CPU occupancy from simulation traces.
+
+Renders who ran where over time — the fastest way to *see* a scheduling
+policy's behaviour (gang blocks under the CPU manager, the thread soup
+under Linux, idle holes left by I/O waits). Works from the machine's
+dispatch trace, so any traced simulation can be rendered after the fact.
+
+Example output::
+
+    cpu0 |AAAAAAAA....BBBBBBBB....AAAAAAAA|
+    cpu1 |AAAAAAAA....BBBBBBBB....AAAAAAAA|
+    cpu2 |bbbbbbbbbbbbbbbbbbbbbbbbbbbbbbbb|
+    cpu3 |nnnnnnnnnnnnnnnnnnnnnnnnnnnnnnnn|
+          0 ms                        800 ms
+    A=CG#1  B=CG#2  b=BBMA#3  n=nBBMA#4
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.machine import Machine
+    from ..sim.trace import TraceRecorder
+
+__all__ = ["GanttChart", "render_gantt"]
+
+#: Symbols assigned to applications, in first-seen order. Upper-case for
+#: multi-threaded applications, lower-case pool for the rest.
+_SYMBOLS = "ABCDEFGHJKLMNPQRSTUVWXYZabcdefghjklmnpqrstuvwxyz0123456789"
+
+#: Idle cell.
+_IDLE = "."
+
+
+@dataclass(frozen=True)
+class GanttChart:
+    """A rendered occupancy chart.
+
+    Attributes
+    ----------
+    rows:
+        One string of cells per CPU.
+    legend:
+        Symbol → application label.
+    t0_us / t1_us:
+        Time window covered.
+    """
+
+    rows: tuple[str, ...]
+    legend: dict[str, str]
+    t0_us: float
+    t1_us: float
+
+    def __str__(self) -> str:
+        lines = [
+            f"cpu{i} |{row}|" for i, row in enumerate(self.rows)
+        ]
+        span = f"      {self.t0_us / 1e3:.0f} ms" + " " * max(
+            1, len(self.rows[0]) - 12
+        ) + f"{self.t1_us / 1e3:.0f} ms"
+        lines.append(span)
+        lines.append(
+            "  ".join(f"{sym}={label}" for sym, label in self.legend.items())
+        )
+        return "\n".join(lines)
+
+
+def _occupancy_segments(machine: "Machine", trace: "TraceRecorder"):
+    """Reconstruct per-CPU (start, end, tid) segments from dispatch records.
+
+    The trace records every placement; a CPU's occupant holds from its
+    dispatch record until the next record that changes that CPU (or the
+    occupant's exit/block/io event removes it — those show up as the next
+    dispatch or as nothing, in which case the segment is closed at `now`
+    only if the thread still runs there).
+    """
+    n = machine.n_cpus
+    current: list[int | None] = [None] * n
+    started: list[float] = [0.0] * n
+    segments: list[list[tuple[float, float, int]]] = [[] for _ in range(n)]
+
+    def close(cpu: int, t: float) -> None:
+        tid = current[cpu]
+        if tid is not None and t > started[cpu]:
+            segments[cpu].append((started[cpu], t, tid))
+
+    for rec in trace.records("sched."):
+        if rec.category not in ("sched.dispatch", "sched.migrate"):
+            continue
+        cpu = rec.data["cpu"]
+        tid = rec.data["tid"]
+        # the thread may have been running elsewhere: close that segment
+        for other in range(n):
+            if current[other] == tid and other != cpu:
+                close(other, rec.time)
+                current[other] = None
+        close(cpu, rec.time)
+        current[cpu] = tid
+        started[cpu] = rec.time
+    # close open segments at the machine's current occupancy
+    for cpu in range(n):
+        if current[cpu] is not None:
+            occupant = machine.cpus[cpu].tid
+            end = machine.now
+            if occupant != current[cpu]:
+                # the thread left (exit/block/io) without a replacement
+                # dispatch; approximate the departure with the machine's
+                # last settled time (we lack the exact instant).
+                end = machine.now
+            close(cpu, end)
+    return segments
+
+
+def render_gantt(
+    machine: "Machine",
+    trace: "TraceRecorder | None" = None,
+    width: int = 72,
+    t0_us: float | None = None,
+    t1_us: float | None = None,
+) -> GanttChart:
+    """Render CPU occupancy as an ASCII Gantt chart.
+
+    Parameters
+    ----------
+    machine:
+        The simulated machine (after or during a run).
+    trace:
+        Trace to read dispatch records from (default: the machine's own).
+    width:
+        Chart width in cells; each cell shows the majority occupant of its
+        time slice.
+    t0_us / t1_us:
+        Window to render (defaults: 0 → machine.now).
+
+    Raises
+    ------
+    ValueError
+        If the machine has no trace records or the window is empty.
+    """
+    trace = trace if trace is not None else machine.trace
+    t0 = 0.0 if t0_us is None else float(t0_us)
+    t1 = machine.now if t1_us is None else float(t1_us)
+    if t1 <= t0:
+        raise ValueError("empty Gantt window")
+    if width < 8:
+        raise ValueError("width must be at least 8 cells")
+    segments = _occupancy_segments(machine, trace)
+    if not any(segments):
+        raise ValueError(
+            "no dispatch records in the trace (was the simulation traced?)"
+        )
+
+    # symbol assignment by application, first-seen order
+    tid_to_app: dict[int, tuple[int, str]] = {}
+    for t in machine.threads():
+        tid_to_app[t.tid] = (t.app_id, t.name.rsplit(".", 1)[0])
+    app_symbol: dict[int, str] = {}
+    legend: dict[str, str] = {}
+
+    def symbol_for(tid: int) -> str:
+        app_id, label = tid_to_app[tid]
+        if app_id not in app_symbol:
+            sym = _SYMBOLS[len(app_symbol) % len(_SYMBOLS)]
+            app_symbol[app_id] = sym
+            legend[sym] = label
+        return app_symbol[app_id]
+
+    cell_us = (t1 - t0) / width
+    rows: list[str] = []
+    for cpu_segments in segments:
+        cells = []
+        for i in range(width):
+            lo = t0 + i * cell_us
+            hi = lo + cell_us
+            # majority occupant of [lo, hi)
+            best_tid, best_overlap = None, 0.0
+            for s, e, tid in cpu_segments:
+                overlap = min(e, hi) - max(s, lo)
+                if overlap > best_overlap:
+                    best_overlap = overlap
+                    best_tid = tid
+            cells.append(symbol_for(best_tid) if best_tid is not None else _IDLE)
+        rows.append("".join(cells))
+    return GanttChart(rows=tuple(rows), legend=legend, t0_us=t0, t1_us=t1)

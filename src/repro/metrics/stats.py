@@ -1,0 +1,111 @@
+"""Derived statistics: the numbers the paper's figures actually plot.
+
+* :func:`slowdown` — Figure 1B's metric: multiprogrammed turnaround over
+  solo turnaround.
+* :func:`improvement_percent` — Figure 2's metric: percentage improvement
+  of a policy's mean target turnaround over the Linux baseline's.
+* :func:`summarize_improvements` — the Section 5 text statistics
+  (max / min / average improvement per experiment set).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Iterable
+
+__all__ = [
+    "slowdown",
+    "improvement_percent",
+    "geometric_mean",
+    "ImprovementSummary",
+    "summarize_improvements",
+]
+
+
+def slowdown(multiprogrammed_us: float, solo_us: float) -> float:
+    """Turnaround ratio vs. the solo run (1.0 = no slowdown).
+
+    >>> slowdown(300.0, 100.0)
+    3.0
+    """
+    if solo_us <= 0:
+        raise ValueError(f"solo turnaround must be positive, got {solo_us}")
+    if multiprogrammed_us < 0:
+        raise ValueError("negative turnaround")
+    return multiprogrammed_us / solo_us
+
+
+def improvement_percent(baseline_us: float, policy_us: float) -> float:
+    """Percentage improvement of ``policy`` over ``baseline`` turnaround.
+
+    Positive = the policy is faster. This is the paper's Figure 2 metric:
+    "the improvement in the arithmetic mean of the execution times".
+
+    >>> improvement_percent(200.0, 100.0)
+    50.0
+    >>> improvement_percent(100.0, 120.0)
+    -20.0
+    """
+    if baseline_us <= 0:
+        raise ValueError(f"baseline turnaround must be positive, got {baseline_us}")
+    return (baseline_us - policy_us) / baseline_us * 100.0
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean of positive values (used for slowdown aggregation).
+
+    >>> geometric_mean([1.0, 4.0])
+    2.0
+    """
+    vals = list(values)
+    if not vals:
+        raise ValueError("geometric mean of no values")
+    if any(v <= 0 for v in vals):
+        raise ValueError("geometric mean needs positive values")
+    return math.exp(sum(math.log(v) for v in vals) / len(vals))
+
+
+@dataclass(frozen=True)
+class ImprovementSummary:
+    """Aggregate of one policy's improvements across applications.
+
+    Attributes
+    ----------
+    mean_percent / max_percent / min_percent:
+        Arithmetic mean and extremes of the per-application improvements.
+    n_improved / n_regressed:
+        How many applications sped up / slowed down under the policy.
+    """
+
+    mean_percent: float
+    max_percent: float
+    min_percent: float
+    n_improved: int
+    n_regressed: int
+
+    def __str__(self) -> str:
+        return (
+            f"avg {self.mean_percent:+.1f}%  max {self.max_percent:+.1f}%  "
+            f"min {self.min_percent:+.1f}%  ({self.n_improved} up, "
+            f"{self.n_regressed} down)"
+        )
+
+
+def summarize_improvements(improvements: Iterable[float]) -> ImprovementSummary:
+    """Summarize per-application improvement percentages (Section 5 text).
+
+    >>> s = summarize_improvements([10.0, 50.0, -5.0])
+    >>> round(s.mean_percent, 1), s.n_regressed
+    (18.3, 1)
+    """
+    vals = list(improvements)
+    if not vals:
+        raise ValueError("no improvements to summarize")
+    return ImprovementSummary(
+        mean_percent=sum(vals) / len(vals),
+        max_percent=max(vals),
+        min_percent=min(vals),
+        n_improved=sum(1 for v in vals if v > 0),
+        n_regressed=sum(1 for v in vals if v < 0),
+    )

@@ -1,0 +1,91 @@
+"""Deterministic, named random-number streams.
+
+Reproducibility is a hard requirement: the same experiment configuration and
+seed must produce bit-identical results so that paper figures can be
+regenerated and property tests can shrink failures. All stochastic behaviour
+in the simulator (bursty demand patterns, synthetic workload generation,
+tie-breaking) draws from a :class:`RngRegistry`, which derives one
+independent :class:`numpy.random.Generator` per *named* stream from a single
+root seed.
+
+Deriving streams by name (rather than by creation order) means adding a new
+consumer of randomness does not perturb existing streams — experiments stay
+comparable across library versions.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+__all__ = ["RngRegistry", "derive_seed"]
+
+
+def derive_seed(root_seed: int, name: str) -> int:
+    """Derive a 64-bit child seed from ``root_seed`` and a stream ``name``.
+
+    The derivation is a SHA-256 of the root seed and the name, so it is
+    stable across Python versions and platforms (unlike ``hash()``).
+
+    >>> derive_seed(42, "bus") == derive_seed(42, "bus")
+    True
+    >>> derive_seed(42, "bus") != derive_seed(42, "cache")
+    True
+    """
+    digest = hashlib.sha256(f"{root_seed}:{name}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "little")
+
+
+class RngRegistry:
+    """A factory of independent named random streams under one root seed.
+
+    Parameters
+    ----------
+    seed:
+        Root seed. Two registries with the same seed produce identical
+        streams for identical names.
+
+    Examples
+    --------
+    >>> reg = RngRegistry(seed=7)
+    >>> a = reg.stream("workload.raytrace")
+    >>> b = RngRegistry(seed=7).stream("workload.raytrace")
+    >>> float(a.random()) == float(b.random())
+    True
+    """
+
+    def __init__(self, seed: int = 0) -> None:
+        self._seed = int(seed)
+        self._streams: dict[str, np.random.Generator] = {}
+
+    @property
+    def seed(self) -> int:
+        """The root seed this registry was created with."""
+        return self._seed
+
+    def stream(self, name: str) -> np.random.Generator:
+        """Return the generator for ``name``, creating it on first use.
+
+        Repeated calls with the same name return the *same* generator
+        object, so a consumer that draws repeatedly advances its own stream
+        without affecting any other.
+        """
+        gen = self._streams.get(name)
+        if gen is None:
+            gen = np.random.default_rng(derive_seed(self._seed, name))
+            self._streams[name] = gen
+        return gen
+
+    def fork(self, name: str) -> "RngRegistry":
+        """Create a child registry whose root seed is derived from ``name``.
+
+        Useful when an experiment spawns repetitions: each repetition gets
+        its own registry (``reg.fork(f"rep{i}")``) and therefore fully
+        independent streams.
+        """
+        return RngRegistry(derive_seed(self._seed, f"fork:{name}"))
+
+    def spawn_seed(self, name: str) -> int:
+        """Return a derived integer seed without creating a stream."""
+        return derive_seed(self._seed, name)

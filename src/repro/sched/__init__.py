@@ -1,0 +1,28 @@
+"""Kernel-level schedulers.
+
+* :mod:`repro.sched.base` — the scheduler interface and shared plumbing.
+* :mod:`repro.sched.dedicated` — static pinning, no time sharing (the
+  Section 3 / Figure 1 configurations).
+* :mod:`repro.sched.linux` — a Linux 2.4-like O(n) epoch scheduler with
+  dynamic priorities and cache-affinity goodness bonus: the paper's
+  baseline, and the substrate the user-level CPU manager runs on top of.
+* :mod:`repro.sched.gang` — a plain round-robin gang scheduler (extra
+  baseline: gang structure without bandwidth awareness).
+"""
+
+from .base import Job, KernelScheduler, jobs_from_apps
+from .dedicated import DedicatedScheduler
+from .gang import RoundRobinGangScheduler
+from .linux import LinuxScheduler
+from .linux_o1 import LinuxO1Scheduler, O1SchedConfig
+
+__all__ = [
+    "Job",
+    "KernelScheduler",
+    "jobs_from_apps",
+    "DedicatedScheduler",
+    "LinuxScheduler",
+    "LinuxO1Scheduler",
+    "O1SchedConfig",
+    "RoundRobinGangScheduler",
+]

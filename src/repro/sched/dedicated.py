@@ -1,0 +1,85 @@
+"""Static pinned scheduling: every thread gets its own processor, forever.
+
+This is the configuration of the paper's Section 3 experiments (Figure 1):
+"there is no processor sharing" — one application with two threads runs on
+two dedicated CPUs, optionally next to microbenchmark instances pinned to
+the remaining CPUs. All slowdown observed under this scheduler is therefore
+attributable to the shared bus (plus initial cold-cache effects), which is
+exactly the paper's point.
+
+An optional seeded migration process models the occasional rebalancing a
+real 2.4 kernel performs even for perfectly-balanced runnable sets (IRQ
+imbalance, wakeups): with a configurable mean interval, two randomly chosen
+busy CPUs swap their threads. The paper attributes LU CB's and Water-nsqr's
+larger-than-expected slowdowns to precisely such migrations; setting
+``migration_interval_us`` to ``None`` (default) disables the process for
+clean bus-only measurements.
+"""
+
+from __future__ import annotations
+
+from ..errors import SchedulingError
+from ..sim.events import EventPriority
+from .base import KernelScheduler
+
+__all__ = ["DedicatedScheduler"]
+
+
+class DedicatedScheduler(KernelScheduler):
+    """Pin thread *i* to CPU *i*; optionally inject seeded migrations.
+
+    Parameters
+    ----------
+    migration_interval_us:
+        Mean interval between random pairwise swaps of running threads
+        (exponentially distributed), or ``None`` for no migrations.
+    """
+
+    def __init__(self, migration_interval_us: float | None = None) -> None:
+        super().__init__()
+        if migration_interval_us is not None and migration_interval_us <= 0:
+            raise SchedulingError("migration interval must be positive")
+        self._migration_interval = migration_interval_us
+
+    def start(self) -> None:
+        """Pin every thread; error if there are more threads than CPUs."""
+        threads = self.machine.runnable_threads()
+        if len(threads) > self.machine.n_cpus:
+            raise SchedulingError(
+                f"dedicated scheduling needs one CPU per thread "
+                f"({len(threads)} threads > {self.machine.n_cpus} CPUs)"
+            )
+        for cpu_id, thread in enumerate(threads):
+            self.machine.dispatch(cpu_id, thread.tid)
+        if self._migration_interval is not None:
+            self._schedule_migration()
+
+    def on_io_change(self, thread, asleep: bool) -> None:
+        """Re-pin a woken thread (its CPU stays reserved while it sleeps)."""
+        if not asleep and thread.runnable and thread.cpu is None:
+            preferred = thread.last_cpu
+            if preferred is not None and self.machine.cpus[preferred].idle:
+                self.machine.dispatch(preferred, thread.tid)
+            else:
+                idle = self.idle_cpus()
+                if idle:
+                    self.machine.dispatch(idle[0], thread.tid)
+
+    def _schedule_migration(self) -> None:
+        delay = float(self.rng.exponential(self._migration_interval))
+        self.engine.schedule_after(max(delay, 1.0), self._migrate, priority=EventPriority.KERNEL)
+
+    def _migrate(self) -> None:
+        busy = [c.cpu_id for c in self.machine.cpus if c.tid is not None]
+        if len(busy) >= 2:
+            i, j = self.rng.choice(len(busy), size=2, replace=False)
+            cpu_a, cpu_b = busy[int(i)], busy[int(j)]
+            tid_a = self.machine.cpus[cpu_a].tid
+            tid_b = self.machine.cpus[cpu_b].tid
+            assert tid_a is not None and tid_b is not None
+            # Swap: vacate one CPU first so dispatch never doubles up.
+            self.machine.dispatch(cpu_a, None)
+            self.machine.dispatch(cpu_a, tid_b)
+            self.machine.dispatch(cpu_b, tid_a)
+        if not self.machine.all_finished():
+            self._schedule_migration()

@@ -1,0 +1,283 @@
+"""A Linux 2.4-like O(n) epoch scheduler: the paper's baseline.
+
+The paper evaluates against the stock scheduler of Linux 2.4.20. Its
+relevant mechanics, reproduced here:
+
+* **Time slices** — every thread holds a ``counter`` of remaining scheduler
+  ticks (10 ms each; ~60 ms per slice at default priority).
+* **Epochs** — when every *runnable* thread has exhausted its counter, a
+  new epoch begins and all counters are recharged with
+  ``counter = counter // 2 + default_ticks`` (sleepers carry over half).
+* **Goodness** — a CPU picking its next thread scans the whole runqueue
+  (O(n)) and takes the highest ``goodness``: zero for exhausted counters,
+  else ``counter`` plus a large affinity bonus (``PROC_CHANGE_PENALTY``)
+  if the thread last ran on this CPU — the cache-affinity heuristic the
+  paper describes ("All SMP schedulers use cache affinity links").
+* **Wakeup preemption** — an unblocked thread takes an idle CPU if any
+  (preferring the one it last ran on), otherwise it preempts the running
+  thread with the lowest goodness, if its own is higher
+  (``reschedule_idle`` semantics).
+
+What the baseline does *not* do — and the paper's whole point — is look at
+bus bandwidth: under multiprogramming it happily co-schedules four
+streaming threads, starving everyone. It is also gang-oblivious: threads of
+a parallel application are scheduled independently.
+
+A small seeded per-tick rebalancing probability models the residual
+migration noise of the real kernel; it gives cache-sensitive applications
+(LU CB, Water-nsqr) their paper-observed vulnerability even in
+otherwise-balanced runs.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from ..config import LinuxSchedConfig
+from ..sim.events import EventPriority
+from .base import KernelScheduler
+
+if TYPE_CHECKING:  # pragma: no cover
+    from ..hw.machine import ThreadState
+
+__all__ = ["LinuxScheduler"]
+
+
+class LinuxScheduler(KernelScheduler):
+    """O(n) epoch scheduler with counters, goodness and affinity.
+
+    Parameters
+    ----------
+    config:
+        Tick period, slice length, affinity bonus, rebalance noise.
+    """
+
+    def __init__(self, config: LinuxSchedConfig | None = None) -> None:
+        super().__init__()
+        self.config = config or LinuxSchedConfig()
+        self._counters: dict[int, int] = {}
+        self._epochs = 0
+        self._ticking = False
+
+    # ------------------------------------------------------------------ start
+
+    def start(self) -> None:
+        """Grant initial slices, dispatch the best candidates, start ticking.
+
+        Initial counters are randomized in ``[1, default_ticks]``: on a real
+        system threads never start their slices in lockstep (interrupts,
+        wakeups and prior history desynchronize per-CPU switching). Without
+        this, identical slice lengths make all CPUs switch simultaneously
+        and the baseline accidentally gang-schedules thread cohorts —
+        masking exactly the mixed co-schedules the paper's policies fix.
+        """
+        for t in self.machine.threads():
+            self._counters[t.tid] = int(self.rng.integers(1, self.config.default_ticks + 1))
+        self._fill_idle_cpus()
+        self._ticking = True
+        self.engine.schedule_after(
+            self.config.tick_us, self._tick, priority=EventPriority.KERNEL
+        )
+
+    # ------------------------------------------------------------------ state
+
+    @property
+    def epochs(self) -> int:
+        """Number of epoch recharges performed."""
+        return self._epochs
+
+    def counter(self, tid: int) -> int:
+        """Remaining slice ticks of a thread."""
+        return self._counters.get(tid, 0)
+
+    def _counter_of(self, tid: int) -> int:
+        """Counter with lazy initialization for late-arriving threads.
+
+        A thread forked after :meth:`start` (dynamic job arrival) gets a
+        fresh default slice the first time the scheduler considers it —
+        2.4 forks split the parent's slice; a fresh slice is the closest
+        sensible analog for an independently arriving job.
+        """
+        if tid not in self._counters:
+            self._counters[tid] = self.config.default_ticks
+        return self._counters[tid]
+
+    def goodness(self, thread: "ThreadState", cpu_id: int) -> float:
+        """2.4-style goodness of ``thread`` for ``cpu_id``.
+
+        Zero when the slice is exhausted; otherwise the remaining counter
+        plus the affinity bonus when the thread last ran on this CPU.
+        """
+        counter = self._counter_of(thread.tid)
+        if counter <= 0:
+            return 0.0
+        bonus = self.config.affinity_bonus if thread.last_cpu == cpu_id else 0
+        return float(counter + bonus)
+
+    # ------------------------------------------------------------------- tick
+
+    def _tick(self) -> None:
+        machine = self.machine
+        if machine.all_finished():
+            # Stop ticking; on_new_threads() restarts the loop if jobs
+            # arrive later (open-system mode).
+            self._ticking = False
+            return
+        cfg = self.config
+        # 1. charge the running threads for the elapsed tick
+        expired: set[int] = set()
+        for cpu in machine.cpus:
+            if cpu.tid is None:
+                continue
+            c = self._counters.get(cpu.tid, 0)
+            c = max(0, c - 1)
+            self._counters[cpu.tid] = c
+            if c == 0:
+                expired.add(cpu.tid)
+        # 2. epoch: if every runnable thread has an exhausted counter,
+        #    recharge everyone (sleepers keep half — 2.4 semantics)
+        runnable = machine.runnable_threads()
+        if runnable and all(self._counters.get(t.tid, 0) == 0 for t in runnable):
+            self._epochs += 1
+            for t in machine.threads():
+                if not t.finished:
+                    # counter//2 carry-over (2.4 sleeper bonus) plus one
+                    # tick of jitter so slices do not re-synchronize into
+                    # lockstep cohorts after every epoch.
+                    jitter = int(self.rng.integers(0, 2))
+                    self._counters[t.tid] = (
+                        self._counters.get(t.tid, 0) // 2 + cfg.default_ticks + jitter
+                    )
+            machine.trace.record(machine.now, "sched.epoch", number=self._epochs)
+        # 3. CPUs whose thread expired (or that are idle) pick again
+        for cpu in machine.cpus:
+            needs = cpu.tid is None or cpu.tid in expired
+            if needs:
+                self._pick_for_cpu(cpu.cpu_id)
+        # 4. residual migration noise of the real kernel
+        if cfg.rebalance_prob > 0.0 and float(self.rng.random()) < cfg.rebalance_prob:
+            self._random_rebalance()
+        self.engine.schedule_after(cfg.tick_us, self._tick, priority=EventPriority.KERNEL)
+
+    def _pick_for_cpu(self, cpu_id: int) -> None:
+        """O(n) scan: dispatch the highest-goodness candidate.
+
+        2.4 semantics: if the scan finds only zero-goodness candidates
+        (exhausted slices) while waiters exist, ``schedule()`` recharges
+        every process's counter and rescans — otherwise a CPU could sit
+        idle next to a runnable thread whose slice just ran out.
+        """
+        machine = self.machine
+        current = machine.cpus[cpu_id].tid
+        for attempt in range(2):
+            best_tid: int | None = None
+            best_g = 0.0
+            waiters = False
+            for t in machine.runnable_threads():
+                if t.cpu is not None and t.cpu != cpu_id:
+                    continue  # running elsewhere: not stealable mid-run
+                if t.cpu is None:
+                    waiters = True
+                g = self.goodness(t, cpu_id)
+                if g > best_g:
+                    best_g = g
+                    best_tid = t.tid
+            if best_tid is not None:
+                if best_tid != current:
+                    machine.dispatch(cpu_id, best_tid)
+                return
+            if not waiters and current is not None:
+                return  # keep the incumbent; nobody else to run
+            if attempt == 0 and waiters:
+                # recalculate_counters: all candidates exhausted
+                cfg = self.config
+                for t in machine.threads():
+                    if not t.finished:
+                        jitter = int(self.rng.integers(0, 2))
+                        self._counters[t.tid] = (
+                            self._counters.get(t.tid, 0) // 2 + cfg.default_ticks + jitter
+                        )
+                self._epochs += 1
+                machine.trace.record(machine.now, "sched.epoch", number=self._epochs)
+                continue
+            return
+
+    def _random_rebalance(self) -> None:
+        busy = [c.cpu_id for c in self.machine.cpus if c.tid is not None]
+        if len(busy) < 2:
+            return
+        i, j = self.rng.choice(len(busy), size=2, replace=False)
+        cpu_a, cpu_b = busy[int(i)], busy[int(j)]
+        tid_a = self.machine.cpus[cpu_a].tid
+        tid_b = self.machine.cpus[cpu_b].tid
+        assert tid_a is not None and tid_b is not None
+        self.machine.dispatch(cpu_a, None)
+        self.machine.dispatch(cpu_a, tid_b)
+        self.machine.dispatch(cpu_b, tid_a)
+        self.machine.trace.record(self.machine.now, "sched.rebalance", cpus=(cpu_a, cpu_b))
+
+    # -------------------------------------------------------------- callbacks
+
+    def on_thread_exit(self, thread: "ThreadState") -> None:
+        """Fill the freed CPU immediately."""
+        self._counters.pop(thread.tid, None)
+        self._fill_idle_cpus()
+
+    def on_block_change(self, tid: int, blocked: bool) -> None:
+        """React to CPU-manager signals: fill freed CPUs / place wakeups."""
+        if blocked:
+            self._fill_idle_cpus()
+        else:
+            self._wake_thread(tid)
+
+    def on_io_change(self, thread, asleep: bool) -> None:
+        """I/O sleep frees a CPU; wakeup re-enters via 2.4 wake semantics."""
+        if asleep:
+            self._fill_idle_cpus()
+        elif not thread.finished:
+            self._wake_thread(thread.tid)
+
+    def on_new_threads(self) -> None:
+        """Dynamic arrival: place the newcomers and restart the tick loop."""
+        self._fill_idle_cpus()
+        if not self._ticking:
+            self._ticking = True
+            self.engine.schedule_after(
+                self.config.tick_us, self._tick, priority=EventPriority.KERNEL
+            )
+
+    # ---------------------------------------------------------------- helpers
+
+    def _fill_idle_cpus(self) -> None:
+        for cpu in self.machine.cpus:
+            if cpu.tid is None:
+                self._pick_for_cpu(cpu.cpu_id)
+
+    def _wake_thread(self, tid: int) -> None:
+        """2.4 ``reschedule_idle``: idle CPU first (prefer affinity), else
+        preempt the lowest-goodness running thread if we beat it."""
+        machine = self.machine
+        thread = machine.thread(tid)
+        if not thread.runnable or thread.cpu is not None:
+            return
+        if self._counters.get(tid, 0) <= 0:
+            # Woken with an exhausted slice: give it a fresh one (a real
+            # 2.4 sleeper would have accumulated counter while asleep).
+            self._counters[tid] = self.config.default_ticks
+        idle = self.idle_cpus()
+        if idle:
+            preferred = thread.last_cpu if thread.last_cpu in idle else idle[0]
+            machine.dispatch(preferred, tid)
+            return
+        # No idle CPU: consider preemption.
+        victim_cpu = None
+        victim_g = float("inf")
+        for cpu in machine.cpus:
+            assert cpu.tid is not None
+            g = self.goodness(machine.thread(cpu.tid), cpu.cpu_id)
+            if g < victim_g:
+                victim_g = g
+                victim_cpu = cpu.cpu_id
+        my_g = self.goodness(thread, victim_cpu if victim_cpu is not None else 0)
+        if victim_cpu is not None and my_g > victim_g:
+            machine.dispatch(victim_cpu, tid)

@@ -1,0 +1,23 @@
+"""Discrete-event simulation core.
+
+The engine (:mod:`repro.sim.engine`) owns simulated time and a heap of timer
+events. Continuous progress (thread execution, bus transfers) happens in
+*settling intervals* between events: the machine model reports the earliest
+time at which its internal state changes qualitatively (a thread completes,
+a demand phase ends, a cache rebuild drains), the engine advances exactly to
+the minimum of that horizon and the next timer event, and the machine
+integrates progress analytically over the interval — rates are piecewise
+constant by construction, so no numerical integration error accumulates.
+"""
+
+from .engine import Engine, EventHandle
+from .events import EventPriority
+from .trace import TraceRecorder, TraceRecord
+
+__all__ = [
+    "Engine",
+    "EventHandle",
+    "EventPriority",
+    "TraceRecorder",
+    "TraceRecord",
+]

@@ -1,0 +1,44 @@
+"""Workload models: applications, demand patterns, microbenchmarks.
+
+* :mod:`repro.workloads.patterns` — demand-rate processes (constant,
+  phased, Markov-burst, jittered) as piecewise-constant functions of work.
+* :mod:`repro.workloads.base` — :class:`ApplicationSpec` (a reusable
+  description) and :class:`Application` (a running instance whose threads
+  are registered with a machine).
+* :mod:`repro.workloads.suites` — the paper's eleven NAS / Splash-2
+  applications, calibrated to Figure 1A's solo transaction rates.
+* :mod:`repro.workloads.microbench` — the BBMA and nBBMA microbenchmarks.
+* :mod:`repro.workloads.stream` — the STREAM capacity probe.
+* :mod:`repro.workloads.synth` — randomized workload generation for
+  property tests and ablations.
+"""
+
+from .base import Application, ApplicationSpec
+from .microbench import bbma_spec, nbbma_spec
+from .patterns import (
+    ConstantPattern,
+    DemandPattern,
+    JitterPattern,
+    MarkovBurstPattern,
+    PhasedPattern,
+    TracePattern,
+)
+from .stream import stream_spec
+from .suites import PAPER_APPS, paper_app, paper_app_names
+
+__all__ = [
+    "Application",
+    "ApplicationSpec",
+    "ConstantPattern",
+    "DemandPattern",
+    "JitterPattern",
+    "MarkovBurstPattern",
+    "PhasedPattern",
+    "TracePattern",
+    "PAPER_APPS",
+    "paper_app",
+    "paper_app_names",
+    "bbma_spec",
+    "nbbma_spec",
+    "stream_spec",
+]

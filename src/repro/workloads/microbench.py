@@ -1,0 +1,70 @@
+"""The paper's two microbenchmarks: BBMA and nBBMA.
+
+**BBMA** ("Bus Bandwidth Microbenchmark, Aggressive"): writes column-wise
+through a two-dimensional array twice the size of the Xeon's L2 cache, one
+element per cache line, so every access misses — ~0 % hit rate, back-to-back
+memory traffic, 23.6 bus transactions/µs on the paper's platform. It is the
+saturating antagonist of experiment sets A and C.
+
+**nBBMA** ("non-Bus-Bandwidth Microbenchmark"): walks an array half the L2
+size row-wise; after compulsory misses it runs entirely out of cache —
+~100 % hit rate, 0.0037 transactions/µs. It is the innocuous partner of
+sets B and C.
+
+Both are single-threaded. Their work is effectively unbounded (they run for
+as long as the experiment needs them); experiments stop on the *target*
+applications' completion, matching the paper's measurement of application
+turnaround times within a steadily multiprogrammed machine.
+"""
+
+from __future__ import annotations
+
+from ..units import XEON_L2_LINES
+from .base import ApplicationSpec
+from .patterns import ConstantPattern
+
+__all__ = ["BBMA_RATE_TXUS", "NBBMA_RATE_TXUS", "bbma_spec", "nbbma_spec"]
+
+#: Paper-measured BBMA transaction rate (tx/µs): "In average, it performs
+#: 23.6 bus transactions/usec."
+BBMA_RATE_TXUS: float = 23.6
+
+#: Paper-measured nBBMA transaction rate (tx/µs): "Its average bus
+#: transaction rate is 0.0037 transactions/usec."
+NBBMA_RATE_TXUS: float = 0.0037
+
+#: Effectively-unbounded work for background microbenchmarks (µs of solo
+#: execution — three orders of magnitude beyond any experiment's horizon).
+_UNBOUNDED_WORK_US: float = 1e12
+
+
+def bbma_spec(work_us: float = _UNBOUNDED_WORK_US) -> ApplicationSpec:
+    """The streaming, bus-saturating microbenchmark.
+
+    Its array is twice the L2 size and accessed with ~0 % hit rate, so its
+    footprint exceeds the cache (never warm — and it would not matter: it
+    is fully memory-bound already).
+    """
+    return ApplicationSpec(
+        name="BBMA",
+        n_threads=1,
+        work_per_thread_us=work_us,
+        pattern=ConstantPattern(BBMA_RATE_TXUS),
+        footprint_lines=float(2 * XEON_L2_LINES),
+        migration_sensitivity=0.0,
+    )
+
+
+def nbbma_spec(work_us: float = _UNBOUNDED_WORK_US) -> ApplicationSpec:
+    """The cache-resident, bus-silent microbenchmark.
+
+    Array half the L2 size, ~100 % hit rate: negligible bus traffic.
+    """
+    return ApplicationSpec(
+        name="nBBMA",
+        n_threads=1,
+        work_per_thread_us=work_us,
+        pattern=ConstantPattern(NBBMA_RATE_TXUS),
+        footprint_lines=float(XEON_L2_LINES // 2),
+        migration_sensitivity=0.0,
+    )

@@ -1,0 +1,45 @@
+"""The STREAM capacity probe.
+
+The paper calibrates its platform with John McCalpin's STREAM benchmark:
+"the practically sustained bandwidth ... is 1797 MB/s when requests are
+issued from all processors. The highest bus transactions rate sustained by
+STREAM is 29.5 transactions/usec." We model STREAM as one fully streaming
+thread per processor; the calibration experiment
+(:mod:`repro.experiments.calibration`) runs it and reports the measured
+sustained rate, which is what every scheduler and policy in this library
+treats as the machine's usable bus capacity.
+"""
+
+from __future__ import annotations
+
+from ..units import XEON_L2_LINES
+from .base import ApplicationSpec
+from .patterns import ConstantPattern
+
+__all__ = ["stream_spec", "STREAM_THREAD_RATE_TXUS"]
+
+#: Unloaded per-thread demand of a STREAM thread (tx/µs). Any value at or
+#: above ``capacity / n_cpus`` saturates the bus; the real STREAM kernel
+#: streams as fast as one core can, which on the paper's Xeons is the
+#: platform streaming ceiling (the same back-to-back rate BBMA reaches).
+STREAM_THREAD_RATE_TXUS: float = 23.6
+
+
+def stream_spec(n_threads: int = 4, work_us: float = 2_000_000.0) -> ApplicationSpec:
+    """STREAM with one thread per processor (default: the paper's 4).
+
+    Parameters
+    ----------
+    n_threads:
+        Thread count; the calibration experiment matches it to the machine.
+    work_us:
+        Per-thread solo work (long enough for the measurement window).
+    """
+    return ApplicationSpec(
+        name="STREAM",
+        n_threads=n_threads,
+        work_per_thread_us=work_us,
+        pattern=ConstantPattern(STREAM_THREAD_RATE_TXUS),
+        footprint_lines=float(2 * XEON_L2_LINES),
+        migration_sensitivity=0.0,
+    )

@@ -1,0 +1,196 @@
+"""The paper's application suite: eleven NAS / Splash-2 codes.
+
+The paper evaluates with hand-optimized OpenMP codes from the NAS (BT, SP,
+MG, CG) and Splash-2 (Radiosity, Water-nsqr, Volrend, Barnes, FMM, LU CB,
+Raytrace) suites, each run with two threads. Figure 1A reports their solo
+*cumulative* (two-thread) bus transaction rates, ranging from 0.48 to 23.31
+tx/µs in the order below. We model each application synthetically with:
+
+* a per-thread demand pattern whose mean equals half the Figure 1A rate,
+* a *shape*: constant-with-jitter for the low-demand codes, strongly phased
+  for the regular solvers (SP, MG, BT, CG — sweep/exchange structure), and
+  two-state Markov bursts for the codes the paper singles out as irregular
+  (Raytrace, LU),
+* a cache footprint (streaming codes exceed the 256 KB L2; cache-resident
+  codes fit comfortably), and
+* a migration sensitivity for the very-high-hit-ratio codes the paper
+  identifies as migration-sensitive (LU CB at 99.53 % L2 hit rate, and
+  Water-nsqr).
+
+The numbers for SP…CG below are read off Figure 1A's bars; the text anchors
+the extremes (0.48 and 23.31). Where the figure is ambiguous we keep the
+*ordering* exact — every experiment sorts applications by this rate, as the
+paper's figures do.
+"""
+
+from __future__ import annotations
+
+from ..errors import WorkloadError
+from .base import ApplicationSpec
+from .patterns import JitterPattern, MarkovBurstPattern, PhasedPattern
+
+__all__ = ["PAPER_APPS", "paper_app", "paper_app_names", "PAPER_SOLO_RATES"]
+
+#: Solo cumulative (2-thread) bus transaction rates, tx/µs, in Figure 1A's
+#: increasing order. Extremes are given in the text; interior values are
+#: read off the figure.
+PAPER_SOLO_RATES: dict[str, float] = {
+    "Radiosity": 0.48,
+    "Water-nsqr": 0.90,
+    "Volrend": 1.80,
+    "Barnes": 2.80,
+    "FMM": 4.20,
+    "LU CB": 5.60,
+    "BT": 7.50,
+    "SP": 14.00,
+    "MG": 17.50,
+    "Raytrace": 21.00,
+    "CG": 23.31,
+}
+
+
+def _two_phase(mean: float, swing: float, lo_work: float, hi_work: float) -> PhasedPattern:
+    """A two-phase cycle with the given mean rate and peak-to-mean swing.
+
+    ``swing`` is the ratio peak/mean; the low phase compensates so the
+    work-weighted mean equals ``mean``.
+    """
+    hi = mean * swing
+    total = lo_work + hi_work
+    lo = (mean * total - hi * hi_work) / lo_work
+    if lo < 0:
+        raise WorkloadError("two-phase swing infeasible (negative low rate)")
+    return PhasedPattern(((lo_work, lo), (hi_work, hi)))
+
+
+def _burst(mean: float, hi: float, frac_hi: float, dwell: float) -> MarkovBurstPattern:
+    """A two-state burst pattern with the given mean, peak and duty cycle."""
+    lo = (mean - hi * frac_hi) / (1.0 - frac_hi)
+    if lo < 0:
+        raise WorkloadError("burst parameters infeasible (negative low rate)")
+    return MarkovBurstPattern(
+        low_rate_txus=lo,
+        high_rate_txus=hi,
+        mean_low_work_us=dwell * (1.0 - frac_hi),
+        mean_high_work_us=dwell * frac_hi,
+    )
+
+
+def _apps() -> dict[str, ApplicationSpec]:
+    r = PAPER_SOLO_RATES  # cumulative two-thread rates
+    half = {k: v / 2.0 for k, v in r.items()}
+    return {
+        # Low-demand Splash-2 codes: nearly flat traces, modest footprints.
+        "Radiosity": ApplicationSpec(
+            name="Radiosity",
+            n_threads=2,
+            work_per_thread_us=1_800_000.0,
+            pattern=JitterPattern(half["Radiosity"], jitter=0.15, chunk_work_us=20_000.0),
+            footprint_lines=2048.0,
+        ),
+        "Water-nsqr": ApplicationSpec(
+            name="Water-nsqr",
+            n_threads=2,
+            work_per_thread_us=1_600_000.0,
+            pattern=JitterPattern(half["Water-nsqr"], jitter=0.15, chunk_work_us=20_000.0),
+            footprint_lines=1536.0,
+            migration_sensitivity=3.0,  # paper: very sensitive to migrations
+        ),
+        "Volrend": ApplicationSpec(
+            name="Volrend",
+            n_threads=2,
+            work_per_thread_us=1_700_000.0,
+            pattern=JitterPattern(half["Volrend"], jitter=0.2, chunk_work_us=15_000.0),
+            footprint_lines=2560.0,
+        ),
+        "Barnes": ApplicationSpec(
+            name="Barnes",
+            n_threads=2,
+            work_per_thread_us=2_000_000.0,
+            pattern=_two_phase(half["Barnes"], swing=1.8, lo_work=60_000.0, hi_work=20_000.0),
+            footprint_lines=3072.0,
+        ),
+        "FMM": ApplicationSpec(
+            name="FMM",
+            n_threads=2,
+            work_per_thread_us=2_100_000.0,
+            pattern=_two_phase(half["FMM"], swing=1.7, lo_work=50_000.0, hi_work=25_000.0),
+            footprint_lines=3072.0,
+        ),
+        # LU CB: low bus demand (99.53 % hit rate) but irregular and highly
+        # migration-sensitive — the paper's anomaly case.
+        "LU CB": ApplicationSpec(
+            name="LU CB",
+            n_threads=2,
+            work_per_thread_us=1_900_000.0,
+            pattern=_burst(half["LU CB"], hi=9.0, frac_hi=0.18, dwell=30_000.0),
+            footprint_lines=4096.0,
+            migration_sensitivity=4.0,
+        ),
+        "BT": ApplicationSpec(
+            name="BT",
+            n_threads=2,
+            work_per_thread_us=2_200_000.0,
+            pattern=_two_phase(half["BT"], swing=1.6, lo_work=40_000.0, hi_work=25_000.0),
+            footprint_lines=5120.0,
+        ),
+        # The four high-demand codes (paper: SP, MG, Raytrace, CG push the
+        # bus close to capacity when doubled). Strong phase swings model the
+        # sweep/exchange structure of the NAS solvers.
+        "SP": ApplicationSpec(
+            name="SP",
+            n_threads=2,
+            work_per_thread_us=2_000_000.0,
+            pattern=_two_phase(half["SP"], swing=1.75, lo_work=30_000.0, hi_work=25_000.0),
+            footprint_lines=6144.0,
+        ),
+        "MG": ApplicationSpec(
+            name="MG",
+            n_threads=2,
+            work_per_thread_us=1_800_000.0,
+            pattern=_two_phase(half["MG"], swing=1.6, lo_work=25_000.0, hi_work=25_000.0),
+            footprint_lines=8192.0,
+        ),
+        "Raytrace": ApplicationSpec(
+            name="Raytrace",
+            n_threads=2,
+            work_per_thread_us=2_400_000.0,
+            # Peaks stay below the two-thread saturation point (so the solo
+            # run reproduces Figure 1A's 21 tx/µs) but are long and tall
+            # enough to destabilize the Latest Quantum policy (Section 5).
+            pattern=_burst(half["Raytrace"], hi=14.2, frac_hi=0.6, dwell=140_000.0),
+            footprint_lines=8192.0,
+        ),
+        "CG": ApplicationSpec(
+            name="CG",
+            n_threads=2,
+            work_per_thread_us=2_000_000.0,
+            pattern=_two_phase(half["CG"], swing=1.35, lo_work=25_000.0, hi_work=30_000.0),
+            footprint_lines=8192.0,
+        ),
+    }
+
+
+#: The paper's applications, keyed by name, in Figure 1A order.
+PAPER_APPS: dict[str, ApplicationSpec] = _apps()
+
+
+def paper_app_names() -> list[str]:
+    """Application names in Figure 1A order (increasing solo rate)."""
+    return list(PAPER_APPS)
+
+
+def paper_app(name: str) -> ApplicationSpec:
+    """Look up one of the paper's applications by name.
+
+    Raises
+    ------
+    WorkloadError
+        If the name is unknown.
+    """
+    try:
+        return PAPER_APPS[name]
+    except KeyError:
+        raise WorkloadError(
+            f"unknown application {name!r}; known: {', '.join(PAPER_APPS)}"
+        ) from None

@@ -1,0 +1,54 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.config import BusConfig, CacheConfig, LinuxSchedConfig, MachineConfig, ManagerConfig
+from repro.hw.machine import Machine
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceRecorder
+from repro.workloads.patterns import ConstantPattern
+
+
+@pytest.fixture
+def engine() -> Engine:
+    """A fresh engine at t=0."""
+    return Engine()
+
+
+@pytest.fixture
+def machine(engine: Engine) -> Machine:
+    """A default 4-CPU paper machine with tracing enabled."""
+    return Machine(MachineConfig(), engine, TraceRecorder())
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests."""
+    return np.random.default_rng(12345)
+
+
+def make_thread(machine: Machine, rate: float = 5.0, work: float = 10_000.0, **kw):
+    """Convenience: add a constant-rate thread."""
+    pattern = ConstantPattern(rate).bind(np.random.default_rng(0))
+    return machine.add_thread(f"t{rate}", pattern, work, **kw)
+
+
+@pytest.fixture
+def quick_manager_config() -> ManagerConfig:
+    """A small manager quantum for fast multi-quantum tests."""
+    return ManagerConfig(quantum_us=20_000.0)
+
+
+@pytest.fixture
+def quick_linux_config() -> LinuxSchedConfig:
+    """A fast-ticking kernel config for unit tests."""
+    return LinuxSchedConfig(tick_us=1_000.0)
+
+
+@pytest.fixture
+def tiny_machine_config() -> MachineConfig:
+    """A 2-CPU machine for compact scheduling tests."""
+    return MachineConfig(n_cpus=2)

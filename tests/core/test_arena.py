@@ -1,0 +1,125 @@
+"""Shared arena protocol tests."""
+
+import pytest
+
+from repro.core.arena import ArenaSample, SharedArena
+from repro.errors import ArenaError
+
+
+@pytest.fixture
+def arena() -> SharedArena:
+    return SharedArena(sample_period_us=100_000.0)
+
+
+def _sample(t, tx, run):
+    return ArenaSample(time_us=t, cum_transactions=tx, cum_runtime_us=run)
+
+
+class TestConnection:
+    def test_connect_creates_descriptor(self, arena):
+        d = arena.connect(1, "CG#1", [10, 11])
+        assert d.n_threads == 2
+        assert arena.descriptor(1) is d
+        assert arena.list_order() == [1]
+
+    def test_double_connect_rejected(self, arena):
+        arena.connect(1, "CG#1", [10])
+        with pytest.raises(ArenaError):
+            arena.connect(1, "CG#1", [10])
+
+    def test_empty_threads_rejected(self, arena):
+        with pytest.raises(ArenaError):
+            arena.connect(1, "CG#1", [])
+
+    def test_unknown_descriptor_rejected(self, arena):
+        with pytest.raises(ArenaError):
+            arena.descriptor(9)
+
+    def test_disconnect_removes_from_list(self, arena):
+        arena.connect(1, "a", [1])
+        arena.connect(2, "b", [2])
+        arena.disconnect(1)
+        assert arena.list_order() == [2]
+        assert not arena.descriptor(1).connected
+
+    def test_invalid_period(self):
+        with pytest.raises(ArenaError):
+            SharedArena(sample_period_us=0.0)
+
+
+class TestPublication:
+    def test_publish_and_latest(self, arena):
+        d = arena.connect(1, "a", [1, 2])
+        d.publish(_sample(0.0, 0.0, 0.0))
+        d.publish(_sample(100.0, 500.0, 180.0))
+        assert d.latest.cum_transactions == 500.0
+
+    def test_regression_rejected(self, arena):
+        d = arena.connect(1, "a", [1])
+        d.publish(_sample(100.0, 500.0, 100.0))
+        with pytest.raises(ArenaError):
+            d.publish(_sample(200.0, 400.0, 150.0))
+
+    def test_time_regression_rejected(self, arena):
+        d = arena.connect(1, "a", [1])
+        d.publish(_sample(100.0, 1.0, 1.0))
+        with pytest.raises(ArenaError):
+            d.publish(_sample(50.0, 2.0, 2.0))
+
+    def test_publish_after_disconnect_rejected(self, arena):
+        d = arena.connect(1, "a", [1])
+        arena.disconnect(1)
+        with pytest.raises(ArenaError):
+            d.publish(_sample(1.0, 1.0, 1.0))
+
+
+class TestRates:
+    def test_rate_equipartitions_over_threads(self, arena):
+        # 2 threads, 1000 tx over 200 us of accumulated run time:
+        # per-thread rate = (1000/2) / (200/2) = 5 tx/us
+        d = arena.connect(1, "a", [1, 2])
+        a = _sample(0.0, 0.0, 0.0)
+        b = _sample(100.0, 1000.0, 200.0)
+        assert d.rate_between(a, b) == pytest.approx(5.0)
+
+    def test_rate_none_when_not_run(self, arena):
+        d = arena.connect(1, "a", [1, 2])
+        a = _sample(0.0, 100.0, 50.0)
+        b = _sample(100.0, 100.0, 50.0)
+        assert d.rate_between(a, b) is None
+
+    def test_rate_uses_runtime_not_walltime(self, arena):
+        # half-quantum run: same rate as a full-quantum run
+        d = arena.connect(1, "a", [1, 2])
+        full = d.rate_between(_sample(0, 0, 0), _sample(200, 2000, 400))
+        half = d.rate_between(_sample(0, 0, 0), _sample(200, 1000, 200))
+        assert full == pytest.approx(half)
+
+
+class TestCircularList:
+    def test_move_to_back_preserves_relative_order(self, arena):
+        for i in range(1, 6):
+            arena.connect(i, f"a{i}", [i])
+        arena.move_to_back([2, 4])
+        assert arena.list_order() == [1, 3, 5, 2, 4]
+
+    def test_move_unknown_rejected(self, arena):
+        arena.connect(1, "a", [1])
+        with pytest.raises(ArenaError):
+            arena.move_to_back([9])
+
+    def test_rotation_cycles_every_app_to_head(self, arena):
+        for i in range(1, 4):
+            arena.connect(i, f"a{i}", [i])
+        seen_heads = set()
+        for _ in range(6):
+            head = arena.list_order()[0]
+            seen_heads.add(head)
+            arena.move_to_back([head])
+        assert seen_heads == {1, 2, 3}
+
+    def test_connected_follows_order(self, arena):
+        arena.connect(1, "a", [1])
+        arena.connect(2, "b", [2])
+        arena.move_to_back([1])
+        assert [d.app_id for d in arena.connected()] == [2, 1]

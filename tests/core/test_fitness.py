@@ -1,0 +1,74 @@
+"""Fitness metric tests (Equation 1 semantics)."""
+
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro.core.fitness import (
+    FITNESS_FUNCTIONS,
+    constant_fitness,
+    linear_fitness,
+    lowest_bandwidth_fitness,
+    paper_fitness,
+)
+
+_vals = st.floats(min_value=-100.0, max_value=100.0, allow_nan=False)
+
+
+class TestPaperFitness:
+    def test_perfect_match_hits_scale(self):
+        assert paper_fitness(7.0, 7.0) == 1000.0
+
+    def test_equation_one_example(self):
+        # Fitness = 1000 / (1 + |ABBW - BBW|)
+        assert paper_fitness(5.0, 9.0) == pytest.approx(1000.0 / 5.0)
+
+    def test_symmetric_in_distance(self):
+        assert paper_fitness(5.0, 8.0) == paper_fitness(8.0, 5.0)
+
+    def test_saturation_prefers_lowest_bandwidth(self):
+        # "As soon as the bus gets overloaded, ABBW/proc turns negative and
+        # the application with the lowest BBW/thread becomes the fittest."
+        abbw = -3.0
+        candidates = [0.1, 2.0, 11.0, 23.6]
+        scores = [paper_fitness(abbw, c) for c in candidates]
+        assert scores.index(max(scores)) == 0
+        assert scores == sorted(scores, reverse=True)
+
+    def test_custom_scale(self):
+        assert paper_fitness(1.0, 1.0, scale=500.0) == 500.0
+
+    @given(_vals, _vals)
+    @settings(max_examples=200, deadline=None)
+    def test_positive_and_bounded(self, abbw, bbw):
+        f = paper_fitness(abbw, bbw)
+        assert 0.0 < f <= 1000.0
+
+    @given(_vals, _vals, _vals)
+    @settings(max_examples=200, deadline=None)
+    def test_closer_is_fitter(self, abbw, b1, b2):
+        d1, d2 = abs(abbw - b1), abs(abbw - b2)
+        assume(d2 - d1 > 1e-6)  # meaningfully closer (beyond float noise)
+        assert paper_fitness(abbw, b1) > paper_fitness(abbw, b2)
+
+
+class TestAlternatives:
+    @given(_vals, _vals, _vals)
+    @settings(max_examples=100, deadline=None)
+    def test_linear_same_argmax_as_paper(self, abbw, b1, b2):
+        # linear distance induces the same preference order as Eq. 1
+        # (away from float-precision ties)
+        assume(abs(abs(abbw - b1) - abs(abbw - b2)) > 1e-6)
+        paper_prefers_b1 = paper_fitness(abbw, b1) > paper_fitness(abbw, b2)
+        linear_prefers_b1 = linear_fitness(abbw, b1) > linear_fitness(abbw, b2)
+        assert paper_prefers_b1 == linear_prefers_b1
+
+    def test_lowest_bandwidth_ignores_abbw(self):
+        assert lowest_bandwidth_fitness(5.0, 2.0) == lowest_bandwidth_fitness(-50.0, 2.0)
+        assert lowest_bandwidth_fitness(0.0, 1.0) > lowest_bandwidth_fitness(0.0, 2.0)
+
+    def test_constant_is_constant(self):
+        assert constant_fitness(1.0, 2.0) == constant_fitness(-9.0, 99.0) == 0.0
+
+    def test_registry_complete(self):
+        assert set(FITNESS_FUNCTIONS) == {"paper", "linear", "lowest-bw", "constant"}

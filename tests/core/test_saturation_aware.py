@@ -1,0 +1,97 @@
+"""Saturation-aware estimation tests (the limit-cycle fix).
+
+A bandwidth measurement taken while the whole workload consumed (nearly)
+the full bus is only a *lower bound* on a job's demand: the job may have
+been granted less than it asked for. Naive estimators let such samples
+drag estimates down to ≈ capacity/n, at which point Equation 1 sees a
+"perfect fit" in packing n streaming jobs together — a self-reinforcing
+limit cycle that starves real applications of quanta (ABL-S demonstrates
+it end-to-end). These tests pin the estimator-level behaviour.
+"""
+
+import pytest
+
+from repro.config import LinuxSchedConfig, ManagerConfig
+from repro.core.policies import EwmaPolicy, LatestQuantumPolicy, QuantaWindowPolicy
+
+
+class TestLatestQuantum:
+    def test_saturated_sample_never_lowers(self):
+        pol = LatestQuantumPolicy()
+        pol.on_quantum(1, 14.0)
+        pol.on_quantum(1, 7.4, saturated=True)
+        assert pol.estimate(1) == 14.0
+
+    def test_saturated_sample_can_raise(self):
+        pol = LatestQuantumPolicy()
+        pol.on_quantum(1, 7.0)
+        pol.on_quantum(1, 12.0, saturated=True)
+        assert pol.estimate(1) == 12.0
+
+    def test_unsaturated_sample_lowers(self):
+        pol = LatestQuantumPolicy()
+        pol.on_quantum(1, 14.0)
+        pol.on_quantum(1, 2.0, saturated=False)
+        assert pol.estimate(1) == 2.0
+
+    def test_first_sample_accepted_even_saturated(self):
+        pol = LatestQuantumPolicy()
+        pol.on_quantum(1, 7.4, saturated=True)
+        assert pol.estimate(1) == 7.4
+
+
+class TestQuantaWindow:
+    def test_saturated_samples_do_not_drag_average(self):
+        pol = QuantaWindowPolicy(window_length=5)
+        pol.on_sample(1, 14.0)
+        before = pol.estimate(1)
+        for _ in range(5):
+            pol.on_sample(1, 7.0, saturated=True)
+        assert pol.estimate(1) >= before - 1e-9
+
+    def test_window_still_slides_upward_under_saturation(self):
+        pol = QuantaWindowPolicy(window_length=3)
+        pol.on_sample(1, 5.0)
+        pol.on_sample(1, 20.0, saturated=True)  # higher: accepted
+        assert pol.estimate(1) == pytest.approx(12.5)
+
+    def test_unsaturated_recovery(self):
+        pol = QuantaWindowPolicy(window_length=2)
+        pol.on_sample(1, 14.0)
+        pol.on_sample(1, 14.0)
+        pol.on_sample(1, 1.0, saturated=False)
+        pol.on_sample(1, 1.0, saturated=False)
+        assert pol.estimate(1) == pytest.approx(1.0)
+
+
+class TestEwma:
+    def test_saturated_lower_sample_ignored(self):
+        pol = EwmaPolicy(alpha=0.5)
+        pol.on_sample(1, 16.0)
+        pol.on_sample(1, 8.0, saturated=True)
+        assert pol.estimate(1) == 16.0
+
+    def test_saturated_higher_sample_folded(self):
+        pol = EwmaPolicy(alpha=0.5)
+        pol.on_sample(1, 8.0)
+        pol.on_sample(1, 16.0, saturated=True)
+        assert pol.estimate(1) == 12.0
+
+
+class TestEndToEnd:
+    def test_limit_cycle_without_awareness(self):
+        """Long saturated runs: naive estimation starves the applications."""
+        from repro.experiments.ablations import run_saturation_ablation
+
+        results = run_saturation_ablation(
+            app_names=("Barnes",), work_scale=0.6, seed=42
+        )
+        aware = results["saturation-aware"]["Barnes"]
+        naive = results["naive"]["Barnes"]
+        assert aware > naive + 10.0  # the cycle costs tens of percent
+
+    def test_config_flag_plumbed(self):
+        cfg = ManagerConfig(saturation_aware=False)
+        assert not cfg.saturation_aware
+        with pytest.raises(Exception):
+            ManagerConfig(saturation_threshold=0.0)

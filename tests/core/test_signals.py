@@ -1,0 +1,132 @@
+"""Signal protocol tests: delivery chains and inversion protection."""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig
+from repro.core.signals import SignalDispatcher
+from repro.errors import ArenaError
+from repro.hw.machine import Machine
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceRecorder
+from repro.workloads.patterns import ConstantPattern
+
+
+def _setup(n_threads=3, first_hop=30.0, forward=15.0, cost=0.0):
+    engine = Engine()
+    machine = Machine(MachineConfig(), engine, TraceRecorder())
+    tids = []
+    for i in range(n_threads):
+        t = machine.add_thread(
+            f"t{i}", ConstantPattern(1.0).bind(np.random.default_rng(i)), 1e9
+        )
+        tids.append(t.tid)
+    changes = []
+    disp = SignalDispatcher(
+        machine,
+        engine,
+        first_hop_latency_us=first_hop,
+        forward_latency_us=forward,
+        on_block_change=lambda tid, blocked: changes.append((tid, blocked)),
+        handling_cost_lines=cost,
+    )
+    return engine, machine, tids, disp, changes
+
+
+class TestDeliveryChain:
+    def test_block_blocks_all_threads(self):
+        engine, machine, tids, disp, changes = _setup()
+        disp.send_block(tids)
+        engine.run_until(1_000.0, advancer=machine)
+        assert all(machine.thread(t).blocked for t in tids)
+        assert len(changes) == 3
+
+    def test_forwarding_latency_staggered(self):
+        engine, machine, tids, disp, changes = _setup(first_hop=30.0, forward=15.0)
+        disp.send_block(tids)
+        engine.run_until(31.0, advancer=machine)
+        assert machine.thread(tids[0]).blocked
+        assert not machine.thread(tids[1]).blocked
+        engine.run_until(46.0, advancer=machine)
+        assert machine.thread(tids[1]).blocked
+        assert not machine.thread(tids[2]).blocked
+        engine.run_until(61.0, advancer=machine)
+        assert machine.thread(tids[2]).blocked
+
+    def test_unblock_after_block(self):
+        engine, machine, tids, disp, changes = _setup()
+        disp.send_block(tids)
+        engine.run_until(1_000.0, advancer=machine)
+        disp.send_unblock(tids)
+        engine.run_until(2_000.0, advancer=machine)
+        assert not any(machine.thread(t).blocked for t in tids)
+
+    def test_empty_group_rejected(self):
+        engine, machine, tids, disp, changes = _setup()
+        with pytest.raises(ArenaError):
+            disp.send_block([])
+
+    def test_signals_sent_counter(self):
+        engine, machine, tids, disp, changes = _setup()
+        disp.send_block(tids)
+        disp.send_unblock(tids)
+        assert disp.signals_sent == 2
+
+
+class TestInversionProtection:
+    def test_rapid_block_unblock_converges_to_last_intent(self):
+        # Send block then unblock back-to-back: regardless of delivery
+        # interleaving, the final state must be unblocked (the paper's
+        # received-counts rule).
+        engine, machine, tids, disp, changes = _setup()
+        disp.send_block(tids)
+        disp.send_unblock(tids)
+        engine.run_until(5_000.0, advancer=machine)
+        assert not any(machine.thread(t).blocked for t in tids)
+        blocks, unblocks = disp.received_counts(tids[0])
+        assert blocks == 1 and unblocks == 1
+
+    def test_unblock_before_block_never_leaves_blocked(self):
+        # The classic inversion: an unblock for quantum N+1 overtakes ...
+        # here: unblock delivered first, then a stale block. Counts protect:
+        # blocked iff blocks > unblocks, so 1 block / 1 unblock = unblocked.
+        engine, machine, tids, disp, changes = _setup()
+        disp.send_unblock(tids)
+        disp.send_block(tids)
+        engine.run_until(5_000.0, advancer=machine)
+        # blocks(1) > unblocks(1) is false -> threads stay runnable
+        assert not any(machine.thread(t).blocked for t in tids)
+
+    def test_double_block_needs_double_unblock_is_not_required(self):
+        # blocked iff blocks > unblocks: 2 blocks + 1 unblock = still blocked;
+        # a second unblock releases.
+        engine, machine, tids, disp, changes = _setup(n_threads=1)
+        disp.send_block(tids)
+        disp.send_block(tids)
+        disp.send_unblock(tids)
+        engine.run_until(5_000.0, advancer=machine)
+        assert machine.thread(tids[0]).blocked
+        disp.send_unblock(tids)
+        engine.run_until(10_000.0, advancer=machine)
+        assert not machine.thread(tids[0]).blocked
+
+    def test_signal_to_finished_thread_harmless(self):
+        engine, machine, tids, disp, changes = _setup(n_threads=1)
+        t = machine.thread(tids[0])
+        t.finished = True  # simulate exit racing the signal
+        disp.send_block(tids)
+        engine.run_until(1_000.0, advancer=machine)
+        assert not t.blocked
+
+
+class TestHandlingCost:
+    def test_cost_charged_as_rebuild_debt(self):
+        engine, machine, tids, disp, changes = _setup(n_threads=1, cost=64.0)
+        disp.send_unblock(tids)  # no state change, but the handler still runs
+        engine.run_until(1_000.0, advancer=machine)
+        assert machine.thread(tids[0]).rebuild_debt == pytest.approx(64.0)
+
+    def test_negative_cost_rejected(self):
+        engine, machine, tids, _, _ = _setup()
+        with pytest.raises(ArenaError):
+            SignalDispatcher(machine, engine, handling_cost_lines=-1.0)

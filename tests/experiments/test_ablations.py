@@ -1,0 +1,78 @@
+"""Ablation harness tests (tiny scale: structure + basic sanity)."""
+
+import pytest
+
+from repro.experiments.ablations import (
+    format_arbitration_ablation,
+    format_fitness_ablation,
+    format_quantum_ablation,
+    format_window_ablation,
+    run_arbitration_ablation,
+    run_fitness_ablation,
+    run_quantum_ablation,
+    run_window_ablation,
+)
+
+
+class TestWindowAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_window_ablation(
+            window_lengths=(1, 5), ewma_alphas=(0.5,), work_scale=0.05, apps=["Raytrace"]
+        )
+
+    def test_estimator_labels(self, rows):
+        assert [r.estimator for r in rows] == ["latest", "window-1", "window-5", "ewma-0.50"]
+
+    def test_improvements_recorded(self, rows):
+        for r in rows:
+            assert "Raytrace" in r.improvements
+
+    def test_format(self, rows):
+        out = format_window_ablation(rows)
+        assert "ABL-W" in out and "Raytrace" in out
+
+
+class TestQuantumAblation:
+    @pytest.fixture(scope="class")
+    def rows(self):
+        return run_quantum_ablation(quanta_ms=(50.0, 200.0), app_name="Barnes", work_scale=0.05)
+
+    def test_rows_per_quantum(self, rows):
+        assert [r.quantum_ms for r in rows] == [50.0, 200.0]
+
+    def test_shorter_quantum_more_dispatch_churn(self, rows):
+        # the paper's observation: smaller manager quanta cause more
+        # scheduling churn against the kernel
+        assert rows[0].dispatches > rows[1].dispatches
+
+    def test_format(self, rows):
+        assert "ABL-Q" in format_quantum_ablation(rows, "Barnes")
+
+
+class TestFitnessAblation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_fitness_ablation(app_names=("CG",), work_scale=0.05)
+
+    def test_all_fitness_functions_present(self, results):
+        assert set(results) == {"paper", "linear", "lowest-bw", "constant"}
+
+    def test_format(self, results):
+        assert "ABL-F" in format_fitness_ablation(results)
+
+
+class TestArbitrationAblation:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return run_arbitration_ablation(app_names=("Barnes", "CG"), work_scale=0.05)
+
+    def test_both_models_present(self, results):
+        assert set(results) == {"shared-latency", "max-min"}
+
+    def test_max_min_protects_light_apps(self, results):
+        # the idealized fair bus slows low-demand apps less under BBMA
+        assert results["max-min"]["Barnes"] <= results["shared-latency"]["Barnes"] + 0.05
+
+    def test_format(self, results):
+        assert "ABL-A" in format_arbitration_ablation(results)

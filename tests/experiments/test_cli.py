@@ -1,0 +1,70 @@
+"""CLI tests."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_experiment_choices(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig2", "--set", "A", "--scale", "0.1"])
+        assert args.experiment == "fig2"
+        assert args.set_name == "A"
+        assert args.scale == 0.1
+
+    def test_apps_csv(self):
+        parser = build_parser()
+        args = parser.parse_args(["fig1", "--apps", "CG, SP"])
+        assert args.apps == "CG, SP"
+
+    def test_invalid_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["fig3"])
+
+
+class TestMain:
+    def test_fig2_single_app(self, capsys):
+        rc = main(["fig2", "--set", "A", "--scale", "0.05", "--apps", "CG"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FIG-2A" in out
+        assert "CG" in out
+
+    def test_fig1_single_app(self, capsys):
+        rc = main(["fig1", "--scale", "0.05", "--apps", "Barnes"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FIG-1A" in out and "FIG-1B" in out
+
+    def test_calibration(self, capsys):
+        rc = main(["calibration", "--scale", "0.05"])
+        assert rc == 0
+        assert "CAL-1" in capsys.readouterr().out
+
+    def test_table1(self, capsys):
+        rc = main(["table1", "--scale", "0.05", "--apps", "CG"])
+        assert rc == 0
+        assert "TAB-1" in capsys.readouterr().out
+
+    def test_smt(self, capsys):
+        rc = main(["smt", "--scale", "0.05", "--apps", "CG"])
+        assert rc == 0
+        assert "EXT-SMT" in capsys.readouterr().out
+
+    def test_io(self, capsys):
+        rc = main(["io", "--scale", "0.05"])
+        assert rc == 0
+        assert "EXT-IO" in capsys.readouterr().out
+
+    def test_kernels(self, capsys):
+        rc = main(["kernels", "--scale", "0.05", "--apps", "CG"])
+        assert rc == 0
+        assert "EXT-K" in capsys.readouterr().out
+
+    def test_validate(self, capsys):
+        rc = main(["validate", "--scale", "0.1"])
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "VALIDATION" in out
+        assert "0 MISS" in out

@@ -1,0 +1,48 @@
+"""CSV export tests."""
+
+import os
+
+import pytest
+
+from repro.experiments.export import export_all
+
+
+class TestExportAll:
+    @pytest.fixture(scope="class")
+    def exported(self, tmp_path_factory):
+        directory = str(tmp_path_factory.mktemp("csv"))
+        paths = export_all(directory, work_scale=0.05)
+        return directory, paths
+
+    def test_all_files_written(self, exported):
+        directory, paths = exported
+        names = {os.path.basename(p) for p in paths}
+        assert names == {
+            "calibration.csv",
+            "fig1a.csv",
+            "fig1b.csv",
+            "fig2a.csv",
+            "fig2b.csv",
+            "fig2c.csv",
+            "table1.csv",
+        }
+
+    def test_csv_headers_and_rows(self, exported):
+        directory, _ = exported
+        with open(os.path.join(directory, "fig1b.csv")) as fh:
+            lines = fh.read().strip().splitlines()
+        assert lines[0] == "app,slowdown_x2,slowdown_+BBMA,slowdown_+nBBMA"
+        assert len(lines) == 12  # header + 11 applications
+
+    def test_fig2_columns(self, exported):
+        directory, _ = exported
+        with open(os.path.join(directory, "fig2a.csv")) as fh:
+            header = fh.readline().strip().split(",")
+        assert "linux_turnaround_us" in header
+        assert "quanta-window_improvement_pct" in header
+
+    def test_calibration_includes_paper_column(self, exported):
+        directory, _ = exported
+        with open(os.path.join(directory, "calibration.csv")) as fh:
+            content = fh.read()
+        assert "stream_txus,29.5" in content

@@ -1,0 +1,83 @@
+"""Figure 1 harness tests (small scale, qualitative shapes)."""
+
+import pytest
+
+from repro.experiments.fig1 import FIG1_CONFIGS, format_fig1a, format_fig1b, run_fig1
+
+# One shared small-scale run for all shape assertions (session-scoped for speed).
+
+
+@pytest.fixture(scope="module")
+def rows():
+    return run_fig1(work_scale=0.08, apps=["Radiosity", "Barnes", "SP", "CG"])
+
+
+class TestStructure:
+    def test_row_per_app(self, rows):
+        assert [r.name for r in rows] == ["Radiosity", "Barnes", "SP", "CG"]
+
+    def test_all_configs_present(self, rows):
+        for row in rows:
+            assert set(row.rates_txus) == set(FIG1_CONFIGS)
+            assert set(row.slowdowns) == {"x2", "+BBMA", "+nBBMA"}
+
+    def test_unknown_config_rejected(self):
+        from repro.experiments.fig1 import _config_spec
+        from repro.config import MachineConfig
+
+        with pytest.raises(ValueError):
+            _config_spec("nope", None, MachineConfig(), 0)
+
+
+class TestFig1aShapes:
+    def test_solo_rates_increasing(self, rows):
+        solo = [r.rates_txus["solo"] for r in rows]
+        assert solo == sorted(solo)
+
+    def test_bbma_config_saturates(self, rows):
+        for row in rows:
+            assert row.rates_txus["+BBMA"] == pytest.approx(29.5, rel=0.05)
+
+    def test_nbbma_config_matches_solo(self, rows):
+        for row in rows:
+            assert row.rates_txus["+nBBMA"] == pytest.approx(
+                row.rates_txus["solo"], rel=0.1, abs=0.2
+            )
+
+    def test_x2_roughly_doubles_below_saturation(self, rows):
+        low = rows[0]  # Radiosity
+        assert low.rates_txus["x2"] == pytest.approx(2 * low.rates_txus["solo"], rel=0.15)
+
+
+class TestFig1bShapes:
+    def test_nbbma_harmless(self, rows):
+        for row in rows:
+            assert row.slowdowns["+nBBMA"] == pytest.approx(1.0, abs=0.05)
+
+    def test_bbma_hurts_more_with_demand(self, rows):
+        s = {r.name: r.slowdowns["+BBMA"] for r in rows}
+        assert s["Radiosity"] < s["Barnes"] < s["SP"] < s["CG"]
+
+    def test_memory_intensive_suffer_heavily_under_bbma(self, rows):
+        assert rows[-1].slowdowns["+BBMA"] > 1.7  # CG: ~2x (paper: 2-3x)
+
+    def test_low_demand_mild_under_bbma(self, rows):
+        assert rows[0].slowdowns["+BBMA"] < 1.2  # Radiosity: a few percent
+
+    def test_x2_saturation_for_high_demand(self, rows):
+        assert rows[-1].slowdowns["x2"] > 1.35  # CG pair: paper 41-61%
+
+    def test_x2_harmless_for_low_demand(self, rows):
+        assert rows[0].slowdowns["x2"] < 1.1
+
+
+class TestFormatting:
+    def test_fig1a_renders(self, rows):
+        out = format_fig1a(rows)
+        assert "FIG-1A" in out
+        assert "CG" in out
+
+    def test_fig1b_renders(self, rows):
+        out = format_fig1b(rows)
+        assert "FIG-1B" in out
+        assert "slowdown" in out

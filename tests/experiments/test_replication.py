@@ -1,0 +1,71 @@
+"""Replication statistics tests."""
+
+import pytest
+
+from repro.experiments.replication import (
+    Replicated,
+    format_replicated_fig2,
+    replicate,
+    replicate_fig2,
+    summarize,
+)
+
+
+class TestSummarize:
+    def test_single_value(self):
+        r = summarize([5.0])
+        assert r.mean == 5.0
+        assert r.std == 0.0
+        assert r.ci95 == 0.0
+        assert r.n == 1
+
+    def test_mean_and_std(self):
+        r = summarize([1.0, 3.0])
+        assert r.mean == 2.0
+        assert r.std == pytest.approx(2.0**0.5)
+
+    def test_ci_shrinks_with_n(self):
+        wide = summarize([0.0, 10.0])
+        narrow = summarize([0.0, 10.0] * 10)
+        assert narrow.ci95 < wide.ci95
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize([])
+
+    def test_str_format(self):
+        assert "±" in str(summarize([1.0, 2.0]))
+
+
+class TestReplicate:
+    def test_calls_measure_per_seed(self):
+        seen = []
+
+        def measure(seed):
+            seen.append(seed)
+            return float(seed)
+
+        r = replicate(measure, seeds=(3, 5, 9))
+        assert seen == [3, 5, 9]
+        assert r.mean == pytest.approx((3 + 5 + 9) / 3)
+
+    def test_deterministic_measure_zero_variance(self):
+        r = replicate(lambda s: 7.0, seeds=(1, 2, 3))
+        assert r.std == 0.0
+        assert r.ci95 == 0.0
+
+
+class TestReplicateFig2:
+    @pytest.fixture(scope="class")
+    def results(self):
+        return replicate_fig2("A", ["CG"], seeds=(1, 2), work_scale=0.08)
+
+    def test_structure(self, results):
+        assert set(results) == {"CG"}
+        assert set(results["CG"]) == {"latest-quantum", "quanta-window"}
+        assert results["CG"]["latest-quantum"].n == 2
+
+    def test_format(self, results):
+        out = format_replicated_fig2("A", results)
+        assert "FIG-2A replicated" in out
+        assert "CG" in out

@@ -1,0 +1,51 @@
+"""Reporting helper tests."""
+
+import pytest
+
+from repro.experiments.reporting import bar, format_csv, format_table
+
+
+class TestFormatTable:
+    def test_basic_render(self):
+        out = format_table(["app", "x"], [["CG", 1.5]])
+        lines = out.splitlines()
+        assert lines[0].startswith("app")
+        assert "CG" in lines[2]
+        assert "1.50" in lines[2]
+
+    def test_title(self):
+        out = format_table(["a"], [["1"]], title="T")
+        assert out.splitlines()[0] == "T"
+
+    def test_column_alignment_width(self):
+        out = format_table(["name", "value"], [["verylongname", 1.0], ["x", 10.0]])
+        lines = out.splitlines()
+        # all rows equal width
+        assert len({len(l) for l in lines}) == 1
+
+    def test_custom_float_format(self):
+        out = format_table(["v"], [[1.23456]], float_fmt="{:.4f}")
+        assert "1.2346" in out
+
+
+class TestFormatCsv:
+    def test_render(self):
+        out = format_csv(["a", "b"], [["x", 1.5], ["y", 2.0]])
+        assert out.splitlines()[0] == "a,b"
+        assert out.splitlines()[1] == "x,1.5000"
+
+
+class TestBar:
+    def test_full_and_empty(self):
+        assert bar(10.0, 10.0, width=10) == "#" * 10
+        assert bar(0.0, 10.0, width=10) == " " * 10
+
+    def test_half(self):
+        assert bar(5.0, 10.0, width=10) == "#####     "
+
+    def test_clamps_overflow(self):
+        assert bar(20.0, 10.0, width=10) == "#" * 10
+
+    def test_invalid_scale(self):
+        with pytest.raises(ValueError):
+            bar(1.0, 0.0)

@@ -1,0 +1,88 @@
+"""TAB-1 aggregation tests."""
+
+import pytest
+
+from repro.experiments.fig2 import Fig2Cell, Fig2Row
+from repro.experiments.tables import (
+    PAPER_TABLE1,
+    Table1Row,
+    build_table1,
+    format_table1,
+    overall_average,
+)
+
+
+def _row(name, improvements):
+    cells = tuple(
+        Fig2Cell(policy=p, turnaround_us=100.0, improvement_percent=v)
+        for p, v in improvements.items()
+    )
+    return Fig2Row(name=name, linux_turnaround_us=200.0, cells=cells)
+
+
+@pytest.fixture
+def results():
+    return {
+        "A": [
+            _row("x", {"latest-quantum": 40.0, "quanta-window": 30.0}),
+            _row("y", {"latest-quantum": 20.0, "quanta-window": 40.0}),
+        ],
+        "B": [
+            _row("x", {"latest-quantum": 10.0, "quanta-window": 20.0}),
+            _row("y", {"latest-quantum": -10.0, "quanta-window": 0.0}),
+        ],
+    }
+
+
+class TestBuild:
+    def test_one_row_per_set_policy(self, results):
+        rows = build_table1(results)
+        assert len(rows) == 4
+        keys = {(r.set_name, r.policy) for r in rows}
+        assert ("A", "latest-quantum") in keys
+
+    def test_aggregates(self, results):
+        rows = build_table1(results)
+        a_latest = next(r for r in rows if (r.set_name, r.policy) == ("A", "latest-quantum"))
+        assert a_latest.max_percent == 40.0
+        assert a_latest.avg_percent == 30.0
+        assert a_latest.min_percent == 20.0
+
+    def test_paper_reference_attached(self, results):
+        rows = build_table1(results)
+        a_latest = next(r for r in rows if (r.set_name, r.policy) == ("A", "latest-quantum"))
+        assert a_latest.paper_max_percent == 68.0
+        assert a_latest.paper_avg_percent == 41.0
+
+    def test_paper_table_complete(self):
+        assert len(PAPER_TABLE1) == 6
+        for s in ("A", "B", "C"):
+            assert (s, "latest-quantum") in PAPER_TABLE1
+            assert (s, "quanta-window") in PAPER_TABLE1
+
+
+class TestOverall:
+    def test_overall_average(self, results):
+        rows = build_table1(results)
+        assert overall_average(rows) == pytest.approx((30.0 + 35.0 + 0.0 + 10.0) / 4.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            overall_average([])
+
+
+class TestFormat:
+    def test_renders(self, results):
+        out = format_table1(build_table1(results))
+        assert "TAB-1" in out
+        assert "paper max" in out
+        assert "overall measured avg" in out
+
+    def test_non_paper_policy_dash(self):
+        rows = [
+            Table1Row(
+                set_name="A", policy="ewma", max_percent=1.0, avg_percent=1.0,
+                min_percent=1.0, paper_max_percent=None, paper_avg_percent=None,
+            )
+        ]
+        assert "-" in format_table1(rows)

@@ -1,0 +1,57 @@
+"""Validation harness tests: no claim may regress to MISS."""
+
+import pytest
+
+from repro.experiments.validation import (
+    Claim,
+    _score,
+    format_validation,
+    run_validation,
+)
+
+
+class TestScoring:
+    @pytest.fixture
+    def claim(self):
+        return Claim("X", "test claim", 10.0, (8.0, 12.0), (5.0, 15.0))
+
+    def test_pass_inside_band(self, claim):
+        assert _score(claim, 9.0).verdict == "PASS"
+
+    def test_shape_outside_pass_inside_shape(self, claim):
+        assert _score(claim, 6.0).verdict == "SHAPE"
+        assert _score(claim, 14.0).verdict == "SHAPE"
+
+    def test_miss_outside_shape(self, claim):
+        assert _score(claim, 2.0).verdict == "MISS"
+        assert _score(claim, 20.0).verdict == "MISS"
+
+
+class TestEndToEnd:
+    @pytest.fixture(scope="class")
+    def results(self):
+        # Small scale: fast, and the validation bands are scale-invariant.
+        return run_validation(work_scale=0.15)
+
+    def test_no_claim_misses(self, results):
+        misses = [r.claim.claim_id for r in results if r.verdict == "MISS"]
+        assert misses == [], f"regressed claims: {misses}"
+
+    def test_calibration_claims_pass_exactly(self, results):
+        for r in results:
+            if r.claim.claim_id.startswith("CAL-"):
+                assert r.verdict == "PASS", r.claim.claim_id
+
+    def test_figure1_claims_pass(self, results):
+        for r in results:
+            if r.claim.claim_id.startswith("F1B-"):
+                assert r.verdict == "PASS", (r.claim.claim_id, r.measured)
+
+    def test_all_claims_scored(self, results):
+        assert len(results) == 15
+
+    def test_format(self, results):
+        out = format_validation(results)
+        assert "VALIDATION" in out
+        assert "PASS" in out
+        assert "MISS of" in out

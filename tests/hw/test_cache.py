@@ -1,0 +1,68 @@
+"""Unit tests for the L2 warmth model."""
+
+import pytest
+
+from repro.config import CacheConfig
+from repro.hw.cache import CacheL2
+
+
+@pytest.fixture
+def l2() -> CacheL2:
+    return CacheL2(CacheConfig())  # 4096 lines
+
+
+class TestWarmth:
+    def test_cold_start(self, l2):
+        assert l2.warmth(1, 1000) == 0.0
+
+    def test_grows_with_inflow(self, l2):
+        l2.account_run(1, footprint_lines=1000, inflow_lines=250)
+        assert l2.warmth(1, 1000) == pytest.approx(0.25)
+
+    def test_saturates_at_one(self, l2):
+        l2.account_run(1, footprint_lines=1000, inflow_lines=5000)
+        assert l2.warmth(1, 1000) == 1.0
+
+    def test_zero_footprint_always_warm(self, l2):
+        assert l2.warmth(1, 0) == 1.0
+
+    def test_footprint_capped_at_cache_size(self, l2):
+        # A streaming working set (8192 > 4096) can be at most cache-size warm.
+        l2.account_run(1, footprint_lines=8192, inflow_lines=100_000)
+        assert l2.resident(1) <= l2.total_lines
+        assert l2.warmth(1, 8192) == pytest.approx(1.0)
+
+
+class TestEviction:
+    def test_full_cache_evicts_others(self, l2):
+        l2.account_run(1, footprint_lines=4096, inflow_lines=4096)  # fills cache
+        l2.account_run(2, footprint_lines=2048, inflow_lines=2048)
+        assert l2.warmth(2, 2048) == pytest.approx(1.0)
+        assert l2.warmth(1, 4096) < 1.0
+
+    def test_streaming_pollutes_even_without_growth(self, l2):
+        l2.account_run(1, footprint_lines=2048, inflow_lines=2048)
+        # Thread 2 streams: huge inflow, footprint beyond cache
+        l2.account_run(2, footprint_lines=8192, inflow_lines=4096)
+        l2.account_run(2, footprint_lines=8192, inflow_lines=50_000)
+        assert l2.warmth(1, 2048) < 0.2
+
+    def test_low_inflow_preserves_others(self, l2):
+        l2.account_run(1, footprint_lines=2048, inflow_lines=2048)
+        l2.account_run(2, footprint_lines=2048, inflow_lines=10.0)  # nBBMA-like
+        assert l2.warmth(1, 2048) > 0.95
+
+    def test_occupancy_bounded(self, l2):
+        for tid in range(5):
+            l2.account_run(tid, footprint_lines=3000, inflow_lines=3000)
+        assert l2.occupancy() <= l2.total_lines * (1 + 1e-9)
+
+    def test_zero_inflow_noop(self, l2):
+        l2.account_run(1, footprint_lines=100, inflow_lines=0.0)
+        assert l2.resident(1) == 0.0
+
+    def test_forget(self, l2):
+        l2.account_run(1, footprint_lines=100, inflow_lines=100)
+        l2.forget(1)
+        assert l2.resident(1) == 0.0
+        assert l2.occupancy() == 0.0

@@ -1,0 +1,51 @@
+"""Unit tests for CPU bookkeeping."""
+
+import pytest
+
+from repro.errors import SchedulingError
+from repro.hw.cpu import Cpu
+
+
+class TestDispatchAccounting:
+    def test_starts_idle(self):
+        cpu = Cpu(0)
+        assert cpu.idle
+        assert cpu.tid is None
+
+    def test_dispatch_returns_previous(self):
+        cpu = Cpu(0)
+        assert cpu.set_thread(1, 10.0) is None
+        assert cpu.set_thread(2, 20.0) == 1
+        assert cpu.tid == 2
+
+    def test_redundant_dispatch_raises(self):
+        cpu = Cpu(0)
+        cpu.set_thread(1, 0.0)
+        with pytest.raises(SchedulingError):
+            cpu.set_thread(1, 1.0)
+
+    def test_dispatch_counts(self):
+        cpu = Cpu(0)
+        cpu.set_thread(1, 0.0)
+        cpu.set_thread(2, 1.0)
+        cpu.set_thread(None, 2.0)
+        cpu.set_thread(3, 3.0)
+        assert cpu.dispatches == 3
+        assert cpu.context_switches == 1  # only 1 -> 2 replaced a runner
+
+
+class TestIdleAccounting:
+    def test_idle_time_accumulates_before_first_dispatch(self):
+        cpu = Cpu(0)
+        assert cpu.idle_time(5.0) == 5.0
+
+    def test_idle_time_frozen_while_busy(self):
+        cpu = Cpu(0)
+        cpu.set_thread(1, 2.0)
+        assert cpu.idle_time(10.0) == 2.0
+
+    def test_idle_time_resumes_after_undispatch(self):
+        cpu = Cpu(0)
+        cpu.set_thread(1, 2.0)
+        cpu.set_thread(None, 6.0)
+        assert cpu.idle_time(10.0) == pytest.approx(2.0 + 4.0)

@@ -1,0 +1,59 @@
+"""Unit tests for the perfctr driver facade."""
+
+import pytest
+
+from repro.errors import CounterError
+from repro.hw.counters import CounterBank
+from repro.hw.perfctr import PerfctrDriver
+
+
+@pytest.fixture
+def bank():
+    b = CounterBank()
+    b.register(1)
+    return b
+
+
+@pytest.fixture
+def driver(bank):
+    return PerfctrDriver(bank)
+
+
+class TestOpenClose:
+    def test_open_and_read(self, driver, bank):
+        h = driver.open(1)
+        bank.credit(1, bus_transactions=10.0, cycles_us=5.0)
+        reading = h.read()
+        assert reading.bus_transactions == 10.0
+        assert reading.tsc_us == 5.0
+
+    def test_unknown_thread_rejected(self, driver):
+        with pytest.raises(CounterError):
+            driver.open(99)
+
+    def test_one_vperfctr_per_task(self, driver):
+        driver.open(1)
+        with pytest.raises(CounterError):
+            driver.open(1)
+
+    def test_close_releases(self, driver):
+        h = driver.open(1)
+        h.close()
+        assert h.closed
+        assert driver.open_count == 0
+        # can reopen after close
+        driver.open(1)
+
+    def test_read_after_close_rejected(self, driver):
+        h = driver.open(1)
+        h.close()
+        with pytest.raises(CounterError):
+            h.read()
+
+    def test_double_close_is_noop(self, driver):
+        h = driver.open(1)
+        h.close()
+        h.close()
+
+    def test_tid_property(self, driver):
+        assert driver.open(1).tid == 1

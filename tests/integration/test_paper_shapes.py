@@ -1,0 +1,129 @@
+"""Qualitative reproduction checks: the paper's headline claims, small scale.
+
+These tests assert the *shape* of the results — who wins, in which
+direction, roughly by how much — not absolute numbers. They are the
+regression net for the calibration: if a model change flips one of the
+paper's findings, a test here fails.
+"""
+
+import pytest
+
+from repro.core.policies import LatestQuantumPolicy, QuantaWindowPolicy
+from repro.experiments.base import SimulationSpec, run_simulation, solo_run
+from repro.metrics.stats import improvement_percent
+from repro.workloads.microbench import bbma_spec, nbbma_spec
+from repro.workloads.suites import paper_app
+
+_SCALE = 0.1
+
+
+def _fig2_cell(app_name, background, scheduler, seed=42):
+    app = paper_app(app_name).scaled(_SCALE)
+    spec = SimulationSpec(
+        targets=[app, app], background=background, scheduler=scheduler, seed=seed
+    )
+    return run_simulation(spec).mean_target_turnaround_us()
+
+
+class TestSection3Claims:
+    def test_bus_saturation_causes_up_to_threefold_slowdown(self):
+        # "bus saturation can cause an up to almost three-fold slowdown"
+        app = paper_app("CG").scaled(_SCALE)
+        solo = solo_run(app).mean_target_turnaround_us()
+        sat = run_simulation(
+            SimulationSpec(
+                targets=[app],
+                background=[bbma_spec(), bbma_spec()],
+                scheduler="dedicated",
+                dedicated_migration_interval_us=250_000.0,
+                seed=42,
+            )
+        ).mean_target_turnaround_us()
+        assert 1.7 < sat / solo < 3.2
+
+    def test_nbbma_is_free(self):
+        # "both the bus transactions rate and the execution time ... are
+        # almost identical to those observed during the uniprogrammed
+        # execution"
+        app = paper_app("MG").scaled(_SCALE)
+        solo = solo_run(app).mean_target_turnaround_us()
+        with_nbbma = run_simulation(
+            SimulationSpec(
+                targets=[app],
+                background=[nbbma_spec(), nbbma_spec()],
+                scheduler="dedicated",
+                dedicated_migration_interval_us=250_000.0,
+                seed=42,
+            )
+        ).mean_target_turnaround_us()
+        assert with_nbbma / solo == pytest.approx(1.0, abs=0.06)
+
+    def test_slowdown_without_processor_sharing(self):
+        # the Figure 1 point: degradation happens with zero CPU contention
+        app = paper_app("SP").scaled(_SCALE)
+        solo = solo_run(app).mean_target_turnaround_us()
+        pair = run_simulation(
+            SimulationSpec(targets=[app, app], scheduler="dedicated",
+                           dedicated_migration_interval_us=250_000.0, seed=42)
+        ).mean_target_turnaround_us()
+        assert pair / solo > 1.15
+
+
+class TestSection5Claims:
+    def test_policies_beat_linux_on_saturated_bus(self):
+        # Set A: both policies improve the demanding applications
+        bg = [bbma_spec()] * 4
+        linux = _fig2_cell("CG", bg, "linux")
+        for policy in (LatestQuantumPolicy(), QuantaWindowPolicy()):
+            t = _fig2_cell("CG", bg, policy)
+            assert improvement_percent(linux, t) > 10.0
+
+    def test_policies_pair_high_with_low_in_set_b(self):
+        # Set B: policies avoid co-running two high-bandwidth instances
+        bg = [nbbma_spec()] * 4
+        linux = _fig2_cell("MG", bg, "linux")
+        window = _fig2_cell("MG", bg, QuantaWindowPolicy())
+        assert improvement_percent(linux, window) > 5.0
+
+    def test_window_more_stable_than_latest_on_bursty_app(self):
+        # The Raytrace story: Latest Quantum overreacts to bursts; the
+        # Quanta Window is the stable one (paper: -19% vs -1% in set B).
+        # Needs runs long enough (several burst dwells x several quanta)
+        # for the estimators to diverge, hence the larger scale.
+        app = paper_app("Raytrace").scaled(0.5)
+        bg = [nbbma_spec()] * 4
+        diffs = []
+        for seed in (1, 2, 7, 42, 101):
+            def cell(scheduler):
+                spec = SimulationSpec(
+                    targets=[app, app], background=bg, scheduler=scheduler, seed=seed
+                )
+                return run_simulation(spec).mean_target_turnaround_us()
+
+            linux = cell("linux")
+            imp_latest = improvement_percent(linux, cell(LatestQuantumPolicy()))
+            imp_window = improvement_percent(linux, cell(QuantaWindowPolicy()))
+            diffs.append(imp_window - imp_latest)
+        # On average the window estimator wins, and it never loses badly.
+        assert sum(diffs) / len(diffs) > 1.5
+        assert min(diffs) > -5.0
+
+    def test_mixed_set_improves(self):
+        bg = [bbma_spec(), bbma_spec(), nbbma_spec(), nbbma_spec()]
+        linux = _fig2_cell("Barnes", bg, "linux")
+        window = _fig2_cell("Barnes", bg, QuantaWindowPolicy())
+        assert improvement_percent(linux, window) > 0.0
+
+
+class TestManagerOverheadClaim:
+    def test_manager_overhead_bounded(self):
+        # "The overhead introduced by the CPU manager ... is at most 4.5%":
+        # managing a workload that needs no management (one app alone)
+        # must cost only a few percent vs the dedicated run.
+        app = paper_app("Volrend").scaled(_SCALE)
+        alone = solo_run(app).mean_target_turnaround_us()
+        managed = run_simulation(
+            SimulationSpec(targets=[app], scheduler=QuantaWindowPolicy(), seed=42)
+        ).mean_target_turnaround_us()
+        overhead = (managed - alone) / alone
+        assert overhead < 0.05

@@ -1,0 +1,91 @@
+"""Statistics helpers tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.metrics.stats import (
+    geometric_mean,
+    improvement_percent,
+    slowdown,
+    summarize_improvements,
+)
+
+
+class TestSlowdown:
+    def test_basic(self):
+        assert slowdown(300.0, 100.0) == 3.0
+
+    def test_no_slowdown(self):
+        assert slowdown(100.0, 100.0) == 1.0
+
+    def test_invalid_solo(self):
+        with pytest.raises(ValueError):
+            slowdown(1.0, 0.0)
+
+    def test_negative_turnaround(self):
+        with pytest.raises(ValueError):
+            slowdown(-1.0, 1.0)
+
+
+class TestImprovement:
+    def test_faster_positive(self):
+        assert improvement_percent(200.0, 100.0) == 50.0
+
+    def test_slower_negative(self):
+        assert improvement_percent(100.0, 120.0) == pytest.approx(-20.0)
+
+    def test_no_change(self):
+        assert improvement_percent(100.0, 100.0) == 0.0
+
+    def test_invalid_baseline(self):
+        with pytest.raises(ValueError):
+            improvement_percent(0.0, 1.0)
+
+    @given(
+        st.floats(min_value=1.0, max_value=1e6),
+        st.floats(min_value=0.0, max_value=1e6),
+    )
+    @settings(max_examples=200, deadline=None)
+    def test_bounded_above_by_100(self, base, pol):
+        assert improvement_percent(base, pol) <= 100.0
+
+
+class TestGeometricMean:
+    def test_basic(self):
+        assert geometric_mean([1.0, 4.0]) == pytest.approx(2.0)
+
+    def test_single(self):
+        assert geometric_mean([3.0]) == pytest.approx(3.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+    def test_nonpositive_rejected(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    @given(st.lists(st.floats(min_value=0.1, max_value=10.0), min_size=1, max_size=20))
+    @settings(max_examples=100, deadline=None)
+    def test_between_min_and_max(self, values):
+        g = geometric_mean(values)
+        assert min(values) - 1e-9 <= g <= max(values) + 1e-9
+
+
+class TestSummary:
+    def test_fields(self):
+        s = summarize_improvements([10.0, 50.0, -5.0])
+        assert s.mean_percent == pytest.approx(55.0 / 3.0)
+        assert s.max_percent == 50.0
+        assert s.min_percent == -5.0
+        assert s.n_improved == 2
+        assert s.n_regressed == 1
+
+    def test_str_renders(self):
+        s = summarize_improvements([10.0])
+        assert "avg" in str(s) and "+10.0%" in str(s)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            summarize_improvements([])

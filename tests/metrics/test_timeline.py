@@ -1,0 +1,83 @@
+"""Timeline sampler tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig
+from repro.hw.machine import Machine
+from repro.metrics.timeline import TimelineSampler
+from repro.sim.engine import Engine
+from repro.workloads.patterns import ConstantPattern
+
+
+def _setup():
+    engine = Engine()
+    machine = Machine(MachineConfig(), engine)
+    t = machine.add_thread(
+        "a", ConstantPattern(10.0).bind(np.random.default_rng(0)), 1e6, footprint_lines=0.0
+    )
+    machine.dispatch(0, t.tid)
+    return engine, machine
+
+
+class TestSampling:
+    def test_points_at_period(self):
+        engine, machine = _setup()
+        tl = TimelineSampler(machine, engine, period_us=1_000.0)
+        tl.start()
+        engine.run_until(10_500.0, advancer=machine)
+        times = [p.time_us for p in tl.points]
+        assert times[0] == 0.0
+        assert times[1] == 1_000.0
+        assert len(times) == 11
+
+    def test_utilisation_recorded(self):
+        engine, machine = _setup()
+        tl = TimelineSampler(machine, engine, period_us=1_000.0)
+        tl.start()
+        engine.run_until(5_000.0, advancer=machine)
+        assert 0.0 < tl.mean_utilisation() < 1.0
+
+    def test_transactions_monotone(self):
+        engine, machine = _setup()
+        tl = TimelineSampler(machine, engine, period_us=500.0)
+        tl.start()
+        engine.run_until(5_000.0, advancer=machine)
+        txs = [p.total_transactions for p in tl.points]
+        assert txs == sorted(txs)
+
+    def test_rate_between(self):
+        engine, machine = _setup()
+        tl = TimelineSampler(machine, engine, period_us=500.0)
+        tl.start()
+        engine.run_until(10_000.0, advancer=machine)
+        # steady rate = demand x speed ~ 10 x ~0.97 (plus warmup window)
+        rate = tl.rate_between(2_000.0, 10_000.0)
+        assert rate == pytest.approx(10.0, rel=0.1)
+
+    def test_running_tids_snapshot(self):
+        engine, machine = _setup()
+        tl = TimelineSampler(machine, engine, period_us=1_000.0)
+        tl.start()
+        assert tl.points[0].running_tids == (1,)
+
+    def test_invalid_period(self):
+        engine, machine = _setup()
+        with pytest.raises(ValueError):
+            TimelineSampler(machine, engine, period_us=0.0)
+
+    def test_empty_queries_raise(self):
+        engine, machine = _setup()
+        tl = TimelineSampler(machine, engine)
+        with pytest.raises(ValueError):
+            tl.mean_utilisation()
+        tl.start()
+        with pytest.raises(ValueError):
+            tl.rate_between(5.0, 1.0)
+
+    def test_double_start_noop(self):
+        engine, machine = _setup()
+        tl = TimelineSampler(machine, engine, period_us=1_000.0)
+        tl.start()
+        tl.start()
+        assert len(tl.points) == 1

@@ -1,0 +1,73 @@
+"""Dedicated (pinned) scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import SchedulingError
+from repro.hw.machine import Machine
+from repro.sched.dedicated import DedicatedScheduler
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceRecorder
+from repro.workloads.patterns import ConstantPattern
+
+
+def _setup(n_threads, n_cpus=4, migration_interval=None):
+    engine = Engine()
+    machine = Machine(MachineConfig(n_cpus=n_cpus), engine, TraceRecorder())
+    threads = [
+        machine.add_thread(
+            f"t{i}", ConstantPattern(1.0).bind(np.random.default_rng(i)), 100_000.0
+        )
+        for i in range(n_threads)
+    ]
+    sched = DedicatedScheduler(migration_interval)
+    sched.attach(machine, engine, np.random.default_rng(99))
+    return engine, machine, threads, sched
+
+
+class TestPinning:
+    def test_one_cpu_per_thread(self):
+        engine, machine, threads, sched = _setup(3)
+        sched.start()
+        assert [machine.cpus[i].tid for i in range(3)] == [t.tid for t in threads]
+        assert machine.cpus[3].idle
+
+    def test_too_many_threads_rejected(self):
+        engine, machine, threads, sched = _setup(5)
+        with pytest.raises(SchedulingError):
+            sched.start()
+
+    def test_no_migrations_by_default(self):
+        engine, machine, threads, sched = _setup(4)
+        sched.start()
+        engine.run(advancer=machine, stop=machine.all_finished, max_time=1e9)
+        assert all(t.migration_count == 0 for t in threads)
+
+    def test_all_threads_complete(self):
+        engine, machine, threads, sched = _setup(4)
+        sched.start()
+        engine.run(advancer=machine, stop=machine.all_finished, max_time=1e9)
+        assert machine.all_finished()
+
+
+class TestMigrationNoise:
+    def test_migrations_happen_with_interval(self):
+        engine, machine, threads, sched = _setup(4, migration_interval=5_000.0)
+        sched.start()
+        engine.run(advancer=machine, stop=machine.all_finished, max_time=1e9)
+        assert sum(t.migration_count for t in threads) > 0
+        assert machine.trace.count("sched.migrate") > 0
+
+    def test_invalid_interval_rejected(self):
+        with pytest.raises(SchedulingError):
+            DedicatedScheduler(0.0)
+
+    def test_deterministic_given_seed(self):
+        outcomes = []
+        for _ in range(2):
+            engine, machine, threads, sched = _setup(4, migration_interval=5_000.0)
+            sched.start()
+            engine.run(advancer=machine, stop=machine.all_finished, max_time=1e9)
+            outcomes.append([t.finished_at for t in threads])
+        assert outcomes[0] == outcomes[1]

@@ -1,0 +1,103 @@
+"""Round-robin gang scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import SchedulingError
+from repro.hw.machine import Machine
+from repro.sched.base import Job, jobs_from_apps
+from repro.sched.gang import RoundRobinGangScheduler
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceRecorder
+from repro.workloads.base import Application, ApplicationSpec
+from repro.workloads.patterns import ConstantPattern
+
+
+def _setup(widths, n_cpus=4, quantum=10_000.0, work=60_000.0):
+    engine = Engine()
+    machine = Machine(MachineConfig(n_cpus=n_cpus), engine, TraceRecorder())
+    apps = []
+    for i, w in enumerate(widths):
+        spec = ApplicationSpec(
+            name=f"app{i}",
+            n_threads=w,
+            work_per_thread_us=work,
+            pattern=ConstantPattern(1.0),
+            footprint_lines=256.0,
+        )
+        apps.append(Application.launch(spec, machine, np.random.default_rng(i)))
+    sched = RoundRobinGangScheduler(jobs_from_apps(apps), quantum)
+    sched.attach(machine, engine, np.random.default_rng(0))
+    return engine, machine, apps, sched
+
+
+class TestGangInvariant:
+    def test_threads_of_selected_job_coscheduled(self):
+        engine, machine, apps, sched = _setup([2, 2, 2])
+        sched.start()
+        running = set(machine.running_tids())
+        for app in apps:
+            tids = set(app.tids)
+            assert tids <= running or tids.isdisjoint(running)
+
+    def test_invariant_holds_across_quanta(self):
+        engine, machine, apps, sched = _setup([2, 2, 1, 1, 2])
+
+        violations = []
+
+        def check():
+            running = set(machine.running_tids())
+            for app in apps:
+                live = {t.tid for t in app.threads if not t.finished}
+                if not live:
+                    continue
+                inter = live & running
+                if inter and inter != live:
+                    violations.append((machine.now, app.name))
+            if not machine.all_finished():
+                engine.schedule_after(1_000.0, check)
+
+        sched.start()
+        engine.schedule_after(500.0, check)
+        engine.run(advancer=machine, stop=machine.all_finished, max_time=1e9)
+        assert violations == []
+
+    def test_oversized_job_rejected(self):
+        engine, machine, apps, sched = _setup([5])
+        with pytest.raises(SchedulingError):
+            sched.start()
+
+
+class TestRotation:
+    def test_all_jobs_eventually_finish(self):
+        engine, machine, apps, sched = _setup([2, 2, 2, 1, 1, 1])
+        sched.start()
+        engine.run(advancer=machine, stop=machine.all_finished, max_time=1e10)
+        assert machine.all_finished()
+
+    def test_rotation_changes_selection(self):
+        engine, machine, apps, sched = _setup([2, 2, 2, 2])
+        sched.start()
+        first = set(machine.running_tids())
+        engine.run_until(10_001.0, advancer=machine)
+        second = set(machine.running_tids())
+        assert first != second
+
+    def test_quantum_records_traced(self):
+        engine, machine, apps, sched = _setup([2, 2])
+        sched.start()
+        engine.run_until(35_000.0, advancer=machine)
+        assert machine.trace.count("gang.quantum") >= 3
+
+
+class TestBackfill:
+    def test_freed_cpus_backfilled_mid_quantum(self):
+        # app0 finishes quickly; a waiting job should take its CPUs before
+        # the next quantum boundary.
+        engine, machine, apps, sched = _setup([2, 2, 2], quantum=1_000_000.0, work=5_000.0)
+        sched.start()
+        engine.run(advancer=machine, stop=machine.all_finished, max_time=1e10)
+        # with a single effective quantum, completion requires backfilling
+        assert machine.all_finished()
+        assert machine.now < 3_000_000.0

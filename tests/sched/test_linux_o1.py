@@ -1,0 +1,171 @@
+"""Linux 2.6-style O(1) scheduler tests."""
+
+import numpy as np
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import ConfigError
+from repro.hw.machine import Machine
+from repro.sched.linux_o1 import LinuxO1Scheduler, O1SchedConfig
+from repro.sim.engine import Engine
+from repro.sim.trace import TraceRecorder
+from repro.workloads.patterns import ConstantPattern
+
+
+def _setup(n_threads, n_cpus=2, config=None, work=150_000.0):
+    engine = Engine()
+    machine = Machine(MachineConfig(n_cpus=n_cpus), engine, TraceRecorder())
+    threads = [
+        machine.add_thread(
+            f"t{i}",
+            ConstantPattern(1.0).bind(np.random.default_rng(i)),
+            work,
+            footprint_lines=256.0,
+        )
+        for i in range(n_threads)
+    ]
+    sched = LinuxO1Scheduler(config)
+    sched.attach(machine, engine, np.random.default_rng(7))
+    return engine, machine, threads, sched
+
+
+class TestConfig:
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"tick_us": 0.0},
+            {"timeslice_us": 0.0},
+            {"timeslice_us": 1.0, "tick_us": 10.0},
+            {"balance_interval_us": 0.0},
+            {"imbalance_threshold": 0},
+        ],
+    )
+    def test_invalid(self, kw):
+        with pytest.raises(ConfigError):
+            O1SchedConfig(**kw)
+
+    def test_defaults(self):
+        cfg = O1SchedConfig()
+        assert cfg.timeslice_us == 100_000.0
+
+
+class TestBasics:
+    def test_fills_cpus(self):
+        engine, machine, threads, sched = _setup(4)
+        sched.start()
+        assert all(not c.idle for c in machine.cpus)
+
+    def test_all_complete(self):
+        engine, machine, threads, sched = _setup(5)
+        sched.start()
+        engine.run(advancer=machine, stop=machine.all_finished, max_time=1e10)
+        assert machine.all_finished()
+
+    def test_per_cpu_fairness(self):
+        # 4 equal threads on 2 CPUs: shares within ~35%
+        engine, machine, threads, sched = _setup(4, work=400_000.0)
+        sched.start()
+        engine.run(advancer=machine, stop=machine.all_finished, max_time=1e10)
+        runtimes = [t.run_time_us for t in threads]
+        assert max(runtimes) / min(runtimes) < 1.5
+
+    def test_queue_length_inspection(self):
+        engine, machine, threads, sched = _setup(6, n_cpus=2)
+        sched.start()
+        total_waiting = sum(sched.queue_length(i) for i in range(2))
+        assert total_waiting == 4  # 6 threads, 2 running
+
+
+class TestActiveExpired:
+    def test_timeslice_rotation(self):
+        # 2 threads, 1 cpu: they must alternate at the timeslice scale
+        cfg = O1SchedConfig(timeslice_us=20_000.0)
+        engine, machine, threads, sched = _setup(2, n_cpus=1, config=cfg, work=100_000.0)
+        sched.start()
+        engine.run(advancer=machine, stop=machine.all_finished, max_time=1e10)
+        # The O(1) model vacates the CPU at slice end, then dispatches the
+        # next thread, so rotation shows up as dispatches (not replacement
+        # context switches): ~200ms of work / 20ms slices -> ~10 dispatches.
+        assert machine.cpus[0].dispatches >= 8
+        # and both threads actually interleaved (neither ran to completion
+        # in one go)
+        assert abs(threads[0].finished_at - threads[1].finished_at) < 50_000.0
+
+    def test_fewer_migrations_than_o_n(self):
+        # The O(1) design's point: per-CPU queues barely migrate.
+        engine, machine, threads, sched = _setup(8, n_cpus=4, work=200_000.0)
+        sched.start()
+        engine.run(advancer=machine, stop=machine.all_finished, max_time=1e10)
+        assert sum(t.migration_count for t in threads) <= 8
+
+
+class TestBalancing:
+    def test_idle_stealing(self):
+        # 3 threads on 2 cpus with unequal work: when one queue drains, its
+        # cpu steals instead of idling
+        engine, machine, threads, sched = _setup(3, n_cpus=2, work=80_000.0)
+        sched.start()
+        engine.run(advancer=machine, stop=machine.all_finished, max_time=1e10)
+        total_idle = sum(c.idle_time(machine.now) for c in machine.cpus)
+        # some tail idling is unavoidable; wholesale idling is not
+        assert total_idle < machine.now
+
+    def test_balancer_counts_migrations(self):
+        # start everything on cpu0's queue via arrivals-like imbalance:
+        # 6 threads on 2 cpus round-robin is balanced, so force imbalance
+        # by making cpu1's threads finish quickly
+        engine, machine, threads, sched = _setup(6, n_cpus=2, work=50_000.0)
+        sched.start()
+        engine.run(advancer=machine, stop=machine.all_finished, max_time=1e10)
+        assert sched.balanced_migrations >= 0  # bookkeeping exists and is non-negative
+
+
+class TestManagerIntegration:
+    def test_policy_on_o1_kernel(self):
+        from repro.core.policies import QuantaWindowPolicy
+        from repro.experiments.base import SimulationSpec, run_simulation
+        from repro.workloads.microbench import bbma_spec
+        from repro.workloads.suites import paper_app
+
+        cg = paper_app("CG").scaled(0.05)
+        spec = SimulationSpec(
+            targets=[cg, cg],
+            background=[bbma_spec()] * 4,
+            scheduler=QuantaWindowPolicy(),
+            kernel="linux26",
+            seed=1,
+        )
+        result = run_simulation(spec)
+        assert result.mean_target_turnaround_us() > 0
+
+    def test_unknown_kernel_rejected(self):
+        from repro.core.policies import QuantaWindowPolicy
+        from repro.experiments.base import SimulationSpec, run_simulation
+        from repro.workloads.patterns import ConstantPattern
+        from repro.workloads.base import ApplicationSpec
+
+        app = ApplicationSpec(
+            name="x", n_threads=1, work_per_thread_us=1000.0, pattern=ConstantPattern(1.0)
+        )
+        with pytest.raises(ConfigError):
+            run_simulation(
+                SimulationSpec(targets=[app], scheduler=QuantaWindowPolicy(), kernel="bsd")
+            )
+
+
+class TestKernelExperiment:
+    def test_runs_and_reports(self):
+        from repro.experiments.kernels import format_kernel_experiment, run_kernel_experiment
+
+        rows = run_kernel_experiment(apps=["CG"], work_scale=0.05)
+        assert rows[0].name == "CG"
+        assert len(rows[0].turnarounds_us) == 4
+        assert "EXT-K" in format_kernel_experiment(rows)
+
+    def test_policy_still_wins_for_cg_on_both_kernels(self):
+        from repro.experiments.kernels import run_kernel_experiment
+
+        rows = run_kernel_experiment(apps=["CG"], work_scale=0.3)
+        cg = rows[0]
+        assert cg.improvement("24") > 0.0
+        assert cg.improvement("26") > 0.0  # still wins at realistic run lengths

@@ -1,0 +1,91 @@
+"""Unit tests for the trace recorder."""
+
+import pytest
+
+from repro.sim.trace import TraceRecorder
+
+
+class TestRecording:
+    def test_records_in_order(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a.b", x=1)
+        tr.record(2.0, "a.c", x=2)
+        assert [r.category for r in tr] == ["a.b", "a.c"]
+
+    def test_disabled_records_nothing(self):
+        tr = TraceRecorder(enabled=False)
+        tr.record(1.0, "a.b")
+        assert len(tr) == 0
+        assert tr.count() == 0
+
+    def test_payload_preserved(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "x", cpu=3, tid=7)
+        rec = list(tr)[0]
+        assert rec.data == {"cpu": 3, "tid": 7}
+        assert rec.time == 1.0
+
+    def test_capacity_evicts_oldest(self):
+        tr = TraceRecorder(capacity=3)
+        for i in range(5):
+            tr.record(float(i), "x", i=i)
+        assert [r.data["i"] for r in tr] == [2, 3, 4]
+
+    def test_counts_survive_eviction(self):
+        tr = TraceRecorder(capacity=2)
+        for i in range(10):
+            tr.record(float(i), "x")
+        assert tr.count("x") == 10
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            TraceRecorder(capacity=0)
+
+
+class TestFiltering:
+    def test_category_allowlist(self):
+        tr = TraceRecorder(categories=["sched."])
+        tr.record(1.0, "sched.dispatch")
+        tr.record(2.0, "manager.quantum")
+        assert [r.category for r in tr] == ["sched.dispatch"]
+        # counts still exact for filtered-out categories
+        assert tr.count("manager.") == 1
+
+    def test_records_prefix_query(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "sched.dispatch", cpu=0)
+        tr.record(2.0, "sched.migrate", cpu=1)
+        tr.record(3.0, "thread.exit")
+        assert len(tr.records("sched.")) == 2
+
+    def test_records_predicate(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "sched.dispatch", cpu=0)
+        tr.record(2.0, "sched.dispatch", cpu=1)
+        assert len(tr.records("sched.", lambda r: r.data["cpu"] == 1)) == 1
+
+    def test_count_prefix(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a.b")
+        tr.record(2.0, "a.c")
+        tr.record(3.0, "b.a")
+        assert tr.count("a.") == 2
+        assert tr.count() == 3
+
+    def test_clear(self):
+        tr = TraceRecorder()
+        tr.record(1.0, "a")
+        tr.clear()
+        assert len(tr) == 0
+        assert tr.count() == 0
+
+    def test_empty_recorder_is_usable_despite_len_zero(self):
+        # Regression: `trace or default` replaced empty recorders because
+        # __len__ == 0 makes them falsy. The machine must keep the instance.
+        from repro.config import MachineConfig
+        from repro.hw.machine import Machine
+        from repro.sim.engine import Engine
+
+        tr = TraceRecorder()
+        machine = Machine(MachineConfig(), Engine(), tr)
+        assert machine.trace is tr

@@ -1,0 +1,132 @@
+"""Unit tests for the configuration dataclasses (eager validation)."""
+
+import dataclasses
+
+import pytest
+
+from repro.config import (
+    BusConfig,
+    CacheConfig,
+    LinuxSchedConfig,
+    MachineConfig,
+    ManagerConfig,
+)
+from repro.errors import ConfigError
+
+
+class TestBusConfig:
+    def test_defaults_match_paper_platform(self):
+        cfg = BusConfig()
+        assert cfg.capacity_txus == pytest.approx(29.5)
+        assert cfg.lam0_us == pytest.approx(1 / 23.6)
+        assert cfg.arbitration == "shared-latency"
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"capacity_txus": 0.0},
+            {"capacity_txus": -1.0},
+            {"lam0_us": 0.0},
+            {"contention_coeff": -0.1},
+            {"mem_exponent": 0.0},
+            {"mem_exponent": 1.5},
+            {"unfairness": -1.0},
+            {"arbitration": "round-robin"},
+            {"fixed_point_tol": 0.5},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ConfigError):
+            BusConfig(**kw)
+
+    def test_to_dict_roundtrip(self):
+        cfg = BusConfig(capacity_txus=10.0)
+        d = cfg.to_dict()
+        assert d["capacity_txus"] == 10.0
+        assert BusConfig(**d) == cfg
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            BusConfig().capacity_txus = 1.0  # type: ignore[misc]
+
+
+class TestCacheConfig:
+    def test_total_lines(self):
+        assert CacheConfig().total_lines == 4096
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"size_bytes": 0},
+            {"line_bytes": 0},
+            {"size_bytes": 100, "line_bytes": 64},  # not a multiple
+            {"rebuild_fill_rate_txus": 0.0},
+            {"rebuild_progress_factor": 0.0},
+            {"rebuild_progress_factor": 1.5},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ConfigError):
+            CacheConfig(**kw)
+
+
+class TestMachineConfig:
+    def test_default_is_paper_machine(self):
+        cfg = MachineConfig()
+        assert cfg.n_cpus == 4
+
+    def test_needs_cpu(self):
+        with pytest.raises(ConfigError):
+            MachineConfig(n_cpus=0)
+
+    def test_to_dict_nested(self):
+        d = MachineConfig().to_dict()
+        assert d["bus"]["capacity_txus"] == pytest.approx(29.5)
+        assert d["cache"]["size_bytes"] == 256 * 1024
+
+
+class TestLinuxSchedConfig:
+    def test_default_slice_is_60ms(self):
+        cfg = LinuxSchedConfig()
+        assert cfg.timeslice_us == pytest.approx(60_000.0)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"tick_us": 0.0},
+            {"default_ticks": 0},
+            {"affinity_bonus": -1},
+            {"rebalance_prob": 1.5},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ConfigError):
+            LinuxSchedConfig(**kw)
+
+
+class TestManagerConfig:
+    def test_paper_defaults(self):
+        cfg = ManagerConfig()
+        assert cfg.quantum_us == 200_000.0
+        assert cfg.samples_per_quantum == 2
+        assert cfg.window_length == 5
+        assert cfg.sample_period_us == pytest.approx(100_000.0)
+
+    @pytest.mark.parametrize(
+        "kw",
+        [
+            {"quantum_us": 0.0},
+            {"samples_per_quantum": 0},
+            {"window_length": 0},
+            {"fitness_scale": 0.0},
+            {"signal_first_hop_us": -1.0},
+            {"signal_cost_lines": -1.0},
+        ],
+    )
+    def test_invalid_rejected(self, kw):
+        with pytest.raises(ConfigError):
+            ManagerConfig(**kw)
+
+    def test_replace_produces_new_valid_config(self):
+        cfg = dataclasses.replace(ManagerConfig(), quantum_us=100_000.0)
+        assert cfg.sample_period_us == pytest.approx(50_000.0)

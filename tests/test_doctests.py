@@ -1,0 +1,33 @@
+"""Run the library's docstring examples as part of the suite.
+
+Keeps every ``>>>`` example in the public docstrings honest without
+requiring a separate ``--doctest-modules`` invocation.
+"""
+
+import doctest
+import importlib
+import pkgutil
+
+import pytest
+
+import repro
+
+# Discover every repro submodule. __main__ is excluded: importing it runs
+# the CLI (that's its job).
+_MODULES = sorted(
+    name
+    for _, name, _ in pkgutil.walk_packages(repro.__path__, prefix="repro.")
+    if name != "repro.__main__"
+)
+
+
+@pytest.mark.parametrize("module_name", _MODULES)
+def test_doctests(module_name):
+    module = importlib.import_module(module_name)
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module_name}"
+
+
+def test_package_doctest():
+    results = doctest.testmod(repro, verbose=False)
+    assert results.failed == 0

@@ -1,0 +1,26 @@
+"""The exception hierarchy contract."""
+
+import pytest
+
+from repro import errors
+
+
+@pytest.mark.parametrize(
+    "exc",
+    [
+        errors.ConfigError,
+        errors.SimulationError,
+        errors.SchedulingError,
+        errors.ArenaError,
+        errors.CounterError,
+        errors.WorkloadError,
+    ],
+)
+def test_all_derive_from_repro_error(exc):
+    assert issubclass(exc, errors.ReproError)
+    with pytest.raises(errors.ReproError):
+        raise exc("boom")
+
+
+def test_repro_error_is_exception():
+    assert issubclass(errors.ReproError, Exception)

@@ -1,0 +1,61 @@
+"""Microbenchmark and STREAM model checks."""
+
+import pytest
+
+from repro.experiments.base import SimulationSpec, run_simulation
+from repro.units import XEON_L2_LINES
+from repro.workloads.microbench import (
+    BBMA_RATE_TXUS,
+    NBBMA_RATE_TXUS,
+    bbma_spec,
+    nbbma_spec,
+)
+from repro.workloads.stream import stream_spec
+
+
+class TestSpecs:
+    def test_bbma_matches_paper(self):
+        spec = bbma_spec()
+        assert spec.n_threads == 1
+        assert spec.pattern.mean_rate() == BBMA_RATE_TXUS == 23.6
+        # array twice the L2 size: never cache-resident
+        assert spec.footprint_lines == 2 * XEON_L2_LINES
+
+    def test_nbbma_matches_paper(self):
+        spec = nbbma_spec()
+        assert spec.pattern.mean_rate() == NBBMA_RATE_TXUS == 0.0037
+        # array half the L2 size: fully cache-resident
+        assert spec.footprint_lines == XEON_L2_LINES // 2
+
+    def test_background_work_is_effectively_unbounded(self):
+        assert bbma_spec().work_per_thread_us >= 1e11
+
+    def test_stream_spec_thread_count(self):
+        assert stream_spec(n_threads=4).n_threads == 4
+
+
+class TestMeasuredRates:
+    def test_bbma_solo_rate(self):
+        result = run_simulation(
+            SimulationSpec(targets=[bbma_spec(work_us=100_000.0)], scheduler="dedicated", trace=False)
+        )
+        assert result.workload_rate_txus == pytest.approx(23.6, rel=0.05)
+
+    def test_nbbma_solo_rate(self):
+        result = run_simulation(
+            SimulationSpec(targets=[nbbma_spec(work_us=100_000.0)], scheduler="dedicated", trace=False)
+        )
+        # nBBMA's compulsory-miss warmup adds a little traffic on top of the
+        # steady 0.0037 tx/us, which is itself negligible.
+        assert result.workload_rate_txus < 0.05
+
+    def test_stream_saturates_bus(self):
+        result = run_simulation(
+            SimulationSpec(
+                targets=[stream_spec(n_threads=4, work_us=100_000.0)],
+                scheduler="dedicated",
+                trace=False,
+            )
+        )
+        # sustained throughput == the machine's capacity (29.5 tx/us)
+        assert result.workload_rate_txus == pytest.approx(29.5, rel=0.02)

@@ -1,0 +1,75 @@
+"""Property-based tests for demand patterns."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.patterns import MarkovBurstPattern, PhasedPattern
+from repro.workloads.synth import random_pattern
+
+_work = st.floats(min_value=0.0, max_value=1e7, allow_nan=False, allow_infinity=False)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=1.0, max_value=1e5),
+            st.floats(min_value=0.0, max_value=30.0),
+        ),
+        min_size=1,
+        max_size=6,
+    ),
+    _work,
+)
+@settings(max_examples=200, deadline=None)
+def test_phased_segment_contains_query(phases, work):
+    proc = PhasedPattern(tuple(phases)).bind(np.random.default_rng(0))
+    rate, end = proc.segment(work)
+    assert end > work
+    assert rate >= 0.0
+    # the rate must belong to the phase set
+    assert any(abs(rate - r) < 1e-12 for _, r in phases)
+
+
+@given(st.integers(min_value=0, max_value=1000), st.lists(_work, min_size=1, max_size=30))
+@settings(max_examples=100, deadline=None)
+def test_markov_segments_cover_work_line(seed, queries):
+    pat = MarkovBurstPattern(1.0, 10.0, 500.0, 300.0)
+    proc = pat.bind(np.random.default_rng(seed))
+    for w in sorted(queries):
+        rate, end = proc.segment(w)
+        assert end > w
+        assert rate in (1.0, 10.0)
+
+
+@given(st.integers(min_value=0, max_value=500))
+@settings(max_examples=50, deadline=None)
+def test_random_patterns_are_valid(seed):
+    rng = np.random.default_rng(seed)
+    pat = random_pattern(rng)
+    proc = pat.bind(np.random.default_rng(seed + 1))
+    mean = pat.mean_rate()
+    assert mean >= 0.0
+    work = 0.0
+    for _ in range(50):
+        rate, end = proc.segment(work)
+        assert rate >= -1e-12
+        assert end > work
+        work = min(end, work + 10_000.0)
+
+
+@given(st.integers(min_value=0, max_value=200))
+@settings(max_examples=40, deadline=None)
+def test_markov_mean_rate_matches_long_run(seed):
+    pat = MarkovBurstPattern(2.0, 12.0, 2000.0, 1000.0)
+    proc = pat.bind(np.random.default_rng(seed))
+    horizon = 5e6
+    total = 0.0
+    work = 0.0
+    while work < horizon:
+        rate, end = proc.segment(work)
+        end = min(end, horizon)
+        total += rate * (end - work)
+        work = end
+    assert total / horizon == pytest.approx(pat.mean_rate(), rel=0.15)

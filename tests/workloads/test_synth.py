@@ -1,0 +1,35 @@
+"""Randomized workload generator checks."""
+
+import numpy as np
+
+from repro.workloads.synth import random_spec, random_workload
+
+
+class TestRandomSpec:
+    def test_deterministic_per_seed(self):
+        a = random_spec(np.random.default_rng(4))
+        b = random_spec(np.random.default_rng(4))
+        assert a == b
+
+    def test_valid_across_seeds(self):
+        for seed in range(30):
+            spec = random_spec(np.random.default_rng(seed))
+            assert spec.n_threads >= 1
+            assert spec.work_per_thread_us > 0
+            assert spec.pattern.mean_rate() >= 0
+
+    def test_respects_max_threads(self):
+        for seed in range(20):
+            spec = random_spec(np.random.default_rng(seed), max_threads=2)
+            assert spec.n_threads <= 2
+
+
+class TestRandomWorkload:
+    def test_count_and_width(self):
+        apps = random_workload(np.random.default_rng(0), n_apps=5, n_cpus=4)
+        assert len(apps) == 5
+        assert all(a.n_threads <= 4 for a in apps)
+
+    def test_unique_names(self):
+        apps = random_workload(np.random.default_rng(0), n_apps=3)
+        assert len({a.name for a in apps}) == 3
