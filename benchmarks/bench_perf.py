@@ -1,0 +1,158 @@
+"""PERF: serial-vs-parallel wall clock and bus-solver cache effectiveness.
+
+A standalone script (not a pytest-benchmark module) that times ``run_fig2``
+three ways and writes ``BENCH_fig2.json``:
+
+1. **serial / cache off** — the pre-optimization baseline
+   (``solve_cache_size=0``);
+2. **serial / cache on** — the default solver cache;
+3. **parallel / cache on** — the same grid through ``run_many(jobs=N)``.
+
+Alongside wall-clock it records solver-work counters summed over every
+simulation in the grid: ``solve`` invocations, memo-cache hits, and
+bisection throughput evaluations — the cache's job is to make the last
+number drop. The script asserts the three variants agree on the figure's
+actual rows (cache-on must match cache-off to solver tolerance; parallel
+must match serial *exactly*).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_perf.py            # defaults
+    PYTHONPATH=src python benchmarks/bench_perf.py --jobs 4 --scale 0.2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+import time
+
+from repro.config import BusConfig, MachineConfig
+from repro.parallel import resolve_jobs
+
+
+def _machine(cache: bool) -> MachineConfig:
+    bus = BusConfig() if cache else BusConfig(solve_cache_size=0)
+    return MachineConfig(bus=bus)
+
+
+def _run(set_name: str, machine: MachineConfig, jobs: int, scale: float,
+         apps: list[str], seed: int):
+    from repro.experiments.fig2 import (
+        _background, _fresh_policy, default_policies, replace_scheduler,
+    )
+    from repro.config import ManagerConfig, LinuxSchedConfig
+    from repro.experiments.base import SimulationSpec
+    from repro.parallel import run_many
+    from repro.workloads.suites import PAPER_APPS
+
+    manager = ManagerConfig()
+    specs = []
+    for name in apps:
+        app_spec = PAPER_APPS[name].scaled(scale)
+        base = SimulationSpec(
+            targets=[app_spec, app_spec],
+            background=_background(set_name),
+            scheduler="linux",
+            machine=machine,
+            manager=manager,
+            linux=LinuxSchedConfig(),
+            seed=seed,
+        )
+        specs.append(base)
+        for template in default_policies(manager):
+            specs.append(replace_scheduler(base, _fresh_policy(template)))
+    start = time.perf_counter()
+    results = run_many(specs, jobs=jobs)
+    elapsed = time.perf_counter() - start
+    stats = {
+        "wall_clock_s": round(elapsed, 4),
+        "simulations": len(results),
+        "solve_calls": sum(r.bus_solve_calls for r in results),
+        "cache_hits": sum(r.bus_cache_hits for r in results),
+        "bisection_steps": sum(r.bus_bisection_steps for r in results),
+    }
+    stats["cache_hit_rate"] = (
+        round(stats["cache_hits"] / stats["solve_calls"], 4)
+        if stats["solve_calls"]
+        else 0.0
+    )
+    return results, stats
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--set", dest="set_name", default="A", choices=["A", "B", "C"])
+    parser.add_argument("--scale", type=float, default=0.25)
+    parser.add_argument("--seed", type=int, default=42)
+    parser.add_argument("--jobs", type=int, default=0, help="0 = all cores")
+    parser.add_argument(
+        "--apps", type=str, default="Barnes,SP,CG,Raytrace",
+        help="comma-separated application subset",
+    )
+    parser.add_argument("--out", type=str, default="BENCH_fig2.json")
+    args = parser.parse_args(argv)
+    apps = [a.strip() for a in args.apps.split(",") if a.strip()]
+    jobs = resolve_jobs(args.jobs)
+
+    variants = {}
+    base_results, variants["serial_cache_off"] = _run(
+        args.set_name, _machine(cache=False), 1, args.scale, apps, args.seed
+    )
+    cached_results, variants["serial_cache_on"] = _run(
+        args.set_name, _machine(cache=True), 1, args.scale, apps, args.seed
+    )
+    parallel_results, variants["parallel_cache_on"] = _run(
+        args.set_name, _machine(cache=True), jobs, args.scale, apps, args.seed
+    )
+
+    # Correctness gates: parallel must be exactly serial; the cache must
+    # not move any turnaround beyond solver tolerance.
+    assert parallel_results == cached_results, "parallel diverged from serial"
+    for a, b in zip(base_results, cached_results):
+        for ra, rb in zip(a.apps, b.apps):
+            if ra.turnaround_us is not None:
+                assert abs(ra.turnaround_us - rb.turnaround_us) <= max(
+                    1e-6 * ra.turnaround_us, 1e-3
+                ), f"cache changed {ra.name} turnaround"
+
+    base = variants["serial_cache_off"]
+    cached = variants["serial_cache_on"]
+    par = variants["parallel_cache_on"]
+    report = {
+        "experiment": f"fig2{args.set_name}",
+        "apps": apps,
+        "work_scale": args.scale,
+        "seed": args.seed,
+        "jobs": jobs,
+        "cpu_count": os.cpu_count(),
+        "variants": variants,
+        "bisection_reduction_pct": round(
+            100.0 * (1.0 - cached["bisection_steps"] / base["bisection_steps"]), 1
+        )
+        if base["bisection_steps"]
+        else 0.0,
+        "cache_speedup_serial": round(
+            base["wall_clock_s"] / cached["wall_clock_s"], 2
+        ),
+        "parallel_speedup_vs_cached_serial": round(
+            cached["wall_clock_s"] / par["wall_clock_s"], 2
+        ),
+        "total_speedup_vs_baseline": round(
+            base["wall_clock_s"] / par["wall_clock_s"], 2
+        ),
+        "bit_identical_serial_parallel": True,
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+        fh.write("\n")
+
+    print(f"[bench] wrote {args.out}", file=sys.stderr)
+    print(json.dumps(report, indent=2))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

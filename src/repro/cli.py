@@ -10,7 +10,9 @@ Regenerates every table and figure of the paper from the terminal::
     python -m repro all                  # everything, full scale
 
 ``--scale`` shrinks application work (0.25 runs in seconds and preserves
-every qualitative shape); ``--seed`` changes all random streams.
+every qualitative shape); ``--seed`` changes all random streams; ``--jobs``
+fans the simulation grid out over worker processes (results are
+bit-identical to the serial run; ``--jobs 0`` uses every core).
 """
 
 from __future__ import annotations
@@ -46,7 +48,29 @@ def build_parser() -> argparse.ArgumentParser:
         "--csv", type=str, default=None, metavar="DIR",
         help="with 'all': also export every experiment as CSV into DIR",
     )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help=(
+            "worker processes for the simulation grid (default: REPRO_JOBS "
+            "env var or 1; 0 = all cores); results are identical to --jobs 1"
+        ),
+    )
     return parser
+
+
+def _progress(args: argparse.Namespace):
+    """A stderr progress callback when running multi-process, else None."""
+    from .parallel import resolve_jobs
+
+    if resolve_jobs(args.jobs) <= 1:
+        return None
+
+    def report(done: int, total: int) -> None:
+        print(f"\r[{done}/{total} simulations]", end="", file=sys.stderr)
+        if done == total:
+            print(file=sys.stderr)
+
+    return report
 
 
 def _apps_arg(args: argparse.Namespace) -> list[str] | None:
@@ -58,13 +82,20 @@ def _apps_arg(args: argparse.Namespace) -> list[str] | None:
 def _run_calibration(args: argparse.Namespace) -> None:
     from .experiments.calibration import format_calibration, run_calibration
 
-    print(format_calibration(run_calibration(seed=args.seed, work_scale=args.scale)))
+    print(
+        format_calibration(
+            run_calibration(seed=args.seed, work_scale=args.scale, jobs=args.jobs)
+        )
+    )
 
 
 def _run_fig1(args: argparse.Namespace) -> None:
     from .experiments.fig1 import format_fig1a, format_fig1b, run_fig1
 
-    rows = run_fig1(seed=args.seed, work_scale=args.scale, apps=_apps_arg(args))
+    rows = run_fig1(
+        seed=args.seed, work_scale=args.scale, apps=_apps_arg(args),
+        jobs=args.jobs, progress=_progress(args),
+    )
     print(format_fig1a(rows))
     print()
     print(format_fig1b(rows))
@@ -76,7 +107,8 @@ def _run_fig2(args: argparse.Namespace) -> None:
     sets = ["A", "B", "C"] if args.set_name == "all" else [args.set_name]
     for set_name in sets:
         rows = run_fig2(
-            set_name, seed=args.seed, work_scale=args.scale, apps=_apps_arg(args)
+            set_name, seed=args.seed, work_scale=args.scale, apps=_apps_arg(args),
+            jobs=args.jobs, progress=_progress(args),
         )
         print(format_fig2(set_name, rows))
         print()
@@ -87,7 +119,10 @@ def _run_table1(args: argparse.Namespace) -> None:
     from .experiments.tables import build_table1, format_table1
 
     results = {
-        s: run_fig2(s, seed=args.seed, work_scale=args.scale, apps=_apps_arg(args))
+        s: run_fig2(
+            s, seed=args.seed, work_scale=args.scale, apps=_apps_arg(args),
+            jobs=args.jobs,
+        )
         for s in ("A", "B", "C")
     }
     print(format_table1(build_table1(results)))
@@ -109,27 +144,39 @@ def _run_ablations(args: argparse.Namespace) -> None:
         run_window_ablation,
     )
 
-    print(format_window_ablation(run_window_ablation(seed=args.seed, work_scale=args.scale)))
+    print(
+        format_window_ablation(
+            run_window_ablation(seed=args.seed, work_scale=args.scale, jobs=args.jobs)
+        )
+    )
     print()
-    print(format_quantum_ablation(run_quantum_ablation(seed=args.seed, work_scale=args.scale)))
+    print(
+        format_quantum_ablation(
+            run_quantum_ablation(seed=args.seed, work_scale=args.scale, jobs=args.jobs)
+        )
+    )
     print()
-    print(format_fitness_ablation(run_fitness_ablation(seed=args.seed, work_scale=args.scale)))
+    print(
+        format_fitness_ablation(
+            run_fitness_ablation(seed=args.seed, work_scale=args.scale, jobs=args.jobs)
+        )
+    )
     print()
     print(
         format_arbitration_ablation(
-            run_arbitration_ablation(seed=args.seed, work_scale=args.scale)
+            run_arbitration_ablation(seed=args.seed, work_scale=args.scale, jobs=args.jobs)
         )
     )
     print()
     print(
         format_saturation_ablation(
-            run_saturation_ablation(seed=args.seed, work_scale=args.scale)
+            run_saturation_ablation(seed=args.seed, work_scale=args.scale, jobs=args.jobs)
         )
     )
     print()
     print(
         format_model_ablation(
-            run_model_ablation(seed=args.seed, work_scale=args.scale)
+            run_model_ablation(seed=args.seed, work_scale=args.scale, jobs=args.jobs)
         )
     )
 
@@ -138,7 +185,7 @@ def _run_smt(args: argparse.Namespace) -> None:
     from .experiments.smt import format_smt_experiment, run_smt_experiment
 
     rows = run_smt_experiment(
-        apps=_apps_arg(args), seed=args.seed, work_scale=args.scale
+        apps=_apps_arg(args), seed=args.seed, work_scale=args.scale, jobs=args.jobs
     )
     print(format_smt_experiment(rows))
 
@@ -146,7 +193,7 @@ def _run_smt(args: argparse.Namespace) -> None:
 def _run_io(args: argparse.Namespace) -> None:
     from .experiments.io import format_io_experiment, run_io_experiment
 
-    rows = run_io_experiment(seed=args.seed, work_scale=args.scale)
+    rows = run_io_experiment(seed=args.seed, work_scale=args.scale, jobs=args.jobs)
     print(format_io_experiment(rows))
 
 
@@ -154,7 +201,7 @@ def _run_kernels(args: argparse.Namespace) -> None:
     from .experiments.kernels import format_kernel_experiment, run_kernel_experiment
 
     rows = run_kernel_experiment(
-        apps=_apps_arg(args), seed=args.seed, work_scale=args.scale
+        apps=_apps_arg(args), seed=args.seed, work_scale=args.scale, jobs=args.jobs
     )
     print(format_kernel_experiment(rows))
 
@@ -162,7 +209,11 @@ def _run_kernels(args: argparse.Namespace) -> None:
 def _run_validate(args: argparse.Namespace) -> None:
     from .experiments.validation import format_validation, run_validation
 
-    print(format_validation(run_validation(seed=args.seed, work_scale=args.scale)))
+    print(
+        format_validation(
+            run_validation(seed=args.seed, work_scale=args.scale, jobs=args.jobs)
+        )
+    )
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -188,7 +239,9 @@ def main(argv: list[str] | None = None) -> int:
         if args.csv:
             from .experiments.export import export_all
 
-            paths = export_all(args.csv, work_scale=args.scale, seed=args.seed)
+            paths = export_all(
+                args.csv, work_scale=args.scale, seed=args.seed, jobs=args.jobs
+            )
             print(f"[csv: wrote {len(paths)} files to {args.csv}]", file=sys.stderr)
     else:
         runners[args.experiment](args)

@@ -78,6 +78,12 @@ class BusConfig:
         fairly (ablation ABL-A).
     fixed_point_tol:
         Convergence tolerance of the latency equilibrium search.
+    solve_cache_size:
+        Capacity (entries) of the LRU memo cache inside
+        :meth:`repro.hw.bus.BusModel.solve`, keyed on the canonicalized
+        multiset of quantized requests. Running-thread sets recur every
+        scheduling cycle, so a small cache removes most bisection work.
+        ``0`` disables memoization (every solve recomputes).
     """
 
     capacity_txus: float = STREAM_CAPACITY_TXUS
@@ -87,6 +93,7 @@ class BusConfig:
     unfairness: float = 1.1
     arbitration: str = "shared-latency"
     fixed_point_tol: float = 1e-10
+    solve_cache_size: int = 1024
 
     def __post_init__(self) -> None:
         _require(self.capacity_txus > 0, "bus capacity must be positive")
@@ -99,6 +106,7 @@ class BusConfig:
             f"unknown arbitration model {self.arbitration!r}",
         )
         _require(0 < self.fixed_point_tol < 1e-2, "fixed_point_tol out of range")
+        _require(self.solve_cache_size >= 0, "solve_cache_size must be >= 0")
 
     def to_dict(self) -> dict[str, Any]:
         """Serialize to a plain dictionary."""

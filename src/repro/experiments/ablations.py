@@ -24,7 +24,8 @@ from ..core.fitness import FITNESS_FUNCTIONS
 from ..core.policies import EwmaPolicy, LatestQuantumPolicy, QuantaWindowPolicy
 from ..metrics.stats import improvement_percent
 from ..workloads.suites import PAPER_APPS
-from .base import SimulationSpec, run_simulation
+from ..parallel import run_many
+from .base import SimulationSpec
 from .fig2 import _background, run_fig2
 from .reporting import format_table
 
@@ -76,6 +77,7 @@ def run_window_ablation(
     work_scale: float = 1.0,
     seed: int = 42,
     apps: list[str] | None = None,
+    jobs: int | None = 1,
 ) -> list[WindowAblationRow]:
     """Sweep estimator configurations on the bursty applications (set B)."""
     apps = apps if apps is not None else _BURSTY_APPS
@@ -88,6 +90,7 @@ def run_window_ablation(
             work_scale=work_scale,
             seed=seed,
             apps=apps,
+            jobs=jobs,
         )
         rows.append(
             WindowAblationRow(
@@ -150,29 +153,29 @@ def run_quantum_ablation(
     set_name: str = "A",
     work_scale: float = 1.0,
     seed: int = 42,
+    jobs: int | None = 1,
 ) -> list[QuantumAblationRow]:
     """Sweep the CPU-manager quantum (paper: 100 ms thrashes, 200 ms is calm)."""
     app_spec = PAPER_APPS[app_name].scaled(work_scale)
-    out: list[QuantumAblationRow] = []
-    for q_ms in quanta_ms:
-        manager = ManagerConfig(quantum_us=q_ms * 1000.0)
-        spec = SimulationSpec(
+    specs = [
+        SimulationSpec(
             targets=[app_spec, app_spec],
             background=_background(set_name),
             scheduler=QuantaWindowPolicy(),
-            manager=manager,
+            manager=ManagerConfig(quantum_us=q_ms * 1000.0),
             seed=seed,
         )
-        result = run_simulation(spec)
-        out.append(
-            QuantumAblationRow(
-                quantum_ms=q_ms,
-                turnaround_us=result.mean_target_turnaround_us(),
-                context_switches=result.context_switches,
-                dispatches=sum(a.dispatches for a in result.apps),
-            )
+        for q_ms in quanta_ms
+    ]
+    return [
+        QuantumAblationRow(
+            quantum_ms=q_ms,
+            turnaround_us=result.mean_target_turnaround_us(),
+            context_switches=result.context_switches,
+            dispatches=sum(a.dispatches for a in result.apps),
         )
-    return out
+        for q_ms, result in zip(quanta_ms, run_many(specs, jobs=jobs))
+    ]
 
 
 def format_quantum_ablation(rows: list[QuantumAblationRow], app_name: str = "CG") -> str:
@@ -202,6 +205,7 @@ def run_fitness_ablation(
     set_name: str = "C",
     work_scale: float = 1.0,
     seed: int = 42,
+    jobs: int | None = 1,
 ) -> dict[str, dict[str, float]]:
     """Sweep fitness functions; returns fitness name → app → improvement %."""
     out: dict[str, dict[str, float]] = {}
@@ -212,6 +216,7 @@ def run_fitness_ablation(
             work_scale=work_scale,
             seed=seed,
             apps=list(app_names),
+            jobs=jobs,
         )
         out[fname] = {r.name: r.cells[0].improvement_percent for r in rows}
     return out
@@ -237,6 +242,7 @@ def run_model_ablation(
     app_names: tuple[str, ...] = ("Barnes", "SP", "CG"),
     work_scale: float = 1.0,
     seed: int = 42,
+    jobs: int | None = 1,
 ) -> dict[str, dict[str, dict[str, float]]]:
     """Model-driven whole-set optimization vs the paper's Eq.-1 matching.
 
@@ -258,6 +264,7 @@ def run_model_ablation(
             work_scale=work_scale,
             seed=seed,
             apps=list(app_names),
+            jobs=jobs,
         )
         out[set_name] = {
             policy: {r.name: r.improvement(policy) for r in rows}
@@ -290,6 +297,7 @@ def run_saturation_ablation(
     set_name: str = "A",
     work_scale: float = 1.0,
     seed: int = 42,
+    jobs: int | None = 1,
 ) -> dict[str, dict[str, float]]:
     """Saturation-aware estimation on/off (the limit-cycle demonstration).
 
@@ -309,6 +317,7 @@ def run_saturation_ablation(
             work_scale=work_scale,
             seed=seed,
             apps=list(app_names),
+            jobs=jobs,
         )
         out[label] = {r.name: r.cells[0].improvement_percent for r in rows}
     return out
@@ -334,6 +343,7 @@ def run_arbitration_ablation(
     app_names: tuple[str, ...] = ("Barnes", "SP", "CG"),
     work_scale: float = 1.0,
     seed: int = 42,
+    jobs: int | None = 1,
 ) -> dict[str, dict[str, float]]:
     """+BBMA slowdown under both arbitration models.
 
@@ -345,7 +355,8 @@ def run_arbitration_ablation(
     for arb in ("shared-latency", "max-min"):
         machine = MachineConfig(bus=BusConfig(arbitration=arb))
         rows = run_fig1(
-            machine=machine, work_scale=work_scale, seed=seed, apps=list(app_names)
+            machine=machine, work_scale=work_scale, seed=seed, apps=list(app_names),
+            jobs=jobs,
         )
         out[arb] = {r.name: r.slowdowns["+BBMA"] for r in rows}
     return out

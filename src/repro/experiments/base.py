@@ -15,6 +15,7 @@ machine.
 
 from __future__ import annotations
 
+import itertools
 from dataclasses import dataclass, field
 
 from ..config import LinuxSchedConfig, MachineConfig, ManagerConfig
@@ -35,7 +36,7 @@ from ..sim.trace import TraceRecorder
 from ..units import seconds
 from ..workloads.base import Application, ApplicationSpec
 
-__all__ = ["SimulationSpec", "run_simulation", "solo_run"]
+__all__ = ["SimulationSpec", "run_simulation", "solo_run", "solo_spec"]
 
 
 @dataclass
@@ -134,19 +135,25 @@ def _build(spec: SimulationSpec) -> SimulationHandle:
     trace = TraceRecorder(enabled=spec.trace, capacity=200_000)
     machine = Machine(spec.machine, engine, trace)
     registry = RngRegistry(spec.seed)
+    # App ids are assigned per run (not from the process-global counter):
+    # results must be bit-identical no matter which process — or how many
+    # prior simulations that process — ran this spec.
+    app_ids = itertools.count(1)
 
     apps: list[Application] = []
     target_apps: list[Application] = []
     for i, app_spec in enumerate(spec.targets):
         app = Application.launch(
-            app_spec, machine, registry.stream(f"target{i}.{app_spec.name}")
+            app_spec, machine, registry.stream(f"target{i}.{app_spec.name}"),
+            app_id=next(app_ids),
         )
         apps.append(app)
         target_apps.append(app)
     for i, app_spec in enumerate(spec.background):
         apps.append(
             Application.launch(
-                app_spec, machine, registry.stream(f"bg{i}.{app_spec.name}")
+                app_spec, machine, registry.stream(f"bg{i}.{app_spec.name}"),
+                app_id=next(app_ids),
             )
         )
 
@@ -193,7 +200,8 @@ def _build(spec: SimulationSpec) -> SimulationHandle:
 
     def _arrive(index: int, app_spec: ApplicationSpec) -> None:
         app = Application.launch(
-            app_spec, machine, registry.stream(f"arrival{index}.{app_spec.name}")
+            app_spec, machine, registry.stream(f"arrival{index}.{app_spec.name}"),
+            app_id=next(app_ids),
         )
         handle.apps.append(app)
         handle.target_apps.append(app)
@@ -247,9 +255,27 @@ def run_simulation_with_handle(
             "simulation went quiescent before all targets finished "
             "(deadlock or starvation; check scheduler configuration)"
         )
-    target_names = tuple({a.name for a in handle.target_apps})
+    # First-seen order (not set order, which varies with hash seeding):
+    # the result must be identical across processes and interpreter runs.
+    target_names = tuple(dict.fromkeys(a.name for a in handle.target_apps))
     result = collect_run_result(handle.machine, handle.apps, target_names)
     return result, handle
+
+
+def solo_spec(
+    app_spec: ApplicationSpec,
+    machine: MachineConfig | None = None,
+    seed: int = 42,
+) -> SimulationSpec:
+    """Spec for one application alone on dedicated CPUs (Figure 1 baseline)."""
+    return SimulationSpec(
+        targets=[app_spec],
+        background=[],
+        scheduler="dedicated",
+        machine=machine or MachineConfig(),
+        seed=seed,
+        trace=False,
+    )
 
 
 def solo_run(
@@ -258,12 +284,4 @@ def solo_run(
     seed: int = 42,
 ) -> RunResult:
     """Run one application alone on dedicated CPUs (the Figure 1 baseline)."""
-    spec = SimulationSpec(
-        targets=[app_spec],
-        background=[],
-        scheduler="dedicated",
-        machine=machine or MachineConfig(),
-        seed=seed,
-        trace=False,
-    )
-    return run_simulation(spec)
+    return run_simulation(solo_spec(app_spec, machine=machine, seed=seed))

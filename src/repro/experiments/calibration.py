@@ -18,11 +18,12 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..config import MachineConfig
+from ..parallel import run_many
 from ..units import txus_to_mbps
 from ..workloads.microbench import bbma_spec, nbbma_spec
 from ..workloads.stream import stream_spec
 from ..workloads.suites import PAPER_APPS, PAPER_SOLO_RATES
-from .base import SimulationSpec, run_simulation, solo_run
+from .base import SimulationSpec, solo_spec
 from .reporting import format_table
 
 __all__ = ["CalibrationResult", "run_calibration", "format_calibration"]
@@ -56,56 +57,49 @@ def run_calibration(
     machine: MachineConfig | None = None,
     seed: int = 42,
     work_scale: float = 1.0,
+    jobs: int | None = 1,
 ) -> CalibrationResult:
     """Measure the platform anchors on the simulated machine.
 
     ``work_scale`` shrinks application work for quick benchmark runs
-    (rates are work-size independent; turnarounds scale linearly).
+    (rates are work-size independent; turnarounds scale linearly). All
+    anchors are independent dedicated runs, dispatched together through
+    :func:`repro.parallel.run_many`.
     """
     machine = machine or MachineConfig()
 
-    stream = run_simulation(
-        SimulationSpec(
-            targets=[stream_spec(n_threads=machine.n_cpus, work_us=500_000.0 * work_scale)],
+    def dedicated(app_spec) -> SimulationSpec:
+        return SimulationSpec(
+            targets=[app_spec],
             scheduler="dedicated",
             machine=machine,
             seed=seed,
             trace=False,
         )
-    )
-    # Rate measured over the steady post-warmup portion is approximated by
-    # the whole-run average: warmup is ~1 ms of a 0.5 s+ run.
-    stream_rate = stream.workload_rate_txus
 
-    bbma = run_simulation(
-        SimulationSpec(
-            targets=[bbma_spec(work_us=300_000.0 * work_scale)],
-            scheduler="dedicated",
-            machine=machine,
-            seed=seed,
-            trace=False,
-        )
-    )
-    nbbma = run_simulation(
-        SimulationSpec(
-            targets=[nbbma_spec(work_us=300_000.0 * work_scale)],
-            scheduler="dedicated",
-            machine=machine,
-            seed=seed,
-            trace=False,
-        )
-    )
+    app_names = list(PAPER_APPS)
+    specs = [
+        dedicated(stream_spec(n_threads=machine.n_cpus, work_us=500_000.0 * work_scale)),
+        dedicated(bbma_spec(work_us=300_000.0 * work_scale)),
+        dedicated(nbbma_spec(work_us=300_000.0 * work_scale)),
+    ] + [
+        solo_spec(PAPER_APPS[name].scaled(work_scale), machine=machine, seed=seed)
+        for name in app_names
+    ]
+    results = run_many(specs, jobs=jobs)
+    stream, bbma, nbbma = results[0], results[1], results[2]
 
     solo_rates: dict[str, float] = {}
     solo_turnarounds: dict[str, float] = {}
-    for name, spec in PAPER_APPS.items():
-        result = solo_run(spec.scaled(work_scale), machine=machine, seed=seed)
+    for name, result in zip(app_names, results[3:]):
         solo_rates[name] = result.workload_rate_txus
         solo_turnarounds[name] = result.mean_target_turnaround_us()
 
+    # Rate measured over the steady post-warmup portion is approximated by
+    # the whole-run average: warmup is ~1 ms of a 0.5 s+ run.
     return CalibrationResult(
-        stream_rate_txus=stream_rate,
-        stream_bandwidth_mbps=txus_to_mbps(stream_rate),
+        stream_rate_txus=stream.workload_rate_txus,
+        stream_bandwidth_mbps=txus_to_mbps(stream.workload_rate_txus),
         bbma_rate_txus=bbma.workload_rate_txus,
         nbbma_rate_txus=nbbma.workload_rate_txus,
         solo_rates_txus=solo_rates,

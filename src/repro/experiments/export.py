@@ -117,16 +117,22 @@ def export_table1(rows: list[Table1Row], directory: str) -> str:
     )
 
 
-def export_all(directory: str, work_scale: float = 1.0, seed: int = 42) -> list[str]:
+def export_all(
+    directory: str, work_scale: float = 1.0, seed: int = 42, jobs: int | None = 1
+) -> list[str]:
     """Regenerate the full suite and write every CSV; returns the paths."""
     os.makedirs(directory, exist_ok=True)
     paths: list[str] = []
-    paths.append(export_calibration(run_calibration(seed=seed, work_scale=work_scale), directory))
-    fig1_rows = run_fig1(seed=seed, work_scale=work_scale)
+    paths.append(
+        export_calibration(
+            run_calibration(seed=seed, work_scale=work_scale, jobs=jobs), directory
+        )
+    )
+    fig1_rows = run_fig1(seed=seed, work_scale=work_scale, jobs=jobs)
     paths.extend(export_fig1(fig1_rows, directory))
     fig2_results = {}
     for set_name in ("A", "B", "C"):
-        rows = run_fig2(set_name, seed=seed, work_scale=work_scale)
+        rows = run_fig2(set_name, seed=seed, work_scale=work_scale, jobs=jobs)
         fig2_results[set_name] = rows
         paths.append(export_fig2(set_name, rows, directory))
     paths.append(export_table1(build_table1(fig2_results), directory))

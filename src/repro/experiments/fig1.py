@@ -22,9 +22,10 @@ from dataclasses import dataclass
 
 from ..config import MachineConfig
 from ..metrics.stats import slowdown
+from ..parallel import run_many
 from ..workloads.microbench import bbma_spec, nbbma_spec
 from ..workloads.suites import PAPER_APPS
-from .base import SimulationSpec, run_simulation
+from .base import SimulationSpec
 from .reporting import format_table
 
 __all__ = ["Fig1Row", "run_fig1", "format_fig1a", "format_fig1b", "FIG1_CONFIGS"]
@@ -95,23 +96,33 @@ def run_fig1(
     seed: int = 42,
     work_scale: float = 1.0,
     apps: list[str] | None = None,
+    jobs: int | None = 1,
+    progress=None,
 ) -> list[Fig1Row]:
     """Run the Figure 1 grid and return one row per application.
 
     ``work_scale`` shrinks every application's work (for fast benches);
-    ``apps`` restricts to a subset of application names.
+    ``apps`` restricts to a subset of application names. The whole
+    (application × configuration) grid runs through
+    :func:`repro.parallel.run_many` with ``jobs`` workers.
     """
     machine = machine or MachineConfig()
     names = apps if apps is not None else list(PAPER_APPS)
+    specs = [
+        _config_spec(config, PAPER_APPS[name].scaled(work_scale), machine, seed)
+        for name in names
+        for config in FIG1_CONFIGS
+    ]
+    results = run_many(specs, jobs=jobs, progress=progress)
+
     rows: list[Fig1Row] = []
-    for name in names:
-        app_spec = PAPER_APPS[name].scaled(work_scale)
-        rates: dict[str, float] = {}
-        turnarounds: dict[str, float] = {}
-        for config in FIG1_CONFIGS:
-            result = run_simulation(_config_spec(config, app_spec, machine, seed))
-            rates[config] = result.workload_rate_txus
-            turnarounds[config] = result.mean_target_turnaround_us()
+    stride = len(FIG1_CONFIGS)
+    for row_i, name in enumerate(names):
+        chunk = results[row_i * stride : (row_i + 1) * stride]
+        rates = {c: r.workload_rate_txus for c, r in zip(FIG1_CONFIGS, chunk)}
+        turnarounds = {
+            c: r.mean_target_turnaround_us() for c, r in zip(FIG1_CONFIGS, chunk)
+        }
         slowdowns = {
             config: slowdown(turnarounds[config], turnarounds["solo"])
             for config in FIG1_CONFIGS

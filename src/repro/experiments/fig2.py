@@ -23,9 +23,10 @@ from ..config import LinuxSchedConfig, MachineConfig, ManagerConfig
 from ..core.policies import BandwidthPolicy, LatestQuantumPolicy, QuantaWindowPolicy
 from ..errors import ConfigError
 from ..metrics.stats import improvement_percent, summarize_improvements
+from ..parallel import run_many
 from ..workloads.microbench import bbma_spec, nbbma_spec
 from ..workloads.suites import PAPER_APPS
-from .base import SimulationSpec, run_simulation
+from .base import SimulationSpec
 from .reporting import format_table
 
 __all__ = [
@@ -119,45 +120,61 @@ def run_fig2(
     seed: int = 42,
     work_scale: float = 1.0,
     apps: list[str] | None = None,
+    jobs: int | None = 1,
+    progress=None,
 ) -> list[Fig2Row]:
     """Run one workload set (A, B or C) for every application.
 
     Returns one row per application with the Linux baseline and each
     policy's improvement. ``policies`` instances are *templates*: a fresh
     copy (same class and parameters) is used per run so estimator state
-    never leaks across workloads.
+    never leaks across workloads. The whole (application × scheduler)
+    grid is dispatched through :func:`repro.parallel.run_many`; ``jobs``
+    and ``progress`` are forwarded to it, and results are identical for
+    any job count.
     """
     machine = machine or MachineConfig()
     manager = manager or ManagerConfig()
     linux = linux or LinuxSchedConfig()
     names = apps if apps is not None else list(PAPER_APPS)
-    rows: list[Fig2Row] = []
+    templates = policies if policies is not None else default_policies(manager)
+
+    # Flatten the grid: per application, one Linux baseline plus one run
+    # per policy, in a fixed order we reassemble below.
+    specs: list[SimulationSpec] = []
+    policy_names: list[list[str]] = []
     for name in names:
         app_spec = PAPER_APPS[name].scaled(work_scale)
-        targets = [app_spec, app_spec]
-        background = _background(set_name)
-
         base_spec = SimulationSpec(
-            targets=targets,
-            background=background,
+            targets=[app_spec, app_spec],
+            background=_background(set_name),
             scheduler="linux",
             machine=machine,
             manager=manager,
             linux=linux,
             seed=seed,
         )
-        linux_result = run_simulation(base_spec)
-        linux_t = linux_result.mean_target_turnaround_us()
-
-        cells = []
-        for policy_template in policies if policies is not None else default_policies(manager):
+        specs.append(base_spec)
+        per_app = []
+        for policy_template in templates:
             policy = _fresh_policy(policy_template)
-            spec = replace_scheduler(base_spec, policy)
-            result = run_simulation(spec)
+            specs.append(replace_scheduler(base_spec, policy))
+            per_app.append(policy.name)
+        policy_names.append(per_app)
+
+    results = run_many(specs, jobs=jobs, progress=progress)
+
+    rows: list[Fig2Row] = []
+    stride = 1 + len(templates)
+    for row_i, name in enumerate(names):
+        chunk = results[row_i * stride : (row_i + 1) * stride]
+        linux_t = chunk[0].mean_target_turnaround_us()
+        cells = []
+        for policy_name, result in zip(policy_names[row_i], chunk[1:]):
             t = result.mean_target_turnaround_us()
             cells.append(
                 Fig2Cell(
-                    policy=policy.name,
+                    policy=policy_name,
                     turnaround_us=t,
                     improvement_percent=improvement_percent(linux_t, t),
                 )

@@ -27,10 +27,11 @@ from dataclasses import dataclass
 from ..config import MachineConfig
 from ..core.policies import QuantaWindowPolicy
 from ..core.policies_model import ModelDrivenPolicy
+from ..parallel import run_many
 from ..workloads.base import ApplicationSpec
 from ..workloads.microbench import bbma_spec, nbbma_spec
 from ..workloads.patterns import PhasedPattern, JitterPattern
-from .base import SimulationSpec, run_simulation_with_handle
+from .base import SimulationSpec
 from .reporting import format_table
 
 __all__ = ["IoRow", "io_app_specs", "run_io_experiment", "format_io_experiment"]
@@ -85,35 +86,47 @@ class IoRow:
         return (base - self.turnarounds_us[scheduler]) / base * 100.0
 
 
+def _count_target_io(result, handle) -> int:
+    """Worker-side collector: I/O sleeps performed by the target instances."""
+    return sum(t.io_count for a in handle.target_apps for t in a.threads)
+
+
+_SCHEDULERS = ("linux", "window", "model")
+
+
 def run_io_experiment(
     work_scale: float = 1.0,
     seed: int = 42,
     machine: MachineConfig | None = None,
+    jobs: int | None = 1,
 ) -> list[IoRow]:
     """Run the I/O server workloads under the three schedulers."""
     machine = machine or MachineConfig()
-    rows: list[IoRow] = []
-    for name, app_spec in io_app_specs(work_scale).items():
-        turnarounds: dict[str, float] = {}
-        io_waits = 0
-        for label, scheduler in (
-            ("linux", "linux"),
-            ("window", QuantaWindowPolicy()),
-            ("model", ModelDrivenPolicy()),
-        ):
-            spec = SimulationSpec(
-                targets=[app_spec, app_spec],
-                background=[bbma_spec(), bbma_spec(), nbbma_spec(), nbbma_spec()],
-                scheduler=scheduler,
-                machine=machine,
-                seed=seed,
-            )
-            result, handle = run_simulation_with_handle(spec)
-            turnarounds[label] = result.mean_target_turnaround_us()
-            if label == "linux":
-                io_waits = sum(
-                    t.io_count for a in handle.target_apps for t in a.threads
+    apps = io_app_specs(work_scale)
+    specs: list[SimulationSpec] = []
+    for app_spec in apps.values():
+        for scheduler in ("linux", QuantaWindowPolicy(), ModelDrivenPolicy()):
+            specs.append(
+                SimulationSpec(
+                    targets=[app_spec, app_spec],
+                    background=[bbma_spec(), bbma_spec(), nbbma_spec(), nbbma_spec()],
+                    scheduler=scheduler,
+                    machine=machine,
+                    seed=seed,
                 )
+            )
+    # The handle is not picklable, so I/O waits are counted in the worker
+    # via run_many's collect hook.
+    pairs = run_many(specs, jobs=jobs, collect=_count_target_io)
+    rows: list[IoRow] = []
+    stride = len(_SCHEDULERS)
+    for row_i, name in enumerate(apps):
+        chunk = pairs[row_i * stride : (row_i + 1) * stride]
+        turnarounds = {
+            label: result.mean_target_turnaround_us()
+            for label, (result, _) in zip(_SCHEDULERS, chunk)
+        }
+        io_waits = chunk[0][1]  # linux run; identical across schedulers
         rows.append(IoRow(name=name, turnarounds_us=turnarounds, io_waits=io_waits))
     return rows
 

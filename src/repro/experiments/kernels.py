@@ -25,8 +25,9 @@ from dataclasses import dataclass
 
 from ..config import MachineConfig
 from ..core.policies import QuantaWindowPolicy
+from ..parallel import run_many
 from ..workloads.suites import PAPER_APPS
-from .base import SimulationSpec, run_simulation
+from .base import SimulationSpec
 from .fig2 import _background
 from .reporting import format_table
 
@@ -62,13 +63,13 @@ def run_kernel_experiment(
     set_name: str = "A",
     work_scale: float = 1.0,
     seed: int = 42,
+    jobs: int | None = 1,
 ) -> list[KernelRow]:
     """Run the kernel × policy grid for each application."""
     names = apps if apps is not None else ["Barnes", "SP", "CG"]
-    rows: list[KernelRow] = []
+    specs: list[SimulationSpec] = []
     for name in names:
         app_spec = PAPER_APPS[name].scaled(work_scale)
-        turnarounds: dict[str, float] = {}
         for label in _CONFIGS:
             if label.startswith("linux"):
                 scheduler: object = "linux" if label == "linux24" else "linux26"
@@ -76,15 +77,24 @@ def run_kernel_experiment(
             else:
                 scheduler = QuantaWindowPolicy()
                 kernel = "linux" if label.endswith("24") else "linux26"
-            spec = SimulationSpec(
-                targets=[app_spec, app_spec],
-                background=_background(set_name),
-                scheduler=scheduler,
-                kernel=kernel,
-                machine=MachineConfig(),
-                seed=seed,
+            specs.append(
+                SimulationSpec(
+                    targets=[app_spec, app_spec],
+                    background=_background(set_name),
+                    scheduler=scheduler,
+                    kernel=kernel,
+                    machine=MachineConfig(),
+                    seed=seed,
+                )
             )
-            turnarounds[label] = run_simulation(spec).mean_target_turnaround_us()
+    results = run_many(specs, jobs=jobs)
+    rows: list[KernelRow] = []
+    stride = len(_CONFIGS)
+    for row_i, name in enumerate(names):
+        chunk = results[row_i * stride : (row_i + 1) * stride]
+        turnarounds = {
+            label: r.mean_target_turnaround_us() for label, r in zip(_CONFIGS, chunk)
+        }
         rows.append(KernelRow(name=name, turnarounds_us=turnarounds))
     return rows
 

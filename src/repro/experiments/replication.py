@@ -93,15 +93,20 @@ def replicate_fig2(
     seeds: Iterable[int] = (1, 2, 7, 42, 101),
     work_scale: float = 1.0,
     policies=None,
+    jobs: int | None = 1,
 ) -> dict[str, dict[str, Replicated]]:
     """Per-application, per-policy replicated Figure 2 improvements.
 
     Returns ``app → policy → Replicated`` where each replicate is the
-    improvement over the *same-seed* Linux baseline.
+    improvement over the *same-seed* Linux baseline. ``jobs`` parallelises
+    each seed's (application × scheduler) grid.
     """
     seeds = list(seeds)
     per_seed_rows = [
-        run_fig2(set_name, seed=seed, work_scale=work_scale, apps=apps, policies=policies)
+        run_fig2(
+            set_name, seed=seed, work_scale=work_scale, apps=apps,
+            policies=policies, jobs=jobs,
+        )
         for seed in seeds
     ]
     out: dict[str, dict[str, Replicated]] = {}

@@ -29,8 +29,9 @@ from dataclasses import dataclass
 
 from ..config import MachineConfig
 from ..core.policies import QuantaWindowPolicy
+from ..parallel import run_many
 from ..workloads.suites import PAPER_APPS
-from .base import SimulationSpec, run_simulation
+from .base import SimulationSpec
 from .fig2 import _background
 from .reporting import format_table
 
@@ -65,6 +66,7 @@ def run_smt_experiment(
     work_scale: float = 1.0,
     seed: int = 42,
     smt_efficiency: float = 0.62,
+    jobs: int | None = 1,
 ) -> list[SmtRow]:
     """Run the HT-on/off × scheduler grid for each application."""
     names = apps if apps is not None else ["Barnes", "SP", "CG"]
@@ -72,26 +74,33 @@ def run_smt_experiment(
         "HT-off": MachineConfig(n_cpus=4, smt_ways=1),
         "HT-on": MachineConfig(n_cpus=4, smt_ways=2, smt_efficiency=smt_efficiency),
     }
-    rows: list[SmtRow] = []
+    labels = [
+        f"{ht_label} {sched_label}"
+        for ht_label in machines
+        for sched_label in ("linux", "window")
+    ]
+    specs: list[SimulationSpec] = []
     for name in names:
         app_spec = PAPER_APPS[name].scaled(work_scale)
-        turnarounds: dict[str, float] = {}
         for ht_label, machine in machines.items():
-            for sched_label, scheduler in (
-                ("linux", "linux"),
-                ("window", QuantaWindowPolicy()),
-            ):
-                spec = SimulationSpec(
-                    targets=[app_spec, app_spec],
-                    background=_background(set_name),
-                    scheduler=scheduler,
-                    machine=machine,
-                    seed=seed,
+            for scheduler in ("linux", QuantaWindowPolicy()):
+                specs.append(
+                    SimulationSpec(
+                        targets=[app_spec, app_spec],
+                        background=_background(set_name),
+                        scheduler=scheduler,
+                        machine=machine,
+                        seed=seed,
+                    )
                 )
-                result = run_simulation(spec)
-                turnarounds[f"{ht_label} {sched_label}"] = (
-                    result.mean_target_turnaround_us()
-                )
+    results = run_many(specs, jobs=jobs)
+    rows: list[SmtRow] = []
+    stride = len(labels)
+    for row_i, name in enumerate(names):
+        chunk = results[row_i * stride : (row_i + 1) * stride]
+        turnarounds = {
+            label: r.mean_target_turnaround_us() for label, r in zip(labels, chunk)
+        }
         rows.append(SmtRow(name=name, turnarounds_us=turnarounds))
     return rows
 

@@ -75,13 +75,18 @@ def _score(claim: Claim, measured: float) -> ClaimResult:
     return ClaimResult(claim=claim, measured=measured, verdict=verdict)
 
 
-def run_validation(work_scale: float = 0.25, seed: int = 42) -> list[ClaimResult]:
+def run_validation(
+    work_scale: float = 0.25, seed: int = 42, jobs: int | None = 1
+) -> list[ClaimResult]:
     """Regenerate the experiments and score every encoded claim."""
     machine = MachineConfig()
-    cal = run_calibration(machine=machine, seed=seed, work_scale=work_scale)
-    fig1 = {r.name: r for r in run_fig1(machine=machine, seed=seed, work_scale=work_scale)}
+    cal = run_calibration(machine=machine, seed=seed, work_scale=work_scale, jobs=jobs)
+    fig1 = {
+        r.name: r
+        for r in run_fig1(machine=machine, seed=seed, work_scale=work_scale, jobs=jobs)
+    }
     fig2 = {
-        s: {r.name: r for r in run_fig2(s, seed=seed, work_scale=work_scale)}
+        s: {r.name: r for r in run_fig2(s, seed=seed, work_scale=work_scale, jobs=jobs)}
         for s in ("A", "B", "C")
     }
 

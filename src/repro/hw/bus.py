@@ -56,14 +56,22 @@ A second arbitration model, ``"max-min"``, divides saturated capacity
 max-min fairly among demands instead; it exists for the ABL-A ablation.
 
 All rates are piecewise constant between machine reconfigurations, so one
-``solve`` call per reconfiguration suffices; the solver costs ~60 bisection
-steps over a handful of threads and is nowhere near the simulation's
-bottleneck.
+``solve`` call per reconfiguration suffices; still, a long run reconfigures
+thousands of times and the same running-thread sets recur every scheduling
+cycle, so ``solve`` keeps an LRU memo cache keyed on the canonicalized
+(sorted) multiset of quantized ``(rate, mem_fraction)`` pairs. A hit skips
+the bisection entirely and returns the stored equilibrium with the grants
+matched back to the caller's request order (identical requests receive
+identical grants under both arbitration models, so the match is exact).
+Hit/miss accounting is surfaced via :attr:`BusModel.solve_calls`,
+:attr:`BusModel.cache_hits` and :attr:`BusModel.bisection_steps` for the
+performance harness (``benchmarks/bench_perf.py``).
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from collections import OrderedDict
+from dataclasses import dataclass, replace
 from typing import Sequence
 
 from ..config import BusConfig
@@ -71,14 +79,22 @@ from ..errors import WorkloadError
 
 __all__ = ["BusRequest", "ThreadGrant", "BusSolution", "BusModel", "derive_mem_fraction"]
 
+#: Decimal places of the solve-cache key quantization. Exact matching on
+#: floats rounded this finely is an identity for the rates the simulator
+#: produces (they differ by far more than 1e-12 unless truly equal), while
+#: still collapsing bit-level noise from request-order permutations.
+_CACHE_DECIMALS = 12
 
-def derive_mem_fraction(rate_txus: float, lam0_us: float, mem_exponent: float = 0.7) -> float:
+
+def derive_mem_fraction(rate_txus: float, lam0_us: float, mem_exponent: float = 0.65) -> float:
     """Default latency-sensitive fraction for a thread issuing ``rate_txus``.
 
     ``m = min(1, (r·lam0)^alpha)``: a thread demanding the streaming
     ceiling ``1/lam0`` or more is fully memory-bound; below it, sensitivity
     falls off sublinearly (``alpha < 1``) because sparse misses overlap
-    less with computation.
+    less with computation. The default exponent matches
+    :attr:`repro.config.BusConfig.mem_exponent` (α = 0.65, DESIGN.md §4);
+    a config test asserts the two stay in lockstep.
 
     >>> derive_mem_fraction(23.6, 1 / 23.6)
     1.0
@@ -205,6 +221,17 @@ class BusModel:
         self._alpha = config.mem_exponent
         self._tol = config.fixed_point_tol
         self._solve_calls = 0
+        self._cache_hits = 0
+        self._bisection_steps = 0
+        # solve() memo: canonical multiset key -> (key sequence in the
+        # miss's request order, solution, quantized request -> grant).
+        self._cache: OrderedDict[
+            tuple, tuple[tuple, BusSolution, dict[tuple[float, float], ThreadGrant]]
+        ] = OrderedDict()
+        self._cache_size = config.solve_cache_size
+        # request_for_rate memo: the same handful of demand rates recur on
+        # every reconfiguration; m = (r·lam0)^alpha is the pow() hot spot.
+        self._request_cache: dict[float, BusRequest] = {}
 
     @property
     def capacity(self) -> float:
@@ -226,11 +253,31 @@ class BusModel:
         """Number of ``solve`` invocations (profiling aid)."""
         return self._solve_calls
 
+    @property
+    def cache_hits(self) -> int:
+        """``solve`` invocations answered from the memo cache."""
+        return self._cache_hits
+
+    @property
+    def cache_len(self) -> int:
+        """Number of solutions currently memoized."""
+        return len(self._cache)
+
+    @property
+    def bisection_steps(self) -> int:
+        """Aggregate throughput evaluations spent in saturation searches."""
+        return self._bisection_steps
+
     # ------------------------------------------------------------------
 
     def request_for_rate(self, rate_txus: float) -> BusRequest:
         """Build a request with the default derived memory fraction."""
-        return BusRequest(rate_txus, derive_mem_fraction(rate_txus, self._lam0, self._alpha))
+        req = self._request_cache.get(rate_txus)
+        if req is None:
+            req = BusRequest(rate_txus, derive_mem_fraction(rate_txus, self._lam0, self._alpha))
+            if len(self._request_cache) < 65536:
+                self._request_cache[rate_txus] = req
+        return req
 
     def contention_latency(self, rho: float) -> float:
         """Sub-saturation arbitration latency at offered-demand ratio ``rho``.
@@ -260,17 +307,99 @@ class BusModel:
         return 1.0 / denom
 
     def solve(self, requests: Sequence[BusRequest]) -> BusSolution:
-        """Compute the contention equilibrium for the running thread set."""
+        """Compute the contention equilibrium for the running thread set.
+
+        Results are memoized on the multiset of ``(rate, mem_fraction)``
+        pairs (quantized to :data:`_CACHE_DECIMALS` decimals): two calls
+        whose requests differ only in order observe the same equilibrium,
+        and the per-thread grants are matched back by request value.
+        """
         self._solve_calls += 1
         if not requests:
             return BusSolution(
                 grants=(), utilisation=0.0, latency_us=self._lam0, total_txus=0.0
             )
+        key_seq: tuple | None = None
+        key: tuple | None = None
+        if self._cache_size > 0:
+            key_seq = tuple(
+                (round(req.rate_txus, _CACHE_DECIMALS), round(req.mem_fraction, _CACHE_DECIMALS))
+                for req in requests
+            )
+            key = tuple(sorted(key_seq))
+            entry = self._cache.get(key)
+            if entry is not None:
+                self._cache_hits += 1
+                self._cache.move_to_end(key)
+                stored_seq, solution, grant_map = entry
+                if stored_seq == key_seq:
+                    return solution
+                # Same multiset, different request order: rebuild the
+                # grants tuple in the caller's order by value match.
+                return replace(solution, grants=tuple(grant_map[q] for q in key_seq))
         if self._cfg.arbitration == "max-min":
-            return self._solve_max_min(requests)
-        return self._solve_shared_latency(requests)
+            solution = self._solve_max_min(requests)
+        else:
+            solution = self._solve_shared_latency(requests)
+        if key is not None:
+            grant_map = {}
+            for q, grant in zip(key_seq, solution.grants):  # type: ignore[arg-type]
+                grant_map.setdefault(q, grant)
+            self._cache[key] = (key_seq, solution, grant_map)
+            if len(self._cache) > self._cache_size:
+                self._cache.popitem(last=False)
+        return solution
 
     # ------------------------------------------------------------------
+
+    def _speed_params(
+        self, requests: Sequence[BusRequest]
+    ) -> list[tuple[float, float, float, float]]:
+        """Hoist the per-request constants of :meth:`speed_at_latency`.
+
+        Returns ``(rate, m, 1-m, 1 + beta·(1-m))`` per request — everything
+        the bisection loop needs that does not depend on ``lam``. The
+        arithmetic below reproduces :meth:`speed_at_latency` expression by
+        expression, so hoisting changes nothing bit-for-bit.
+        """
+        beta = self._cfg.unfairness
+        return [
+            (req.rate_txus, req.mem_fraction, 1.0 - req.mem_fraction,
+             1.0 + beta * (1.0 - req.mem_fraction))
+            for req in requests
+        ]
+
+    def _throughput_hoisted(
+        self, params: list[tuple[float, float, float, float]], lam: float
+    ) -> float:
+        """Aggregate actual rate at ``lam`` using pre-hoisted constants."""
+        lam0 = self._lam0
+        total = 0.0
+        for r, m, one_minus_m, unfair in params:
+            if m == 0.0:
+                total += r
+                continue
+            lam_eff = lam0 + (lam - lam0) * unfair
+            s = 1.0 / (one_minus_m + m * (lam_eff / lam0))
+            total += r * s
+        return total
+
+    def _grants_at_hoisted(
+        self, params: list[tuple[float, float, float, float]], lam: float
+    ) -> tuple[tuple[ThreadGrant, ...], float]:
+        lam0 = self._lam0
+        grants = []
+        total = 0.0
+        for r, m, one_minus_m, unfair in params:
+            if m == 0.0:
+                s = 1.0
+            else:
+                lam_eff = lam0 + (lam - lam0) * unfair
+                s = 1.0 / (one_minus_m + m * (lam_eff / lam0))
+            a = r * s
+            grants.append(ThreadGrant(speed=s, actual_txus=a))
+            total += a
+        return tuple(grants), total
 
     def _throughput(self, requests: Sequence[BusRequest], lam: float) -> float:
         """Aggregate actual rate if every thread saw latency ``lam``."""
@@ -291,37 +420,45 @@ class BusModel:
 
     def _solve_shared_latency(self, requests: Sequence[BusRequest]) -> BusSolution:
         cap = self._capacity
-        offered = sum(req.rate_txus for req in requests)
+        offered = 0.0
+        for req in requests:
+            offered += req.rate_txus
         rho = offered / cap
         lam_c = self.contention_latency(rho)
-        throughput_c = self._throughput(requests, lam_c)
+        params = self._speed_params(requests)
+        throughput_c = self._throughput_hoisted(params, lam_c)
         if throughput_c <= cap:
-            grants, total = self._grants_at(requests, lam_c)
+            grants, total = self._grants_at_hoisted(params, lam_c)
             return BusSolution(grants, total / cap, lam_c, total, saturated=False)
         # Saturation: find lam with throughput(lam) = capacity. Throughput
         # is strictly decreasing in lam (every request here has m > 0,
         # otherwise throughput could not exceed capacity ... a thread with
         # m == 0 contributes a constant term, which is fine: the remaining
         # threads absorb the slowdown).
+        steps = 0
         lo = lam_c
         hi = lam_c * 2.0
         for _ in range(200):
-            if self._throughput(requests, hi) < cap:
+            steps += 1
+            if self._throughput_hoisted(params, hi) < cap:
                 break
             hi *= 2.0
         else:  # pragma: no cover - pathological (all m == 0)
-            grants, total = self._grants_at(requests, hi)
+            self._bisection_steps += steps
+            grants, total = self._grants_at_hoisted(params, hi)
             return BusSolution(grants, 1.0, hi, total, saturated=True)
         for _ in range(200):
+            steps += 1
             mid = 0.5 * (lo + hi)
-            if self._throughput(requests, mid) > cap:
+            if self._throughput_hoisted(params, mid) > cap:
                 lo = mid
             else:
                 hi = mid
             if hi - lo < self._tol * self._lam0:
                 break
+        self._bisection_steps += steps
         lam = 0.5 * (lo + hi)
-        grants, total = self._grants_at(requests, lam)
+        grants, total = self._grants_at_hoisted(params, lam)
         return BusSolution(grants, 1.0, lam, total, saturated=True)
 
     def _solve_max_min(self, requests: Sequence[BusRequest]) -> BusSolution:

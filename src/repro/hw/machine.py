@@ -153,19 +153,28 @@ class ThreadState:
 
 
 class _Lane:
-    """Cached per-running-thread rates for the current configuration."""
+    """Cached per-running-thread rates for the current configuration.
 
-    __slots__ = ("tid", "speed", "progress_rate", "tx_rate", "fill_rate", "seg_end")
+    Holds the :class:`ThreadState` directly (not just the tid) so the
+    integration and horizon loops skip a dict lookup per lane per event.
+    """
+
+    __slots__ = ("state", "speed", "progress_rate", "tx_rate", "fill_rate", "seg_end")
 
     def __init__(
-        self, tid: int, speed: float, progress_rate: float, tx_rate: float, fill_rate: float, seg_end: float
+        self, state: ThreadState, speed: float, progress_rate: float, tx_rate: float,
+        fill_rate: float, seg_end: float
     ) -> None:
-        self.tid = tid
+        self.state = state
         self.speed = speed
         self.progress_rate = progress_rate
         self.tx_rate = tx_rate
         self.fill_rate = fill_rate
         self.seg_end = seg_end
+
+    @property
+    def tid(self) -> int:
+        return self.state.tid
 
 
 class Machine:
@@ -201,6 +210,7 @@ class Machine:
         self._time = engine.now
         self._dirty = True
         self._lanes: list[_Lane] = []
+        self._lane_sig: tuple | None = None
         self._bus_utilisation = 0.0
         self._bus_latency = config.bus.lam0_us
         self._exit_listeners: list[Callable[[ThreadState], None]] = []
@@ -464,9 +474,8 @@ class Machine:
     def _ensure_solution(self) -> None:
         if not self._dirty:
             return
-        lanes: list[_Lane] = []
-        requests: list[BusRequest] = []
         cfg_cache = self.config.cache
+        entries: list[tuple[ThreadState, float, float, float, float]] = []
         for cpu in self.cpus:
             if cpu.tid is None:
                 continue
@@ -487,8 +496,20 @@ class Machine:
             r_eff *= smt
             fill *= smt
             pf *= smt
+            entries.append((st, r_eff, fill, pf, seg_end))
+        # A reconfiguration that lands on the exact same running set with
+        # the same effective rates (e.g. a re-dispatch cycle, a blocked
+        # thread that never ran) leaves the cached lanes and bus solution
+        # valid — skip the rebuild entirely.
+        sig = tuple((st.tid, r_eff, fill, pf, seg_end) for st, r_eff, fill, pf, seg_end in entries)
+        if sig == self._lane_sig:
+            self._dirty = False
+            return
+        lanes: list[_Lane] = []
+        requests: list[BusRequest] = []
+        for st, r_eff, fill, pf, seg_end in entries:
             requests.append(self.bus.request_for_rate(r_eff))
-            lanes.append(_Lane(st.tid, 0.0, pf, 0.0, fill, seg_end))
+            lanes.append(_Lane(st, 0.0, pf, 0.0, fill, seg_end))
         solution = self.bus.solve(requests)
         for lane, grant, req in zip(lanes, solution.grants, requests):
             lane.speed = grant.speed
@@ -497,6 +518,7 @@ class Machine:
             if req.rate_txus > 0.0 and lane.fill_rate > 0.0:
                 lane.fill_rate = grant.actual_txus * (lane.fill_rate / req.rate_txus)
         self._lanes = lanes
+        self._lane_sig = sig
         self._bus_utilisation = solution.utilisation
         self._bus_latency = solution.latency_us
         self._dirty = False
@@ -508,7 +530,7 @@ class Machine:
             return math.inf
         earliest = math.inf
         for lane in self._lanes:
-            st = self._threads[lane.tid]
+            st = lane.state
             if lane.progress_rate > 0.0:
                 t_done = st.remaining_work / lane.progress_rate
                 earliest = min(earliest, t_done)
@@ -530,7 +552,7 @@ class Machine:
         dt = t - self._time
         if dt > 0.0 and self._lanes:
             for lane in self._lanes:
-                st = self._threads[lane.tid]
+                st = lane.state
                 st.work_done += lane.progress_rate * dt
                 st.run_time_us += dt
                 tx = lane.tx_rate * dt
@@ -550,7 +572,7 @@ class Machine:
     def _process_transitions(self) -> None:
         """Handle completions, segment boundaries and debt drains at `now`."""
         for lane in list(self._lanes):
-            st = self._threads[lane.tid]
+            st = lane.state
             if st.finished:
                 continue
             if st.work_done >= st.work_total - _SNAP:

@@ -80,6 +80,13 @@ class RunResult:
         Cross-CPU thread migrations across all threads.
     cpu_idle_us:
         Summed idle time across CPUs.
+    bus_solve_calls / bus_cache_hits / bus_bisection_steps:
+        Bus contention-solver work during the run (see
+        :class:`repro.hw.bus.BusModel`): total ``solve`` invocations, how
+        many were answered from the memo cache, and aggregate bisection
+        throughput evaluations. The performance harness
+        (``benchmarks/bench_perf.py``) sums these across a whole
+        experiment grid.
     """
 
     makespan_us: float
@@ -89,6 +96,9 @@ class RunResult:
     context_switches: int
     migrations: int
     cpu_idle_us: float
+    bus_solve_calls: int = 0
+    bus_cache_hits: int = 0
+    bus_bisection_steps: int = 0
 
     @property
     def workload_rate_txus(self) -> float:
@@ -161,4 +171,7 @@ def collect_run_result(
         context_switches=switches,
         migrations=total_migrations,
         cpu_idle_us=idle,
+        bus_solve_calls=machine.bus.solve_calls,
+        bus_cache_hits=machine.bus.cache_hits,
+        bus_bisection_steps=machine.bus.bisection_steps,
     )

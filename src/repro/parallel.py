@@ -1,0 +1,158 @@
+"""Parallel experiment fan-out: run independent simulations on all cores.
+
+Every experiment harness in :mod:`repro.experiments` reduces to a grid of
+independent :class:`~repro.experiments.base.SimulationSpec` cells —
+(application × configuration × policy × seed) — and bandwidth-aware
+scheduling studies are embarrassingly parallel across that grid (Eremeev
+et al., arXiv:2010.16058, evaluate exactly such grids). :func:`run_many`
+is the single dispatch point: it executes a list of specs either serially
+in-process or fanned out over a :class:`concurrent.futures.
+ProcessPoolExecutor`, and guarantees the two paths are *bit-identical*:
+
+* **Deterministic ordering** — results are returned in spec order no
+  matter which worker finishes first.
+* **Per-task seeding** — every spec carries its own root seed; no random
+  state is shared between tasks (or with the parent process).
+* **Run-local identity** — the experiment runner assigns app ids and
+  target-name ordering per run, so a result does not depend on which
+  process (or how many prior simulations in that process) produced it.
+
+Worker processes are forked, so the cheap platform check
+:func:`fork_available` gates the pool: platforms without ``fork`` (or
+``jobs=1``) fall back to the serial path transparently. Exceptions raised
+inside a worker propagate to the caller.
+
+Usage::
+
+    specs = [SimulationSpec(...), SimulationSpec(...), ...]
+    results = run_many(specs, jobs=4, progress=lambda done, n: ...)
+
+The ``collect`` hook supports harnesses that need more than the
+:class:`~repro.metrics.accounting.RunResult` (e.g. EXT-IO reads I/O wait
+counts off the live handle): a module-level function applied to
+``(result, handle)`` *inside the worker*; its picklable return value is
+paired with each result.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from typing import Any, Callable, Sequence
+
+from .experiments.base import (
+    SimulationSpec,
+    run_simulation,
+    run_simulation_with_handle,
+)
+from .metrics.accounting import RunResult
+
+__all__ = ["run_many", "default_jobs", "fork_available", "resolve_jobs"]
+
+#: Callback invoked after each completed task: ``progress(done, total)``.
+ProgressFn = Callable[[int, int], None]
+
+#: Worker-side post-processor: ``collect(result, handle) -> picklable``.
+CollectFn = Callable[..., Any]
+
+
+def fork_available() -> bool:
+    """Whether this platform can fork worker processes.
+
+    Fork workers inherit ``sys.path`` and module state, so they work under
+    any invocation (``PYTHONPATH=src``, editable installs, test runners).
+    Spawn-based pools would re-import ``repro`` from scratch and are not
+    supported — :func:`run_many` falls back to serial instead.
+    """
+    return "fork" in multiprocessing.get_all_start_methods()
+
+
+def default_jobs() -> int:
+    """Default worker count: ``REPRO_JOBS`` env var, else 1 (serial)."""
+    env = os.environ.get("REPRO_JOBS", "").strip()
+    if env:
+        try:
+            return resolve_jobs(int(env))
+        except ValueError:
+            pass
+    return 1
+
+
+def resolve_jobs(jobs: int | None) -> int:
+    """Normalize a ``jobs`` request: ``None`` → env default, ``<= 0`` → all cores."""
+    if jobs is None:
+        return default_jobs()
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def _execute(task: tuple[int, SimulationSpec, CollectFn | None]) -> tuple[int, RunResult, Any]:
+    """Run one spec (worker side). Shared by the serial and parallel paths."""
+    index, spec, collect = task
+    if collect is None:
+        return index, run_simulation(spec), None
+    result, handle = run_simulation_with_handle(spec)
+    return index, result, collect(result, handle)
+
+
+def run_many(
+    specs: Sequence[SimulationSpec],
+    jobs: int | None = 1,
+    progress: ProgressFn | None = None,
+    collect: CollectFn | None = None,
+) -> list:
+    """Run every spec and return results in spec order.
+
+    Parameters
+    ----------
+    specs:
+        The simulation grid. Each spec is self-contained (including its
+        seed); tasks share nothing.
+    jobs:
+        Worker processes. ``1`` (default) runs serially in-process;
+        ``None`` reads the ``REPRO_JOBS`` env var; ``<= 0`` uses every
+        core. More workers than specs are never spawned, and platforms
+        without ``fork`` run serially regardless.
+    progress:
+        Optional ``progress(done, total)`` callback, invoked in the parent
+        after each task completes (in completion order).
+    collect:
+        Optional module-level ``collect(result, handle)`` function run in
+        the worker; when given, the return value is ``[(result, aux), ...]``
+        instead of ``[result, ...]``.
+
+    Returns
+    -------
+    list
+        ``RunResult`` per spec — or ``(RunResult, aux)`` pairs with
+        ``collect`` — in the exact order of ``specs``, identical between
+        serial and parallel execution.
+    """
+    n_jobs = resolve_jobs(jobs)
+    total = len(specs)
+    tasks = [(i, spec, collect) for i, spec in enumerate(specs)]
+    out: list[Any] = [None] * total
+
+    if n_jobs <= 1 or total <= 1 or not fork_available():
+        for done, task in enumerate(tasks, start=1):
+            index, result, aux = _execute(task)
+            out[index] = (result, aux) if collect is not None else result
+            if progress is not None:
+                progress(done, total)
+        return out
+
+    ctx = multiprocessing.get_context("fork")
+    with ProcessPoolExecutor(max_workers=min(n_jobs, total), mp_context=ctx) as pool:
+        pending = {pool.submit(_execute, task) for task in tasks}
+        done_count = 0
+        while pending:
+            finished, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in finished:
+                index, result, aux = future.result()  # re-raises worker errors
+                out[index] = (result, aux) if collect is not None else result
+                done_count += 1
+                if progress is not None:
+                    progress(done_count, total)
+    return out

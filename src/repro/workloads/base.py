@@ -131,13 +131,21 @@ class Application:
         machine: "Machine",
         rng: np.random.Generator,
         instance_tag: str | None = None,
+        app_id: int | None = None,
     ) -> "Application":
         """Create an instance of ``spec`` and register its threads.
 
         Each thread binds its own demand process (bursty patterns get
         independent but seed-deterministic traces).
+
+        ``app_id`` defaults to a process-global counter; callers that need
+        run-deterministic ids (the experiment harness, so results are
+        bit-identical no matter which worker process runs the simulation)
+        pass an explicit per-run id instead. Ids must be unique within a
+        machine.
         """
-        app_id = next(_instance_counter)
+        if app_id is None:
+            app_id = next(_instance_counter)
         app = cls(spec=spec, app_id=app_id)
         tag = instance_tag or f"{spec.name}#{app_id}"
         for i in range(spec.n_threads):

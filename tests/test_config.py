@@ -21,6 +21,26 @@ class TestBusConfig:
         assert cfg.lam0_us == pytest.approx(1 / 23.6)
         assert cfg.arbitration == "shared-latency"
 
+    def test_mem_exponent_alpha_is_065_everywhere(self):
+        # DESIGN.md §4 documents α = 0.65; the config default and the
+        # standalone helper must agree with it exactly (an earlier draft
+        # had them diverge at 0.7 vs 0.65).
+        import inspect
+
+        from repro.hw.bus import derive_mem_fraction
+
+        helper_default = inspect.signature(derive_mem_fraction).parameters[
+            "mem_exponent"
+        ].default
+        assert BusConfig().mem_exponent == 0.65
+        assert helper_default == BusConfig().mem_exponent
+
+    def test_solve_cache_defaults_on_and_can_be_disabled(self):
+        assert BusConfig().solve_cache_size == 1024
+        assert BusConfig(solve_cache_size=0).solve_cache_size == 0
+        with pytest.raises(ConfigError):
+            BusConfig(solve_cache_size=-1)
+
     @pytest.mark.parametrize(
         "kw",
         [

@@ -1,0 +1,100 @@
+"""Unit tests for the experiment fan-out executor (`repro.parallel`)."""
+
+import pytest
+
+from repro.config import MachineConfig
+from repro.errors import ConfigError, SimulationError
+from repro.experiments.base import SimulationSpec, solo_spec
+from repro.parallel import default_jobs, fork_available, resolve_jobs, run_many
+from repro.workloads.microbench import bbma_spec, nbbma_spec
+
+_SCALE = 0.02
+
+
+def _specs(n: int = 3) -> list[SimulationSpec]:
+    makers = [bbma_spec, nbbma_spec]
+    return [
+        solo_spec(makers[i % 2](work_us=10_000.0 + 1_000.0 * i), seed=i + 1)
+        for i in range(n)
+    ]
+
+
+def _collect_makespan(result, handle):
+    return (result.makespan_us, handle.machine.now)
+
+
+class TestResolveJobs:
+    def test_explicit_positive(self):
+        assert resolve_jobs(3) == 3
+
+    def test_zero_means_all_cores(self):
+        import os
+
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+
+    def test_none_reads_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "5")
+        assert resolve_jobs(None) == 5
+
+    def test_env_garbage_falls_back_to_serial(self, monkeypatch):
+        monkeypatch.setenv("REPRO_JOBS", "lots")
+        assert default_jobs() == 1
+
+    def test_env_unset_serial(self, monkeypatch):
+        monkeypatch.delenv("REPRO_JOBS", raising=False)
+        assert default_jobs() == 1
+
+
+class TestRunMany:
+    def test_empty(self):
+        assert run_many([], jobs=4) == []
+
+    def test_serial_matches_parallel_in_order(self):
+        specs = _specs(4)
+        serial = run_many(specs, jobs=1)
+        parallel = run_many(specs, jobs=3)
+        assert serial == parallel
+        assert [r.makespan_us for r in serial] == [r.makespan_us for r in parallel]
+
+    def test_progress_called_once_per_task(self):
+        specs = _specs(3)
+        calls: list[tuple[int, int]] = []
+        run_many(specs, jobs=1, progress=lambda d, t: calls.append((d, t)))
+        assert calls == [(1, 3), (2, 3), (3, 3)]
+
+    def test_progress_called_in_parallel_mode(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        specs = _specs(3)
+        calls: list[tuple[int, int]] = []
+        run_many(specs, jobs=2, progress=lambda d, t: calls.append((d, t)))
+        assert sorted(d for d, _ in calls) == [1, 2, 3]
+        assert all(t == 3 for _, t in calls)
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_collect_pairs_results(self, jobs):
+        specs = _specs(2)
+        pairs = run_many(specs, jobs=jobs, collect=_collect_makespan)
+        assert len(pairs) == 2
+        for result, (makespan, machine_now) in pairs:
+            assert result.makespan_us == makespan == machine_now
+
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_worker_errors_propagate(self, jobs):
+        bad = SimulationSpec(targets=[], scheduler="linux")
+        with pytest.raises(ConfigError):
+            run_many([bad], jobs=jobs)
+        specs = _specs(2) + [
+            SimulationSpec(
+                targets=[bbma_spec(work_us=10_000.0)],
+                scheduler="dedicated",
+                machine=MachineConfig(),
+                max_time_us=1.0,  # too short: the run cannot finish
+            )
+        ]
+        with pytest.raises(SimulationError):
+            run_many(specs, jobs=jobs)
+
+    def test_more_jobs_than_specs(self):
+        specs = _specs(2)
+        assert run_many(specs, jobs=16) == run_many(specs, jobs=1)
