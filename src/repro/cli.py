@@ -55,6 +55,14 @@ def build_parser() -> argparse.ArgumentParser:
             "env var or 1; 0 = all cores); results are identical to --jobs 1"
         ),
     )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help=(
+            "collect per-phase profiling (solver/settle/dispatch time, cache "
+            "hit rates) and print the aggregate to stderr; never changes "
+            "simulation results (see EXPERIMENTS.md)"
+        ),
+    )
     return parser
 
 
@@ -65,12 +73,36 @@ def _progress(args: argparse.Namespace):
     if resolve_jobs(args.jobs) <= 1:
         return None
 
-    def report(done: int, total: int) -> None:
+    def report(done: int, total: int, note: str | None = None) -> None:
+        if note:
+            print(f"\r[{note}]", file=sys.stderr)
         print(f"\r[{done}/{total} simulations]", end="", file=sys.stderr)
         if done == total:
             print(file=sys.stderr)
 
     return report
+
+
+def _print_profile() -> None:
+    """Dump the aggregated per-phase profile to stderr (--profile)."""
+    from . import profiling
+
+    agg = profiling.aggregate()
+    if not agg:
+        print("[profile: no data collected]", file=sys.stderr)
+        return
+    solve_calls = agg.get("solve_calls", 0.0)
+    hits = agg.get("solve_cache_hits", 0.0) + agg.get("solve_shared_hits", 0.0)
+    hit_rate = hits / solve_calls if solve_calls else 0.0
+    settles = agg.get("settle_calls", 0.0)
+    skip_rate = agg.get("solve_skips", 0.0) / settles if settles else 0.0
+    print("[profile]", file=sys.stderr)
+    for key in sorted(agg):
+        value = agg[key]
+        text = f"{value:.6f}" if key.endswith("_s") else f"{value:.0f}"
+        print(f"  {key:<22} {text}", file=sys.stderr)
+    print(f"  {'cache_hit_rate':<22} {hit_rate:.3f}", file=sys.stderr)
+    print(f"  {'solve_skip_rate':<22} {skip_rate:.3f}", file=sys.stderr)
 
 
 def _apps_arg(args: argparse.Namespace) -> list[str] | None:
@@ -219,6 +251,10 @@ def _run_validate(args: argparse.Namespace) -> None:
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
+    if args.profile:
+        from . import profiling
+
+        profiling.enable()
     start = time.time()
     runners = {
         "calibration": _run_calibration,
@@ -245,6 +281,8 @@ def main(argv: list[str] | None = None) -> int:
             print(f"[csv: wrote {len(paths)} files to {args.csv}]", file=sys.stderr)
     else:
         runners[args.experiment](args)
+    if args.profile:
+        _print_profile()
     print(f"[done in {time.time() - start:.1f}s]", file=sys.stderr)
     return 0
 

@@ -15,8 +15,11 @@ machine.
 
 from __future__ import annotations
 
+import dataclasses
 import itertools
 from dataclasses import dataclass, field
+
+from .. import profiling
 
 from ..config import LinuxSchedConfig, MachineConfig, ManagerConfig
 from ..core.manager import CpuManager
@@ -83,6 +86,12 @@ class SimulationSpec:
         (the run ends when every target, static or arrived, completes).
         Supported with the ``"linux"`` scheduler and with policies; the
         static ``"dedicated"``/``"gang"`` schedulers reject arrivals.
+    profile:
+        Activate wall-clock phase timers for this run and attach the
+        per-phase snapshot to ``RunResult.profile`` (see
+        :mod:`repro.profiling`). Profiling also engages when the
+        process-global switch (CLI ``--profile``) is on. Never affects
+        simulated results.
     """
 
     targets: list[ApplicationSpec]
@@ -98,6 +107,7 @@ class SimulationSpec:
     timeline_period_us: float | None = None
     arrivals: list[tuple[float, ApplicationSpec]] = field(default_factory=list)
     kernel: str = "linux"
+    profile: bool = False
 
 
 @dataclass
@@ -134,6 +144,8 @@ def _build(spec: SimulationSpec) -> SimulationHandle:
     engine = Engine()
     trace = TraceRecorder(enabled=spec.trace, capacity=200_000)
     machine = Machine(spec.machine, engine, trace)
+    if spec.profile or profiling.enabled():
+        machine.enable_profiling()
     registry = RngRegistry(spec.seed)
     # App ids are assigned per run (not from the process-global counter):
     # results must be bit-identical no matter which process — or how many
@@ -259,6 +271,10 @@ def run_simulation_with_handle(
     # the result must be identical across processes and interpreter runs.
     target_names = tuple(dict.fromkeys(a.name for a in handle.target_apps))
     result = collect_run_result(handle.machine, handle.apps, target_names)
+    if spec.profile or profiling.enabled():
+        snapshot = handle.machine.profile_snapshot()
+        result = dataclasses.replace(result, profile=snapshot)
+        profiling.record(snapshot)
     return result, handle
 
 

@@ -39,8 +39,20 @@ latency is determined by two regimes:
   capacity ``C`` (29.5 tx/µs, the STREAM measurement), the latency rises to
   exactly the value at which ``Σ a_i(lam) = C``: under saturation the bus
   delivers its full sustained bandwidth, as STREAM demonstrates on the real
-  platform. ``Σ a_i(lam)`` is strictly decreasing in ``lam``, so this
-  equilibrium is unique; we find it by bisection.
+  platform. ``Σ a_i(lam)`` is strictly decreasing (and convex: every term
+  is ``r_i / (A_i + B_i·lam)`` with ``B_i >= 0``) in ``lam``, so this
+  equilibrium is unique. Two interchangeable root finders are provided,
+  selected by :attr:`repro.config.BusConfig.solver_mode`:
+
+  * ``"bisect"`` (default) — grow a bracket from ``lam_c`` by doubling,
+    then bisect: the reference implementation.
+  * ``"newton"`` — guarded Newton with the analytic derivative,
+    warm-started from this model's *previous* saturated equilibrium (the
+    running set changes little between adjacent scheduling quanta, so the
+    previous root is an excellent seed). Convexity makes every Newton
+    iterate a lower bound on the root, so the iteration converges
+    monotonically; any step that leaves the known bracket falls back to a
+    bisection step. Both modes agree within ``fixed_point_tol``.
 
 Consequences (all matching Section 3 of the paper by construction):
 
@@ -64,12 +76,27 @@ the bisection entirely and returns the stored equilibrium with the grants
 matched back to the caller's request order (identical requests receive
 identical grants under both arbitration models, so the match is exact).
 Hit/miss accounting is surfaced via :attr:`BusModel.solve_calls`,
-:attr:`BusModel.cache_hits` and :attr:`BusModel.bisection_steps` for the
-performance harness (``benchmarks/bench_perf.py``).
+:attr:`BusModel.cache_hits` and :attr:`BusModel.bisection_steps` (which
+counts throughput evaluations in *both* solver modes) for the performance
+harness (``benchmarks/bench_perf.py``).
+
+A second, process-wide cache layer — the *shared solve cache* — can be
+installed with :func:`install_shared_solve_cache`. The chunked parallel
+dispatcher (:func:`repro.parallel.run_many`) installs one per worker chunk
+so consecutive simulations of the same experiment grid reuse each other's
+equilibria. Entries are keyed by the full :class:`~repro.config.BusConfig`
+plus the *ordered* request sequence, and only the default ``"bisect"``
+mode participates: an exact-order bisect solve is a pure function of
+(config, requests), so a shared hit is bitwise identical to the solve it
+replaces — results stay bit-identical no matter how specs are chunked.
+(The newton mode's warm start makes its last-ulp output depend on the
+model's solve history, so it never reads or writes the shared layer.)
 """
 
 from __future__ import annotations
 
+import math
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, replace
 from typing import Sequence
@@ -77,13 +104,67 @@ from typing import Sequence
 from ..config import BusConfig
 from ..errors import WorkloadError
 
-__all__ = ["BusRequest", "ThreadGrant", "BusSolution", "BusModel", "derive_mem_fraction"]
+__all__ = [
+    "BusRequest",
+    "ThreadGrant",
+    "BusSolution",
+    "BusModel",
+    "SharedSolveCache",
+    "derive_mem_fraction",
+    "install_shared_solve_cache",
+    "clear_shared_solve_cache",
+    "shared_solve_cache",
+]
 
 #: Decimal places of the solve-cache key quantization. Exact matching on
 #: floats rounded this finely is an identity for the rates the simulator
 #: produces (they differ by far more than 1e-12 unless truly equal), while
 #: still collapsing bit-level noise from request-order permutations.
 _CACHE_DECIMALS = 12
+
+
+class SharedSolveCache:
+    """Process-wide cross-run solve memo (see module docstring).
+
+    Entries map ``(BusConfig, ordered quantized request sequence)`` to a
+    ``(solution, grant_map)`` pair. Hits require the *exact* request order
+    of the original solve: the bisection sums floats in request order, so
+    only same-order replays are guaranteed bitwise identical to a fresh
+    computation. Permuted recurrences still hit each model's local LRU.
+    """
+
+    __slots__ = ("data", "size", "hits", "stores")
+
+    def __init__(self, size: int = 8192) -> None:
+        if size <= 0:
+            raise ValueError(f"shared cache size must be positive, got {size}")
+        self.data: OrderedDict[tuple, tuple[BusSolution, dict]] = OrderedDict()
+        self.size = size
+        self.hits = 0
+        self.stores = 0
+
+
+#: The ambient shared cache consulted by every BusModel in this process
+#: (``None`` = layer disabled, the default outside chunked workers).
+_SHARED_CACHE: SharedSolveCache | None = None
+
+
+def install_shared_solve_cache(size: int = 8192) -> SharedSolveCache:
+    """Install (replacing any previous) the process-wide solve cache."""
+    global _SHARED_CACHE
+    _SHARED_CACHE = SharedSolveCache(size)
+    return _SHARED_CACHE
+
+
+def clear_shared_solve_cache() -> None:
+    """Remove the process-wide solve cache (models fall back to local LRUs)."""
+    global _SHARED_CACHE
+    _SHARED_CACHE = None
+
+
+def shared_solve_cache() -> SharedSolveCache | None:
+    """The currently installed process-wide solve cache, if any."""
+    return _SHARED_CACHE
 
 
 def derive_mem_fraction(rate_txus: float, lam0_us: float, mem_exponent: float = 0.65) -> float:
@@ -220,9 +301,22 @@ class BusModel:
         self._c = config.contention_coeff
         self._alpha = config.mem_exponent
         self._tol = config.fixed_point_tol
+        self._newton = config.solver_mode == "newton"
+        # Warm-start slot: the previous *saturated* equilibrium latency of
+        # this model (per machine, distinct from the LRU memo below). The
+        # running set drifts little between adjacent quanta, so it seeds
+        # the newton search within a few ulps of the next root.
+        self._last_lam: float | None = None
         self._solve_calls = 0
         self._cache_hits = 0
+        self._shared_hits = 0
+        self._warm_starts = 0
         self._bisection_steps = 0
+        self._solve_time_s = 0.0
+        self._profiling = False
+        # Only the bisect mode may use the cross-run shared cache: its
+        # solve is a pure function of (config, ordered requests).
+        self._shared_ok = not self._newton and config.solve_cache_size > 0
         # solve() memo: canonical multiset key -> (key sequence in the
         # miss's request order, solution, quantized request -> grant).
         self._cache: OrderedDict[
@@ -264,9 +358,32 @@ class BusModel:
         return len(self._cache)
 
     @property
+    def shared_hits(self) -> int:
+        """``solve`` invocations answered from the process-wide shared cache."""
+        return self._shared_hits
+
+    @property
+    def warm_starts(self) -> int:
+        """Newton searches seeded from this model's previous equilibrium."""
+        return self._warm_starts
+
+    @property
     def bisection_steps(self) -> int:
-        """Aggregate throughput evaluations spent in saturation searches."""
+        """Aggregate throughput evaluations spent in saturation searches.
+
+        Counts evaluations in both solver modes (the name is historical);
+        it is the work the memo caches and the newton path exist to cut.
+        """
         return self._bisection_steps
+
+    @property
+    def solve_time_s(self) -> float:
+        """Wall-clock seconds spent inside ``solve`` (profiling mode only)."""
+        return self._solve_time_s
+
+    def enable_profiling(self) -> None:
+        """Start accumulating wall-clock solve time (small per-call cost)."""
+        self._profiling = True
 
     # ------------------------------------------------------------------
 
@@ -314,6 +431,15 @@ class BusModel:
         whose requests differ only in order observe the same equilibrium,
         and the per-thread grants are matched back by request value.
         """
+        if not self._profiling:
+            return self._solve(requests)
+        t0 = time.perf_counter()
+        try:
+            return self._solve(requests)
+        finally:
+            self._solve_time_s += time.perf_counter() - t0
+
+    def _solve(self, requests: Sequence[BusRequest]) -> BusSolution:
         self._solve_calls += 1
         if not requests:
             return BusSolution(
@@ -337,6 +463,19 @@ class BusModel:
                 # Same multiset, different request order: rebuild the
                 # grants tuple in the caller's order by value match.
                 return replace(solution, grants=tuple(grant_map[q] for q in key_seq))
+        shared = _SHARED_CACHE if (self._shared_ok and key is not None) else None
+        if shared is not None:
+            skey = (self._cfg, key_seq)
+            sentry = shared.data.get(skey)
+            if sentry is not None:
+                shared.data.move_to_end(skey)
+                shared.hits += 1
+                self._shared_hits += 1
+                solution, grant_map = sentry
+                self._cache[key] = (key_seq, solution, grant_map)
+                if len(self._cache) > self._cache_size:
+                    self._cache.popitem(last=False)
+                return solution
         if self._cfg.arbitration == "max-min":
             solution = self._solve_max_min(requests)
         else:
@@ -348,6 +487,11 @@ class BusModel:
             self._cache[key] = (key_seq, solution, grant_map)
             if len(self._cache) > self._cache_size:
                 self._cache.popitem(last=False)
+            if shared is not None:
+                shared.data[(self._cfg, key_seq)] = (solution, grant_map)
+                shared.stores += 1
+                if len(shared.data) > shared.size:
+                    shared.data.popitem(last=False)
         return solution
 
     # ------------------------------------------------------------------
@@ -383,6 +527,80 @@ class BusModel:
             s = 1.0 / (one_minus_m + m * (lam_eff / lam0))
             total += r * s
         return total
+
+    def _throughput_grad_hoisted(
+        self, params: list[tuple[float, float, float, float]], lam: float
+    ) -> tuple[float, float]:
+        """Aggregate actual rate at ``lam`` and its derivative d/dlam.
+
+        Each thread's actual rate is ``r / D(lam)`` with
+        ``D = 1 + (m·unfair/lam0)·(lam - lam0)`` linear in ``lam`` (the
+        algebraic collapse of :meth:`speed_at_latency`'s expression), so
+        the derivative is ``-r·D'/D²`` — one extra multiply per thread on
+        top of the plain evaluation.
+        """
+        lam0 = self._lam0
+        total = 0.0
+        grad = 0.0
+        for r, m, one_minus_m, unfair in params:
+            if m == 0.0:
+                total += r
+                continue
+            lam_eff = lam0 + (lam - lam0) * unfair
+            d = one_minus_m + m * (lam_eff / lam0)
+            s = 1.0 / d
+            total += r * s
+            grad -= r * (m * unfair / lam0) * s * s
+        return total, grad
+
+    def _saturation_root_newton(
+        self, params: list[tuple[float, float, float, float]], lam_c: float, cap: float
+    ) -> tuple[float, int]:
+        """Solve ``throughput(lam) = cap`` by warm-started guarded Newton.
+
+        The caller guarantees ``throughput(lam_c) > cap``, so the root lies
+        in ``(lam_c, ∞)``. Throughput is convex and strictly decreasing in
+        ``lam`` (see :meth:`_throughput_grad_hoisted`), hence every Newton
+        iterate is a *lower bound* on the root: the iteration climbs
+        monotonically and terminates when a step falls below the solver
+        tolerance — the same ``fixed_point_tol·lam0`` resolution the
+        bisection stops at. A guard keeps every iterate inside the known
+        ``(lo, hi)`` bracket, falling back to a bisection step (or bracket
+        doubling while ``hi`` is unknown) whenever Newton would leave it.
+
+        Returns ``(root, evaluations)``.
+        """
+        tol = self._tol * self._lam0
+        lo = lam_c
+        hi = math.inf
+        x = self._last_lam
+        if x is not None and x > lo:
+            self._warm_starts += 1
+        else:
+            x = lo
+        steps = 0
+        for _ in range(200):
+            steps += 1
+            g, dg = self._throughput_grad_hoisted(params, x)
+            g -= cap
+            if g > 0.0:
+                lo = max(lo, x)
+            elif g < 0.0:
+                hi = min(hi, x)
+            else:
+                return x, steps  # exact root
+            if hi - lo < tol:
+                break
+            x_new = x - g / dg if dg < 0.0 else math.inf
+            if not lo < x_new < hi:
+                # Newton left the bracket (warm start far off, or the
+                # pathological all-m==0 demand set where dg == 0): take a
+                # plain bisection step, doubling while hi is unknown.
+                x_new = 0.5 * (lo + hi) if math.isfinite(hi) else 2.0 * max(x, lo)
+            if abs(x_new - x) < tol:
+                return x_new, steps
+            x = x_new
+        return 0.5 * (lo + hi) if math.isfinite(hi) else x, steps
 
     def _grants_at_hoisted(
         self, params: list[tuple[float, float, float, float]], lam: float
@@ -435,6 +653,12 @@ class BusModel:
         # otherwise throughput could not exceed capacity ... a thread with
         # m == 0 contributes a constant term, which is fine: the remaining
         # threads absorb the slowdown).
+        if self._newton:
+            lam, steps = self._saturation_root_newton(params, lam_c, cap)
+            self._bisection_steps += steps
+            self._last_lam = lam
+            grants, total = self._grants_at_hoisted(params, lam)
+            return BusSolution(grants, 1.0, lam, total, saturated=True)
         steps = 0
         lo = lam_c
         hi = lam_c * 2.0
@@ -458,6 +682,7 @@ class BusModel:
                 break
         self._bisection_steps += steps
         lam = 0.5 * (lo + hi)
+        self._last_lam = lam
         grants, total = self._grants_at_hoisted(params, lam)
         return BusSolution(grants, 1.0, lam, total, saturated=True)
 

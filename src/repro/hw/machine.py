@@ -33,6 +33,7 @@ disproportionately hurt by thread migrations.
 from __future__ import annotations
 
 import math
+import time
 from typing import Callable, Protocol
 
 from ..config import MachineConfig
@@ -211,8 +212,22 @@ class Machine:
         self._dirty = True
         self._lanes: list[_Lane] = []
         self._lane_sig: tuple | None = None
+        # Cached absolute horizon. While the configuration is unchanged,
+        # every internal transition time is a *constant* absolute instant
+        # (work, debt and I/O positions all advance linearly), so the
+        # horizon computed once per configuration stays valid across any
+        # number of intervening timer events — the settle-loop fast path.
+        self._horizon_abs: float | None = None
         self._bus_utilisation = 0.0
         self._bus_latency = config.bus.lam0_us
+        # Settle-loop profiling counters (cheap ints, always maintained);
+        # wall-clock phase timers activate only via enable_profiling().
+        self._settle_calls = 0
+        self._lane_rebuilds = 0
+        self._solve_skips = 0
+        self._settle_time_s = 0.0
+        self._dispatch_time_s = 0.0
+        self._profiling = False
         self._exit_listeners: list[Callable[[ThreadState], None]] = []
         self._io_listeners: list[Callable[[ThreadState, bool], None]] = []
         self._next_tid = 1
@@ -247,6 +262,45 @@ class Machine:
     def now(self) -> float:
         """The machine's settled-up-to time (µs)."""
         return self._time
+
+    # ------------------------------------------------------------- profiling
+
+    @property
+    def settle_calls(self) -> int:
+        """Number of ``advance_to`` integrations performed."""
+        return self._settle_calls
+
+    @property
+    def lane_rebuilds(self) -> int:
+        """Times the lane set was rebuilt and the bus re-solved."""
+        return self._lane_rebuilds
+
+    @property
+    def solve_skips(self) -> int:
+        """Dirty settles that skipped the bus solve (signature unchanged)."""
+        return self._solve_skips
+
+    def enable_profiling(self) -> None:
+        """Turn on wall-clock phase timers (per-machine and bus solver)."""
+        self._profiling = True
+        self.bus.enable_profiling()
+
+    def profile_snapshot(self) -> dict[str, float]:
+        """Per-phase counters for this machine (see repro.profiling)."""
+        bus = self.bus
+        return {
+            "settle_calls": float(self._settle_calls),
+            "lane_rebuilds": float(self._lane_rebuilds),
+            "solve_skips": float(self._solve_skips),
+            "settle_time_s": self._settle_time_s,
+            "dispatch_time_s": self._dispatch_time_s,
+            "solve_calls": float(bus.solve_calls),
+            "solve_cache_hits": float(bus.cache_hits),
+            "solve_shared_hits": float(bus.shared_hits),
+            "solve_warm_starts": float(bus.warm_starts),
+            "solve_steps": float(bus.bisection_steps),
+            "solve_time_s": bus.solve_time_s,
+        }
 
     def add_thread(
         self,
@@ -365,6 +419,16 @@ class Machine:
         is migrated (removed there first). Dispatching a blocked or finished
         thread is a scheduling bug and raises.
         """
+        if not self._profiling:
+            self._dispatch(cpu_id, tid)
+            return
+        t0 = time.perf_counter()
+        try:
+            self._dispatch(cpu_id, tid)
+        finally:
+            self._dispatch_time_s += time.perf_counter() - t0
+
+    def _dispatch(self, cpu_id: int, tid: int | None) -> None:
         if not 0 <= cpu_id < len(self.cpus):
             raise SchedulingError(f"no such cpu {cpu_id}")
         self._require_settled()
@@ -376,7 +440,7 @@ class Machine:
             prev = cpu.set_thread(None, now)
             if prev is not None:
                 self._threads[prev].cpu = None
-            self._dirty = True
+            self._mark_dirty()
             return
         state = self.thread(tid)
         if state.finished:
@@ -404,7 +468,7 @@ class Machine:
             tid=tid,
             preempted=prev,
         )
-        self._dirty = True
+        self._mark_dirty()
 
     def preempt_thread(self, tid: int) -> None:
         """Remove a thread from whichever CPU it runs on (no-op if not running)."""
@@ -429,7 +493,7 @@ class Machine:
         if blocked and state.cpu is not None:
             self.dispatch(state.cpu, None)
         self.trace.record(self._time, "sched.block" if blocked else "sched.unblock", tid=tid)
-        self._dirty = True
+        self._mark_dirty()
 
     def add_rebuild_debt(self, tid: int, lines: float) -> None:
         """Charge extra rebuild debt to a thread (signal handling, traps).
@@ -446,7 +510,7 @@ class Machine:
             return
         state.rebuild_debt += lines
         if state.cpu is not None:
-            self._dirty = True
+            self._mark_dirty()
 
     def _charge_rebuild(self, state: ThreadState, cpu_id: int, migrated: bool) -> None:
         """Compute the rebuild debt a dispatch incurs."""
@@ -459,6 +523,11 @@ class Machine:
         state.rebuild_debt = max(state.rebuild_debt, cold_lines)
 
     # ----------------------------------------------------------- integration
+
+    def _mark_dirty(self) -> None:
+        """Flag a reconfiguration: lanes and the cached horizon are stale."""
+        self._dirty = True
+        self._horizon_abs = None
 
     def _require_settled(self) -> None:
         # The machine may be momentarily *ahead* of the engine clock (exit
@@ -503,8 +572,10 @@ class Machine:
         # valid — skip the rebuild entirely.
         sig = tuple((st.tid, r_eff, fill, pf, seg_end) for st, r_eff, fill, pf, seg_end in entries)
         if sig == self._lane_sig:
+            self._solve_skips += 1
             self._dirty = False
             return
+        self._lane_rebuilds += 1
         lanes: list[_Lane] = []
         requests: list[BusRequest] = []
         for st, r_eff, fill, pf, seg_end in entries:
@@ -524,10 +595,19 @@ class Machine:
         self._dirty = False
 
     def horizon(self) -> float:
-        """Earliest absolute time of the next internal transition."""
+        """Earliest absolute time of the next internal transition.
+
+        The value is computed once per configuration and cached: while the
+        lane set and rates are unchanged, work, debt and I/O positions all
+        advance linearly, so every candidate transition is a fixed absolute
+        instant. The engine queries the horizon on every loop iteration —
+        between reconfigurations this is now an O(1) lookup instead of an
+        O(lanes) scan (the settle-loop fast path).
+        """
         self._ensure_solution()
-        if not self._lanes:
-            return math.inf
+        h = self._horizon_abs
+        if h is not None:
+            return h
         earliest = math.inf
         for lane in self._lanes:
             st = lane.state
@@ -542,12 +622,25 @@ class Machine:
                     earliest = min(earliest, t_io)
             if lane.fill_rate > 0.0 and st.rebuild_debt > 0.0:
                 earliest = min(earliest, st.rebuild_debt / lane.fill_rate)
-        return self._time + earliest
+        h = self._time + earliest if math.isfinite(earliest) else math.inf
+        self._horizon_abs = h
+        return h
 
     def advance_to(self, t: float) -> None:
         """Integrate machine state forward to absolute time ``t``."""
+        if not self._profiling:
+            self._advance_to(t)
+            return
+        t0 = time.perf_counter()
+        try:
+            self._advance_to(t)
+        finally:
+            self._settle_time_s += time.perf_counter() - t0
+
+    def _advance_to(self, t: float) -> None:
         if t < self._time - 1e-9:
             raise SimulationError(f"machine cannot advance backwards ({self._time} -> {t})")
+        self._settle_calls += 1
         self._ensure_solution()
         dt = t - self._time
         if dt > 0.0 and self._lanes:
@@ -583,10 +676,10 @@ class Machine:
                 continue
             if math.isfinite(lane.seg_end) and st.work_done >= lane.seg_end - _SNAP:
                 st.work_done = max(st.work_done, lane.seg_end)
-                self._dirty = True  # demand rate changes at the boundary
+                self._mark_dirty()  # demand rate changes at the boundary
             if lane.fill_rate > 0.0 and st.rebuild_debt <= _SNAP:
                 st.rebuild_debt = 0.0
-                self._dirty = True
+                self._mark_dirty()
 
     def _start_io(self, st: ThreadState) -> None:
         """Put a thread to sleep on I/O: free its CPU, arm the wakeup."""
@@ -597,7 +690,7 @@ class Machine:
         if st.cpu is not None:
             self.cpus[st.cpu].set_thread(None, self._time)
             st.cpu = None
-        self._dirty = True
+        self._mark_dirty()
         self.trace.record(self._time, "thread.iosleep", tid=st.tid)
         for cb in self._io_listeners:
             cb(st, True)
@@ -612,7 +705,7 @@ class Machine:
         if st.finished or not st.in_io:
             return
         st.in_io = False
-        self._dirty = True
+        self._mark_dirty()
         self.trace.record(self._time, "thread.iowake", tid=st.tid)
         for cb in self._io_listeners:
             cb(st, False)
@@ -624,7 +717,7 @@ class Machine:
         if st.cpu is not None:
             self.cpus[st.cpu].set_thread(None, self._time)
             st.cpu = None
-        self._dirty = True
+        self._mark_dirty()
         self.trace.record(self._time, "thread.exit", tid=st.tid, name=st.name)
         for cb in self._exit_listeners:
             cb(st)

@@ -8,7 +8,7 @@ records raw facts.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -83,10 +83,22 @@ class RunResult:
     bus_solve_calls / bus_cache_hits / bus_bisection_steps:
         Bus contention-solver work during the run (see
         :class:`repro.hw.bus.BusModel`): total ``solve`` invocations, how
-        many were answered from the memo cache, and aggregate bisection
-        throughput evaluations. The performance harness
+        many were answered from the memo cache, and aggregate root-finder
+        throughput evaluations (bisection or guarded Newton, depending on
+        ``BusConfig.solver_mode``). The performance harness
         (``benchmarks/bench_perf.py``) sums these across a whole
         experiment grid.
+    bus_shared_hits / bus_warm_starts:
+        Hits served from the process-shared solve cache (chunked parallel
+        dispatch) and Newton searches seeded from the previous equilibrium.
+    profile:
+        Per-phase wall-clock profile (``Machine.profile_snapshot``) when
+        the run was profiled, else ``None``.
+
+    All solver counters and the profile are *observability*, not physics:
+    they vary with cache warmth and solver mode while the simulated
+    trajectory stays bit-identical, so they are excluded from equality
+    comparisons (``compare=False``).
     """
 
     makespan_us: float
@@ -96,9 +108,12 @@ class RunResult:
     context_switches: int
     migrations: int
     cpu_idle_us: float
-    bus_solve_calls: int = 0
-    bus_cache_hits: int = 0
-    bus_bisection_steps: int = 0
+    bus_solve_calls: int = field(default=0, compare=False)
+    bus_cache_hits: int = field(default=0, compare=False)
+    bus_bisection_steps: int = field(default=0, compare=False)
+    bus_shared_hits: int = field(default=0, compare=False)
+    bus_warm_starts: int = field(default=0, compare=False)
+    profile: dict[str, float] | None = field(default=None, compare=False)
 
     @property
     def workload_rate_txus(self) -> float:
@@ -174,4 +189,6 @@ def collect_run_result(
         bus_solve_calls=machine.bus.solve_calls,
         bus_cache_hits=machine.bus.cache_hits,
         bus_bisection_steps=machine.bus.bisection_steps,
+        bus_shared_hits=machine.bus.shared_hits,
+        bus_warm_starts=machine.bus.warm_starts,
     )

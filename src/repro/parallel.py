@@ -7,7 +7,9 @@ scheduling studies are embarrassingly parallel across that grid (Eremeev
 et al., arXiv:2010.16058, evaluate exactly such grids). :func:`run_many`
 is the single dispatch point: it executes a list of specs either serially
 in-process or fanned out over a :class:`concurrent.futures.
-ProcessPoolExecutor`, and guarantees the two paths are *bit-identical*:
+ProcessPoolExecutor` in *chunks* (several specs per worker task, so each
+worker amortises fork/pickle overhead and keeps a warm shared solve cache
+across its chunk), and guarantees the paths are *bit-identical*:
 
 * **Deterministic ordering** — results are returned in spec order no
   matter which worker finishes first.
@@ -36,6 +38,7 @@ paired with each result.
 
 from __future__ import annotations
 
+import inspect
 import multiprocessing
 import os
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
@@ -46,12 +49,21 @@ from .experiments.base import (
     run_simulation,
     run_simulation_with_handle,
 )
+from .hw.bus import install_shared_solve_cache, shared_solve_cache
 from .metrics.accounting import RunResult
 
-__all__ = ["run_many", "default_jobs", "fork_available", "resolve_jobs"]
+__all__ = [
+    "run_many",
+    "default_jobs",
+    "fork_available",
+    "resolve_jobs",
+    "auto_chunk_size",
+]
 
-#: Callback invoked after each completed task: ``progress(done, total)``.
-ProgressFn = Callable[[int, int], None]
+#: Callback invoked as tasks complete: ``progress(done, total)``. Callbacks
+#: accepting a third positional argument also receive occasional string
+#: notes (e.g. the fork-unavailable serial fallback).
+ProgressFn = Callable[..., None]
 
 #: Worker-side post-processor: ``collect(result, handle) -> picklable``.
 CollectFn = Callable[..., Any]
@@ -79,13 +91,64 @@ def default_jobs() -> int:
     return 1
 
 
-def resolve_jobs(jobs: int | None) -> int:
-    """Normalize a ``jobs`` request: ``None`` → env default, ``<= 0`` → all cores."""
+def resolve_jobs(jobs: int | None, n_specs: int | None = None) -> int:
+    """Normalize a ``jobs`` request: ``None`` → env default, ``<= 0`` → all cores.
+
+    When ``n_specs`` is given the result is additionally clamped to the
+    number of specs — spawning more workers than tasks only pays fork cost
+    for processes that will never receive work.
+    """
     if jobs is None:
-        return default_jobs()
-    if jobs <= 0:
-        return os.cpu_count() or 1
-    return jobs
+        resolved = default_jobs()
+    elif jobs <= 0:
+        resolved = os.cpu_count() or 1
+    else:
+        resolved = jobs
+    if n_specs is not None:
+        resolved = max(1, min(resolved, n_specs))
+    return resolved
+
+
+def auto_chunk_size(total: int, n_jobs: int) -> int:
+    """Default dispatch chunk: ≈ ``total / (4 · n_jobs)`` specs per task.
+
+    Four chunks per worker balances fork/pickle amortisation (and warm
+    solve caches within a chunk) against load-balancing slack when spec
+    runtimes are uneven. Never below 1.
+    """
+    return max(1, total // (4 * max(1, n_jobs)))
+
+
+def _supports_note(progress: ProgressFn) -> bool:
+    """Whether a progress callback accepts a third (note) argument."""
+    try:
+        sig = inspect.signature(progress)
+    except (TypeError, ValueError):  # builtins, C callables: stay conservative
+        return False
+    positional = 0
+    for param in sig.parameters.values():
+        if param.kind is inspect.Parameter.VAR_POSITIONAL:
+            return True
+        if param.kind in (
+            inspect.Parameter.POSITIONAL_ONLY,
+            inspect.Parameter.POSITIONAL_OR_KEYWORD,
+        ):
+            positional += 1
+    return positional >= 3
+
+
+def _notify(
+    progress: ProgressFn | None, done: int, total: int, note: str | None = None
+) -> None:
+    if progress is None:
+        return
+    if note is not None:
+        # Notes are advisory: only callbacks with a third positional slot
+        # receive them; legacy two-arg callbacks see no extra call.
+        if _supports_note(progress):
+            progress(done, total, note)
+        return
+    progress(done, total)
 
 
 def _execute(task: tuple[int, SimulationSpec, CollectFn | None]) -> tuple[int, RunResult, Any]:
@@ -97,11 +160,29 @@ def _execute(task: tuple[int, SimulationSpec, CollectFn | None]) -> tuple[int, R
     return index, result, collect(result, handle)
 
 
+def _execute_chunk(
+    chunk: Sequence[tuple[int, SimulationSpec, CollectFn | None]],
+) -> list[tuple[int, RunResult, Any]]:
+    """Run a chunk of specs sequentially (worker side).
+
+    The worker installs the process-global shared solve cache (bisect-mode
+    equilibria, bitwise-reproducible replays only — see
+    :mod:`repro.hw.bus`) so every spec after the first starts with the
+    chunk's accumulated equilibrium solutions instead of a cold cache.
+    The cache lives for the worker's lifetime, so later chunks dispatched
+    to the same worker keep compounding it.
+    """
+    if shared_solve_cache() is None:
+        install_shared_solve_cache()
+    return [_execute(task) for task in chunk]
+
+
 def run_many(
     specs: Sequence[SimulationSpec],
     jobs: int | None = 1,
     progress: ProgressFn | None = None,
     collect: CollectFn | None = None,
+    chunk_size: int | None = None,
 ) -> list:
     """Run every spec and return results in spec order.
 
@@ -113,46 +194,59 @@ def run_many(
     jobs:
         Worker processes. ``1`` (default) runs serially in-process;
         ``None`` reads the ``REPRO_JOBS`` env var; ``<= 0`` uses every
-        core. More workers than specs are never spawned, and platforms
-        without ``fork`` run serially regardless.
+        core. Jobs are clamped to ``len(specs)``, and platforms without
+        ``fork`` run serially regardless (reported through ``progress``).
     progress:
         Optional ``progress(done, total)`` callback, invoked in the parent
-        after each task completes (in completion order).
+        as specs complete (in completion order; once per finished chunk in
+        parallel mode, with ``done`` counting finished *specs*). Callbacks
+        taking a third positional argument also receive occasional string
+        notes, e.g. when the serial fallback engages.
     collect:
         Optional module-level ``collect(result, handle)`` function run in
         the worker; when given, the return value is ``[(result, aux), ...]``
         instead of ``[result, ...]``.
+    chunk_size:
+        Specs per worker task. ``None`` picks :func:`auto_chunk_size`
+        (≈ ``total / (4 · jobs)``). Larger chunks amortise fork/IPC cost
+        and let each worker reuse a warm shared solve cache across its
+        chunk; chunking never changes results — only dispatch granularity.
 
     Returns
     -------
     list
         ``RunResult`` per spec — or ``(RunResult, aux)`` pairs with
         ``collect`` — in the exact order of ``specs``, identical between
-        serial and parallel execution.
+        serial and parallel execution (and any chunk size).
     """
-    n_jobs = resolve_jobs(jobs)
     total = len(specs)
+    n_jobs = resolve_jobs(jobs, total)
     tasks = [(i, spec, collect) for i, spec in enumerate(specs)]
     out: list[Any] = [None] * total
 
     if n_jobs <= 1 or total <= 1 or not fork_available():
+        if n_jobs > 1 and total > 1:
+            _notify(progress, 0, total, "fork unavailable: falling back to serial execution")
         for done, task in enumerate(tasks, start=1):
             index, result, aux = _execute(task)
             out[index] = (result, aux) if collect is not None else result
-            if progress is not None:
-                progress(done, total)
+            _notify(progress, done, total)
         return out
 
+    if chunk_size is not None and chunk_size < 1:
+        raise ValueError(f"chunk_size must be >= 1, got {chunk_size}")
+    chunk = chunk_size if chunk_size is not None else auto_chunk_size(total, n_jobs)
+    chunks = [tasks[i : i + chunk] for i in range(0, total, chunk)]
+
     ctx = multiprocessing.get_context("fork")
-    with ProcessPoolExecutor(max_workers=min(n_jobs, total), mp_context=ctx) as pool:
-        pending = {pool.submit(_execute, task) for task in tasks}
+    with ProcessPoolExecutor(max_workers=n_jobs, mp_context=ctx) as pool:
+        pending = {pool.submit(_execute_chunk, c) for c in chunks}
         done_count = 0
         while pending:
             finished, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in finished:
-                index, result, aux = future.result()  # re-raises worker errors
-                out[index] = (result, aux) if collect is not None else result
-                done_count += 1
-                if progress is not None:
-                    progress(done_count, total)
+                for index, result, aux in future.result():  # re-raises worker errors
+                    out[index] = (result, aux) if collect is not None else result
+                    done_count += 1
+                _notify(progress, done_count, total)
     return out

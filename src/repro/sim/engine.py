@@ -48,10 +48,11 @@ class Advancer(Protocol):
 class EventHandle:
     """Handle to a scheduled timer event; supports cancellation."""
 
-    __slots__ = ("_event",)
+    __slots__ = ("_event", "_engine")
 
-    def __init__(self, event: TimerEvent) -> None:
+    def __init__(self, event: TimerEvent, engine: "Engine") -> None:
         self._event = event
+        self._engine = engine
 
     @property
     def time(self) -> float:
@@ -64,8 +65,15 @@ class EventHandle:
         return not self._event.cancelled
 
     def cancel(self) -> None:
-        """Cancel the event. Cancelling twice (or after firing) is a no-op."""
-        self._event.cancelled = True
+        """Cancel the event. Cancelling twice (or after firing) is a no-op.
+
+        Cancellation is lazy (O(1)): the event stays in the heap, marked
+        dead, and is discarded when it surfaces. The live-event count is
+        adjusted here so ``Engine.pending_events`` stays exact.
+        """
+        if not self._event.cancelled:
+            self._event.cancelled = True
+            self._engine._pending -= 1
 
 
 class Engine:
@@ -88,6 +96,7 @@ class Engine:
         self._heap: list[TimerEvent] = []
         self._seq = 0
         self._pending = 0  # live (non-cancelled) events
+        self._events_fired = 0
 
     # -- clock ---------------------------------------------------------------
 
@@ -121,7 +130,7 @@ class Engine:
         self._seq += 1
         heapq.heappush(self._heap, ev)
         self._pending += 1
-        return EventHandle(ev)
+        return EventHandle(ev, self)
 
     def schedule_after(
         self,
@@ -141,6 +150,11 @@ class Engine:
         """Number of scheduled, not-yet-fired, not-cancelled events."""
         return self._pending
 
+    @property
+    def events_fired(self) -> int:
+        """Total timer callbacks dispatched over the engine's lifetime."""
+        return self._events_fired
+
     def next_event_time(self) -> float:
         """Absolute time of the earliest pending event, or ``inf``."""
         self._drop_cancelled()
@@ -157,11 +171,20 @@ class Engine:
 
         Events scheduled *during* dispatch for the same instant also fire,
         in priority/sequence order. Returns the number fired.
+
+        This is the batch-fire half of the settle fast path: the run loops
+        settle the advancer *once* up to a timestamp and then drain every
+        event due at that instant, rather than interleaving one settle per
+        event. Callbacks that reconfigure the machine only mark it dirty;
+        the (expensive) re-solve happens lazily at the next horizon query,
+        so N same-timestamp preemptions cost one bus solve, not N.
         """
         fired = 0
         while True:
             self._drop_cancelled()
             if not self._heap or self._heap[0].time > self._now:
+                if fired:
+                    self._events_fired += fired
                 return fired
             ev = heapq.heappop(self._heap)
             self._pending -= 1

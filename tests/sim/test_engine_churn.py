@@ -1,0 +1,150 @@
+"""Engine stress coverage: lazy cancellation under heap churn, and
+settle/fire interleaving when an advancer horizon coincides with a timer.
+
+Complements tests/sim/test_engine.py with the ISSUE 2 satellite cases:
+cancel-then-reschedule storms must keep ``pending_events`` exact (lazy
+cancellation leaves dead entries in the heap but must not leak into the
+live count), and ``run_until`` must fire a timer event landing exactly on
+the advancer's horizon after settling the advancer to that instant.
+"""
+
+import math
+
+from repro.sim.engine import Engine
+
+
+class _FakeAdvancer:
+    """Advancer with fixed transition times, recording every advance."""
+
+    def __init__(self, transitions):
+        self.transitions = sorted(transitions)
+        self.advanced_to = []
+        self.time = 0.0
+
+    def horizon(self):
+        for t in self.transitions:
+            if t > self.time:
+                return t
+        return math.inf
+
+    def advance_to(self, t):
+        self.time = t
+        self.advanced_to.append(t)
+
+
+class TestCancelRescheduleStorm:
+    def test_pending_events_exact_after_cancel(self):
+        eng = Engine()
+        h1 = eng.schedule_at(1.0, lambda: None)
+        eng.schedule_at(2.0, lambda: None)
+        assert eng.pending_events == 2
+        h1.cancel()
+        assert eng.pending_events == 1
+        h1.cancel()  # double-cancel must not decrement twice
+        assert eng.pending_events == 1
+
+    def test_cancel_after_fire_does_not_underflow(self):
+        eng = Engine()
+        handle = eng.schedule_at(1.0, lambda: None)
+        eng.run_until(2.0)
+        assert eng.pending_events == 0
+        handle.cancel()  # fired events are consumed; cancel is a no-op
+        assert eng.pending_events == 0
+
+    def test_storm_pending_count_stays_exact(self):
+        eng = Engine()
+        fired = []
+        live = {}
+        # 50 rounds of schedule-3 / cancel-2 / reschedule-1, never running:
+        # the heap accumulates dead entries while the live count must track
+        # exactly the survivors.
+        for round_no in range(50):
+            handles = [
+                eng.schedule_at(100.0 + round_no + 0.1 * k, lambda r=round_no: fired.append(r))
+                for k in range(3)
+            ]
+            handles[0].cancel()
+            handles[1].cancel()
+            replacement = eng.schedule_at(
+                200.0 + round_no, lambda r=round_no: fired.append(-r)
+            )
+            live[round_no] = (handles[2], replacement)
+        assert eng.pending_events == 100
+        assert all(h.active and r.active for h, r in live.values())
+        eng.run_until(300.0)
+        assert eng.pending_events == 0
+        assert len(fired) == 100
+
+    def test_storm_interleaved_with_runs(self):
+        eng = Engine()
+        fired = []
+        for round_no in range(20):
+            keep = eng.schedule_after(1.0, lambda r=round_no: fired.append(r))
+            drop = eng.schedule_after(1.5, lambda r=round_no: fired.append(1000 + r))
+            drop.cancel()
+            # re-use the freed slot at the same timestamp as the survivor
+            eng.schedule_after(1.5, lambda r=round_no: fired.append(2000 + r))
+            eng.run_until(eng.now + 2.0)
+            assert not keep.active  # consumed by firing
+            assert eng.pending_events == 0
+        assert [f for f in fired if f < 1000] == list(range(20))
+        assert [f for f in fired if f >= 2000] == [2000 + r for r in range(20)]
+        assert not any(1000 <= f < 2000 for f in fired)
+
+    def test_cancelled_storm_leaves_clean_heap(self):
+        eng = Engine()
+        handles = [eng.schedule_at(float(i), lambda: None) for i in range(1, 40)]
+        for h in handles:
+            h.cancel()
+        assert eng.pending_events == 0
+        assert eng.next_event_time() == math.inf
+        eng.run_until(100.0)
+        assert eng.now == 100.0
+
+    def test_events_fired_counter(self):
+        eng = Engine()
+        for i in range(5):
+            eng.schedule_at(float(i + 1), lambda: None)
+        cancelled = eng.schedule_at(3.5, lambda: None)
+        cancelled.cancel()
+        eng.run_until(10.0)
+        assert eng.events_fired == 5
+
+
+class TestHorizonOnTimerEvent:
+    def test_run_until_horizon_exactly_on_timer(self):
+        # Advancer transition and timer event at the same instant: the
+        # engine must settle the advancer to t=5 first, then fire the
+        # timer at t=5 (callbacks observe a settled component).
+        adv = _FakeAdvancer([5.0])
+        eng = Engine()
+        seen = []
+        eng.schedule_at(5.0, lambda: seen.append(("timer", eng.now, adv.time)))
+        eng.run_until(10.0, advancer=adv)
+        assert seen == [("timer", 5.0, 5.0)]
+        assert 5.0 in adv.advanced_to
+        assert eng.now == 10.0
+
+    def test_run_until_ends_exactly_on_shared_instant(self):
+        # end_time == horizon == timer time: everything lands on t=5 and
+        # the run must terminate (no livelock), having fired the event.
+        adv = _FakeAdvancer([5.0])
+        eng = Engine()
+        seen = []
+        eng.schedule_at(5.0, lambda: seen.append(eng.now))
+        eng.run_until(5.0, advancer=adv)
+        assert seen == [5.0]
+        assert eng.now == 5.0
+        assert adv.time == 5.0
+
+    def test_batch_fire_settles_once_per_instant(self):
+        # Three events at the same timestamp: one settle to t=4, then the
+        # whole batch fires (the batch-fire half of the settle fast path).
+        adv = _FakeAdvancer([])
+        eng = Engine()
+        order = []
+        for k in range(3):
+            eng.schedule_at(4.0, lambda k=k: order.append(k))
+        eng.run_until(6.0, advancer=adv)
+        assert order == [0, 1, 2]
+        assert adv.advanced_to.count(4.0) == 1

@@ -5,7 +5,13 @@ import pytest
 from repro.config import MachineConfig
 from repro.errors import ConfigError, SimulationError
 from repro.experiments.base import SimulationSpec, solo_spec
-from repro.parallel import default_jobs, fork_available, resolve_jobs, run_many
+from repro.parallel import (
+    auto_chunk_size,
+    default_jobs,
+    fork_available,
+    resolve_jobs,
+    run_many,
+)
 from repro.workloads.microbench import bbma_spec, nbbma_spec
 
 _SCALE = 0.02
@@ -43,6 +49,24 @@ class TestResolveJobs:
     def test_env_unset_serial(self, monkeypatch):
         monkeypatch.delenv("REPRO_JOBS", raising=False)
         assert default_jobs() == 1
+
+    def test_clamped_to_spec_count(self):
+        assert resolve_jobs(16, n_specs=3) == 3
+        assert resolve_jobs(2, n_specs=10) == 2
+
+    def test_clamp_never_below_one(self):
+        assert resolve_jobs(4, n_specs=0) == 1
+
+
+class TestAutoChunkSize:
+    def test_four_chunks_per_worker(self):
+        assert auto_chunk_size(64, 4) == 4
+        assert auto_chunk_size(100, 5) == 5
+
+    def test_small_grids_get_unit_chunks(self):
+        assert auto_chunk_size(3, 2) == 1
+        assert auto_chunk_size(1, 8) == 1
+        assert auto_chunk_size(0, 4) == 1
 
 
 class TestRunMany:
@@ -98,3 +122,80 @@ class TestRunMany:
     def test_more_jobs_than_specs(self):
         specs = _specs(2)
         assert run_many(specs, jobs=16) == run_many(specs, jobs=1)
+
+
+class TestChunkedDispatch:
+    def test_explicit_chunk_size_matches_serial(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        specs = _specs(5)
+        serial = run_many(specs, jobs=1)
+        for chunk in (1, 2, 5):
+            assert run_many(specs, jobs=2, chunk_size=chunk) == serial
+
+    def test_invalid_chunk_size_rejected(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        with pytest.raises(ValueError):
+            run_many(_specs(3), jobs=2, chunk_size=0)
+
+    def test_chunked_progress_counts_specs(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        specs = _specs(4)
+        calls: list[tuple[int, int]] = []
+        run_many(specs, jobs=2, chunk_size=2, progress=lambda d, t: calls.append((d, t)))
+        # two chunks of two specs: done counts finished specs, not chunks
+        assert sorted(d for d, _ in calls) == [2, 4]
+        assert all(t == 4 for _, t in calls)
+
+    def test_chunked_collect_pairs_in_order(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        specs = _specs(4)
+        pairs = run_many(specs, jobs=2, chunk_size=3, collect=_collect_makespan)
+        assert [r.makespan_us for r, _ in pairs] == [
+            r.makespan_us for r in run_many(specs, jobs=1)
+        ]
+        for result, (makespan, machine_now) in pairs:
+            assert result.makespan_us == makespan == machine_now
+
+    def test_shared_cache_reports_hits_without_changing_results(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        # one worker, one chunk: later specs replay the earlier specs'
+        # equilibria from the shared cache; physics must be unchanged.
+        spec = _specs(1)[0]
+        specs = [spec, spec, spec]
+        serial = run_many(specs, jobs=1)
+        chunked = run_many(specs, jobs=2, chunk_size=3)
+        assert chunked == serial
+        assert sum(r.bus_shared_hits for r in chunked) > 0
+        assert all(r.bus_shared_hits == 0 for r in serial)
+
+
+class TestProgressNotes:
+    def test_three_arg_callback_receives_fallback_note(self, monkeypatch):
+        import repro.parallel as par
+
+        monkeypatch.setattr(par, "fork_available", lambda: False)
+        notes: list[str] = []
+        calls: list[tuple[int, int]] = []
+
+        def progress(done, total, note=None):
+            calls.append((done, total))
+            if note is not None:
+                notes.append(note)
+
+        results = run_many(_specs(2), jobs=4, progress=progress)
+        assert len(results) == 2
+        assert any("fork unavailable" in n for n in notes)
+        assert (2, 2) in calls
+
+    def test_two_arg_callback_unaffected_by_fallback(self, monkeypatch):
+        import repro.parallel as par
+
+        monkeypatch.setattr(par, "fork_available", lambda: False)
+        calls: list[tuple[int, int]] = []
+        run_many(_specs(2), jobs=4, progress=lambda d, t: calls.append((d, t)))
+        assert calls == [(1, 2), (2, 2)]

@@ -1,0 +1,104 @@
+"""Tests for the per-phase profiling layer (`repro.profiling`).
+
+Profiling is observability only: enabling it must never change simulated
+results, and its counters must be excluded from `RunResult` equality.
+"""
+
+import dataclasses
+
+import pytest
+
+from repro import profiling
+from repro.experiments.base import SimulationSpec, run_simulation, solo_spec
+from repro.parallel import fork_available, run_many
+from repro.workloads.microbench import bbma_spec
+
+_SCALE_WORK = 10_000.0
+
+
+def _spec(seed: int = 1, profile: bool = False) -> SimulationSpec:
+    spec = solo_spec(bbma_spec(work_us=_SCALE_WORK), seed=seed)
+    return dataclasses.replace(spec, profile=profile)
+
+
+@pytest.fixture(autouse=True)
+def _clean_profiling_state():
+    profiling.disable()
+    profiling.reset_aggregate()
+    yield
+    profiling.disable()
+    profiling.reset_aggregate()
+
+
+class TestModuleSwitch:
+    def test_default_off(self):
+        assert not profiling.enabled()
+
+    def test_enable_disable(self):
+        profiling.enable()
+        assert profiling.enabled()
+        profiling.disable()
+        assert not profiling.enabled()
+
+    def test_merge_sums_keys(self):
+        acc = {"a": 1.0}
+        profiling.merge(acc, {"a": 2.0, "b": 0.5})
+        assert acc == {"a": 3.0, "b": 0.5}
+
+    def test_record_and_aggregate(self):
+        profiling.record({"solve_calls": 3.0})
+        profiling.record({"solve_calls": 2.0, "settle_calls": 1.0})
+        assert profiling.aggregate() == {"solve_calls": 5.0, "settle_calls": 1.0}
+        profiling.reset_aggregate()
+        assert profiling.aggregate() == {}
+
+    def test_record_none_is_noop(self):
+        profiling.record(None)
+        assert profiling.aggregate() == {}
+
+
+class TestRunProfile:
+    def test_unprofiled_run_has_no_profile(self):
+        result = run_simulation(_spec())
+        assert result.profile is None
+
+    def test_spec_profile_attaches_snapshot(self):
+        result = run_simulation(_spec(profile=True))
+        assert result.profile is not None
+        assert result.profile["solve_calls"] >= 1
+        assert result.profile["settle_calls"] >= 1
+        assert result.profile["solve_time_s"] >= 0.0
+        assert result.profile["settle_time_s"] > 0.0
+
+    def test_global_switch_profiles_every_run(self):
+        profiling.enable()
+        result = run_simulation(_spec())
+        assert result.profile is not None
+        agg = profiling.aggregate()
+        assert agg["solve_calls"] == result.profile["solve_calls"]
+
+    def test_profiling_never_changes_results(self):
+        plain = run_simulation(_spec())
+        profiled = run_simulation(_spec(profile=True))
+        assert profiled == plain  # profile/counters excluded from equality
+        assert profiled.makespan_us == plain.makespan_us
+        assert [a.turnaround_us for a in profiled.apps] == [
+            a.turnaround_us for a in plain.apps
+        ]
+
+    def test_counter_fields_excluded_from_equality(self):
+        base = run_simulation(_spec())
+        tweaked = dataclasses.replace(
+            base, bus_cache_hits=base.bus_cache_hits + 7, profile={"x": 1.0}
+        )
+        assert tweaked == base
+        changed = dataclasses.replace(base, makespan_us=base.makespan_us + 1.0)
+        assert changed != base
+
+    def test_parallel_workers_inherit_global_switch(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        profiling.enable()
+        specs = [_spec(seed=s) for s in (1, 2, 3)]
+        results = run_many(specs, jobs=2, chunk_size=2)
+        assert all(r.profile is not None for r in results)
