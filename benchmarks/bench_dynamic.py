@@ -1,0 +1,113 @@
+"""DYN smoke benchmark: the open-system sweep, timed and gated.
+
+A standalone script (like ``bench_perf.py``) that runs the
+arrival-rate × policy sweep of ``repro.experiments.dynamic`` at a reduced
+work scale and writes ``BENCH_dynamic.json`` with:
+
+* wall-clock per sweep and per simulated job;
+* completion counts (every scheduled job must finish — an open-system
+  deadlock under churn would show up here first);
+* the starvation watchdog verdict at every operating point (the paper's
+  head-first rotation guarantee, now asserted under connect/disconnect
+  churn instead of a static job set);
+* a serial-vs-parallel bit-identity gate over the full sweep, including
+  the per-job queueing records.
+
+The CI benchmark smoke job runs this at a small scale and fails on any
+gate violation.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_dynamic.py             # defaults
+    PYTHONPATH=src python benchmarks/bench_dynamic.py --scale 0.05 --jobs 2
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--scale", type=float, default=0.1, help="application work scale")
+    parser.add_argument("--seed", type=int, default=7, help="root random seed")
+    parser.add_argument("--jobs", type=int, default=2, help="worker processes for the parallel leg")
+    parser.add_argument("--num-jobs", type=int, default=8, help="jobs per dynamic run")
+    parser.add_argument("--rates", type=str, default="1.0,2.0,4.0", help="arrival-rate sweep")
+    parser.add_argument("--out", type=str, default="BENCH_dynamic.json", help="report path")
+    args = parser.parse_args(argv)
+
+    from repro.experiments.dynamic import format_dynamic, run_dynamic_sweep
+
+    rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    kw = dict(
+        rates_per_s=rates,
+        n_jobs=args.num_jobs,
+        replications=1,
+        seed=args.seed,
+        work_scale=args.scale,
+    )
+
+    t0 = time.perf_counter()
+    serial = run_dynamic_sweep(jobs=1, **kw)
+    serial_s = time.perf_counter() - t0
+
+    t0 = time.perf_counter()
+    parallel = run_dynamic_sweep(jobs=args.jobs, **kw)
+    parallel_s = time.perf_counter() - t0
+
+    total_completed = sum(s.n_completed for row in serial for s in row.summaries)
+    total_scheduled = sum(s.n_jobs for row in serial for s in row.summaries)
+    report = {
+        "scale": args.scale,
+        "seed": args.seed,
+        "rates_per_s": rates,
+        "policies": [row.policy for row in serial],
+        "serial_wall_s": round(serial_s, 3),
+        "parallel_wall_s": round(parallel_s, 3),
+        "parallel_jobs": args.jobs,
+        "total_jobs_scheduled": total_scheduled,
+        "total_jobs_completed": total_completed,
+        "total_drops": sum(s.n_dropped for row in serial for s in row.summaries),
+        "max_starvation_age_us": max(r.max_starvation_age_us for r in serial),
+        "starvation_bound_us": max(r.starvation_bound_us for r in serial),
+        "starvation_ok_everywhere": all(r.starvation_ok for r in serial),
+        "bit_identical_serial_parallel": serial == parallel,
+        "rows": [
+            {
+                "policy": r.policy,
+                "rate_per_s": r.rate_per_s,
+                "mean_response_us": r.mean_response_us,
+                "mean_slowdown": r.mean_slowdown,
+                "throughput_jobs_per_s": r.throughput_jobs_per_s,
+                "saturated_fraction": r.saturated_fraction,
+                "max_starvation_age_us": r.max_starvation_age_us,
+                "starvation_ok": r.starvation_ok,
+            }
+            for r in serial
+        ],
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+
+    print(format_dynamic(serial))
+    print(f"\nserial {serial_s:.2f}s, parallel({args.jobs}) {parallel_s:.2f}s", file=sys.stderr)
+    print(f"wrote {args.out}", file=sys.stderr)
+
+    ok = (
+        report["total_jobs_completed"] == report["total_jobs_scheduled"] - report["total_drops"]
+        and report["total_jobs_completed"] > 0
+        and report["starvation_ok_everywhere"]
+        and report["bit_identical_serial_parallel"]
+    )
+    if not ok:
+        print("GATE FAILURE: see report", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -7,6 +7,7 @@ Regenerates every table and figure of the paper from the terminal::
     python -m repro fig2 --set A         # FIG-2A (or B / C, or all)
     python -m repro table1               # TAB-1 headline summary
     python -m repro ablations            # ABL-W/Q/F/A
+    python -m repro dynamic --rate 1.0   # DYN-1 open-system sweep
     python -m repro all                  # everything, full scale
 
 ``--scale`` shrinks application work (0.25 runs in seconds and preserves
@@ -35,7 +36,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=["calibration", "fig1", "fig2", "table1", "ablations", "smt", "io", "kernels", "validate", "all"],
+        choices=["calibration", "fig1", "fig2", "table1", "ablations", "smt", "io", "kernels", "validate", "dynamic", "all"],
         help="which artefact to regenerate",
     )
     parser.add_argument("--set", dest="set_name", choices=["A", "B", "C", "all"], default="all")
@@ -54,6 +55,39 @@ def build_parser() -> argparse.ArgumentParser:
             "worker processes for the simulation grid (default: REPRO_JOBS "
             "env var or 1; 0 = all cores); results are identical to --jobs 1"
         ),
+    )
+    dyn = parser.add_argument_group("dynamic", "options for the 'dynamic' open-system sweep")
+    dyn.add_argument(
+        "--arrival", choices=["poisson", "mmpp", "trace"], default="poisson",
+        help="arrival process kind ('trace' needs --trace-file)",
+    )
+    dyn.add_argument(
+        "--rate", type=float, default=None, metavar="R",
+        help="single arrival rate (jobs per simulated second)",
+    )
+    dyn.add_argument(
+        "--rates", type=str, default=None, metavar="R1,R2,...",
+        help="comma-separated arrival-rate sweep (default: 0.5,1.0,2.0)",
+    )
+    dyn.add_argument(
+        "--policy", type=str, default=None, metavar="P1,P2,...",
+        help="comma-separated policies: linux, latest_quantum, quanta_window (default: all)",
+    )
+    dyn.add_argument(
+        "--num-jobs", type=int, default=24, metavar="N",
+        help="jobs per dynamic run (the arrival schedule length)",
+    )
+    dyn.add_argument(
+        "--replications", type=int, default=3, metavar="N",
+        help="seed replications per operating point (seed, seed+1, ...)",
+    )
+    dyn.add_argument(
+        "--queue-capacity", type=int, default=None, metavar="N",
+        help="admission queue slots (default: unbounded; bounded queues drop)",
+    )
+    dyn.add_argument(
+        "--trace-file", type=str, default=None, metavar="PATH",
+        help="arrival trace to replay (.json or .csv, see TraceArrivals)",
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -238,6 +272,48 @@ def _run_kernels(args: argparse.Namespace) -> None:
     print(format_kernel_experiment(rows))
 
 
+def _run_dynamic(args: argparse.Namespace) -> None:
+    from .dynamic import TraceArrivals
+    from .errors import ConfigError
+    from .experiments.dynamic import format_dynamic, run_dynamic_sweep
+
+    arrivals = None
+    if args.arrival == "trace" or args.trace_file is not None:
+        if args.trace_file is None:
+            raise ConfigError("--arrival trace needs --trace-file")
+        loader = (
+            TraceArrivals.from_csv
+            if args.trace_file.endswith(".csv")
+            else TraceArrivals.from_json
+        )
+        arrivals = loader(args.trace_file)
+    if args.rate is not None and args.rates is not None:
+        raise ConfigError("--rate and --rates are mutually exclusive")
+    rates = None
+    if args.rate is not None:
+        rates = [args.rate]
+    elif args.rates is not None:
+        rates = [float(r) for r in args.rates.split(",") if r.strip()]
+    policies = None
+    if args.policy is not None:
+        policies = [p.strip() for p in args.policy.split(",") if p.strip()]
+    rows = run_dynamic_sweep(
+        policies=policies,
+        rates_per_s=rates,
+        arrival_kind=args.arrival if args.arrival != "trace" else "poisson",
+        arrivals=arrivals,
+        n_jobs=args.num_jobs,
+        queue_capacity=args.queue_capacity,
+        seed=args.seed,
+        replications=args.replications,
+        work_scale=args.scale,
+        apps=_apps_arg(args),
+        jobs=args.jobs,
+        progress=_progress(args),
+    )
+    print(format_dynamic(rows))
+
+
 def _run_validate(args: argparse.Namespace) -> None:
     from .experiments.validation import format_validation, run_validation
 
@@ -266,6 +342,7 @@ def main(argv: list[str] | None = None) -> int:
         "io": _run_io,
         "kernels": _run_kernels,
         "validate": _run_validate,
+        "dynamic": _run_dynamic,
     }
     if args.experiment == "all":
         for name in ("calibration", "fig1", "fig2", "table1", "ablations", "smt", "io", "kernels"):

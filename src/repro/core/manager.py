@@ -32,7 +32,7 @@ from typing import TYPE_CHECKING
 import numpy as np
 
 from ..config import ManagerConfig
-from ..errors import SchedulingError
+from ..errors import ArenaError, SchedulingError
 from ..sim.engine import Engine
 from ..sim.events import EventPriority
 from .arena import ArenaSample, SharedArena
@@ -78,6 +78,10 @@ class CpuManager:
         self._boundary_samples: dict[int, ArenaSample] = {}
         self._last_sample_seen: dict[int, ArenaSample] = {}
         self._quanta = 0
+        self._started = False
+        # Whether a quantum-boundary event is in flight. The boundary chain
+        # dies when the arena empties; a later connection must revive it.
+        self._boundary_scheduled = False
         # Workload-wide transaction accounting for saturation detection:
         # (time, cumulative transactions over all managed threads).
         self._global_sample: tuple[float, float] = (0.0, 0.0)
@@ -148,6 +152,46 @@ class CpuManager:
         # unblocks to the winners. A redundant unblock would poison the
         # inversion-protection counters with a permanent unblock credit.
         self._selected.add(app.app_id)
+        # Revive the quantum chain if it died when the arena last emptied:
+        # an open system connects applications long after start(), and a
+        # manager with no boundary event would never manage them.
+        if self._started and not self._boundary_scheduled:
+            self._boundary_scheduled = True
+            self.engine.schedule_after(
+                0.0, self._quantum_boundary, priority=EventPriority.MANAGER
+            )
+
+    def disconnect_app(self, app_id: int) -> None:
+        """Handle an application's disconnection, at any point in its life.
+
+        Idempotent: safe to call after the quantum boundary already reaped
+        the application. Beyond dropping the descriptor from the circular
+        list, this releases every per-application resource the manager
+        holds — the estimator state, the boundary/sample checkpoints and
+        the per-thread signal counters — so a long-lived manager does not
+        leak under churn. A *blocked* application disconnecting is
+        unblocked first: once unmanaged it must not stay frozen by a block
+        signal nobody will ever revoke.
+        """
+        try:
+            desc = self.arena.descriptor(app_id)
+        except ArenaError:
+            return  # never connected here; nothing to release
+        machine = self.machine
+        if desc.connected:
+            self.arena.disconnect(app_id)
+            for tid in desc.tids:
+                thread = machine.thread(tid)
+                if not thread.finished and thread.blocked:
+                    machine.set_blocked(tid, False)
+                    self.kernel.on_block_change(tid, False)
+        self.policy.forget(app_id)
+        self._selected.discard(app_id)
+        self._boundary_samples.pop(app_id, None)
+        self._last_sample_seen.pop(app_id, None)
+        if self._signals is not None:
+            for tid in desc.tids:
+                self.signals.forget_thread(tid)
 
     def register_apps(self, apps: list["Application"]) -> None:
         """Connect several applications in order."""
@@ -162,6 +206,7 @@ class CpuManager:
         The first boundary also schedules the first quantum's samples, so
         nothing else is needed here.
         """
+        self._started = True
         self._quantum_boundary()
 
     def _schedule_samples(self) -> None:
@@ -226,17 +271,19 @@ class CpuManager:
         """The end-of-quantum bookkeeping + selection + signalling."""
         machine = self.machine
         self._quanta += 1
+        self._boundary_scheduled = False
 
-        # 0. Disconnect finished applications.
+        # 0. Disconnect finished applications (releases their estimator,
+        #    checkpoint and signal-counter state too).
         for desc in list(self.arena.connected()):
             if all(machine.thread(t).finished for t in desc.tids):
-                self.arena.disconnect(desc.app_id)
-                self.policy.forget(desc.app_id)
-                self._selected.discard(desc.app_id)
+                self.disconnect_app(desc.app_id)
 
         descs = self.arena.connected()
         if not descs:
-            return  # nothing left to manage; no further quanta needed
+            # Nothing left to manage: let the chain die. register_app
+            # revives it when the next application connects.
+            return
 
         # 1. Update bandwidth statistics of jobs that ran last quantum.
         saturated, self._global_boundary = self._interval_saturated(self._global_boundary)
@@ -297,6 +344,7 @@ class CpuManager:
         )
 
         # 5. Next quantum.
+        self._boundary_scheduled = True
         self.engine.schedule_after(
             self.config.quantum_us, self._quantum_boundary, priority=EventPriority.MANAGER
         )

@@ -123,6 +123,9 @@ class SignalDispatcher:
         self._send_seq = 0
         self._applied_seq: dict[int, int] = {}
         self._sent = 0
+        # Threads whose application disconnected: in-flight deliveries to
+        # them are inert until a fresh send addresses them again.
+        self._departed: set[int] = set()
 
     @property
     def signals_sent(self) -> int:
@@ -132,6 +135,22 @@ class SignalDispatcher:
     def received_counts(self, tid: int) -> tuple[int, int]:
         """(blocks, unblocks) received so far by thread ``tid``."""
         return (self._received_blocks.get(tid, 0), self._received_unblocks.get(tid, 0))
+
+    def forget_thread(self, tid: int) -> None:
+        """Drop all per-thread protocol state for a departed thread.
+
+        Without this, the inversion-protection and sequence counters grow
+        with every application that ever connected — and a reconnecting
+        thread id would inherit a stale block/unblock balance from its
+        previous life, wedging the protocol. Deliveries already in flight
+        to the thread become inert (a stale block must not re-freeze a
+        thread nobody manages any more); a later fresh send to the same
+        tid re-enables delivery. Called on disconnect.
+        """
+        self._received_blocks.pop(tid, None)
+        self._received_unblocks.pop(tid, None)
+        self._applied_seq.pop(tid, None)
+        self._departed.add(tid)
 
     # ------------------------------------------------------------------
 
@@ -149,6 +168,7 @@ class SignalDispatcher:
         self._sent += 1
         self._send_seq += 1
         seq = self._send_seq
+        self._departed.difference_update(tids)
         # First hop: manager → tids[0]; then tids[0] forwards down the
         # chain, one forwarding latency per remaining thread.
         delay = self._first_hop
@@ -186,6 +206,8 @@ class SignalDispatcher:
         )
 
     def _deliver(self, tid: int, blocked: bool, seq: int = 0) -> None:
+        if tid in self._departed:
+            return  # stale delivery to a disconnected application
         thread = self._machine.thread(tid)
         if thread.finished:
             return  # signal raced with exit; harmless

@@ -1,0 +1,236 @@
+"""Arrival processes: when jobs show up at the CPU manager's door.
+
+The paper's CPU manager is an online server — applications connect over a
+socket at any time — but every experiment in the paper (and in the closed
+harnesses of this repo) fixes the multiprogramming degree up front. The
+processes here generate *arrival schedules* for the open-system driver
+(:mod:`repro.dynamic.driver`):
+
+* :class:`PoissonArrivals` — memoryless arrivals at a constant rate, the
+  canonical open-system workload.
+* :class:`MMPPBurstyArrivals` — a two-state Markov-modulated Poisson
+  process: exponentially-dwelling low/high-rate phases, modelling the
+  bursty submission patterns real schedulers face.
+* :class:`TraceArrivals` — replay of an explicit schedule, round-trippable
+  through JSON and CSV files so measured traces can be fed in.
+
+Determinism: ``sample_times`` draws only from the generator it is handed
+(a named :mod:`repro.rng` stream), so a fixed seed yields a bit-identical
+schedule no matter which process — serial or a ``run_many`` worker —
+produces it. The property tests assert exactly this.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from ..errors import ConfigError
+
+__all__ = [
+    "ArrivalProcess",
+    "PoissonArrivals",
+    "MMPPBurstyArrivals",
+    "TraceArrivals",
+]
+
+
+class ArrivalProcess(ABC):
+    """Generates strictly increasing arrival times (µs) for a job stream."""
+
+    @abstractmethod
+    def sample_times(self, rng: np.random.Generator, n_jobs: int) -> list[float]:
+        """The first ``n_jobs`` arrival times in microseconds, increasing."""
+
+    @property
+    @abstractmethod
+    def mean_rate_per_s(self) -> float:
+        """Long-run mean arrival rate in jobs per (simulated) second."""
+
+    @staticmethod
+    def _check_n(n_jobs: int) -> None:
+        if n_jobs < 1:
+            raise ConfigError(f"need at least one job, got {n_jobs}")
+
+
+@dataclass(frozen=True)
+class PoissonArrivals(ArrivalProcess):
+    """Homogeneous Poisson arrivals.
+
+    Attributes
+    ----------
+    rate_per_s:
+        Mean arrival rate, jobs per simulated second.
+    """
+
+    rate_per_s: float
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0:
+            raise ConfigError(f"arrival rate must be positive, got {self.rate_per_s}")
+
+    @property
+    def mean_rate_per_s(self) -> float:
+        return self.rate_per_s
+
+    def sample_times(self, rng: np.random.Generator, n_jobs: int) -> list[float]:
+        self._check_n(n_jobs)
+        mean_gap_us = 1e6 / self.rate_per_s
+        gaps = rng.exponential(mean_gap_us, size=n_jobs)
+        return [float(t) for t in np.cumsum(gaps)]
+
+
+@dataclass(frozen=True)
+class MMPPBurstyArrivals(ArrivalProcess):
+    """Two-state Markov-modulated Poisson process.
+
+    The process alternates between a low-rate and a high-rate phase with
+    exponentially distributed dwell times; within a phase, arrivals are
+    Poisson at the phase rate. This is the standard minimal model of
+    bursty submission streams.
+
+    Attributes
+    ----------
+    rate_low_per_s / rate_high_per_s:
+        Arrival rates of the two phases (jobs per second).
+    mean_low_s / mean_high_s:
+        Mean dwell time in each phase, seconds.
+    """
+
+    rate_low_per_s: float
+    rate_high_per_s: float
+    mean_low_s: float = 4.0
+    mean_high_s: float = 1.0
+
+    def __post_init__(self) -> None:
+        if self.rate_low_per_s <= 0 or self.rate_high_per_s <= 0:
+            raise ConfigError("phase arrival rates must be positive")
+        if self.rate_high_per_s < self.rate_low_per_s:
+            raise ConfigError("high-phase rate must be >= low-phase rate")
+        if self.mean_low_s <= 0 or self.mean_high_s <= 0:
+            raise ConfigError("phase dwell times must be positive")
+
+    @property
+    def mean_rate_per_s(self) -> float:
+        """Dwell-weighted mean rate across the two phases."""
+        total = self.mean_low_s + self.mean_high_s
+        return (
+            self.rate_low_per_s * self.mean_low_s
+            + self.rate_high_per_s * self.mean_high_s
+        ) / total
+
+    def sample_times(self, rng: np.random.Generator, n_jobs: int) -> list[float]:
+        self._check_n(n_jobs)
+        times: list[float] = []
+        now = 0.0
+        high = False  # start in the low phase
+        while len(times) < n_jobs:
+            dwell_s = self.mean_high_s if high else self.mean_low_s
+            rate = self.rate_high_per_s if high else self.rate_low_per_s
+            phase_end = now + float(rng.exponential(dwell_s)) * 1e6
+            mean_gap_us = 1e6 / rate
+            t = now
+            while len(times) < n_jobs:
+                t += float(rng.exponential(mean_gap_us))
+                if t > phase_end:
+                    break
+                times.append(t)
+            now = phase_end
+            high = not high
+        return times
+
+
+@dataclass(frozen=True)
+class TraceArrivals(ArrivalProcess):
+    """Replay of an explicit arrival schedule.
+
+    Attributes
+    ----------
+    times_us:
+        Arrival timestamps in microseconds, strictly increasing.
+    """
+
+    times_us: tuple[float, ...]
+
+    def __post_init__(self) -> None:
+        if not self.times_us:
+            raise ConfigError("an arrival trace needs at least one time")
+        prev = -1.0
+        for t in self.times_us:
+            if t < 0:
+                raise ConfigError(f"arrival times must be non-negative, got {t}")
+            if t <= prev:
+                raise ConfigError("arrival trace times must be strictly increasing")
+            prev = t
+
+    @property
+    def mean_rate_per_s(self) -> float:
+        """Jobs per second over the trace span (single-job traces: over [0, t])."""
+        span_us = self.times_us[-1] - (self.times_us[0] if len(self.times_us) > 1 else 0.0)
+        if span_us <= 0:
+            return 0.0
+        n_gaps = len(self.times_us) - 1 if len(self.times_us) > 1 else 1
+        return n_gaps / span_us * 1e6
+
+    def sample_times(self, rng: np.random.Generator, n_jobs: int) -> list[float]:
+        """The first ``n_jobs`` trace entries (the trace bounds the stream).
+
+        A trace shorter than ``n_jobs`` yields only its own entries — the
+        driver sizes the schedule to ``min(n_jobs, len(trace))``.
+        """
+        self._check_n(n_jobs)
+        return [float(t) for t in self.times_us[:n_jobs]]
+
+    # -- file round-trip ------------------------------------------------------
+
+    def to_json(self, path: str) -> str:
+        """Write the schedule as ``{"times_us": [...]}``; returns ``path``."""
+        with open(path, "w", encoding="utf-8") as fh:
+            json.dump({"times_us": list(self.times_us)}, fh)
+        return path
+
+    @classmethod
+    def from_json(cls, path: str) -> "TraceArrivals":
+        """Load a schedule written by :meth:`to_json`."""
+        with open(path, "r", encoding="utf-8") as fh:
+            payload = json.load(fh)
+        try:
+            times = payload["times_us"]
+        except (TypeError, KeyError):
+            raise ConfigError(f"{path}: not an arrival trace (missing 'times_us')") from None
+        return cls(times_us=tuple(float(t) for t in times))
+
+    def to_csv(self, path: str) -> str:
+        """Write one ``arrival_us`` column; returns ``path``.
+
+        Timestamps are serialized with ``repr`` so the round-trip is exact
+        (``repr``/``float`` is lossless for binary64).
+        """
+        with open(path, "w", encoding="utf-8", newline="") as fh:
+            writer = csv.writer(fh)
+            writer.writerow(["arrival_us"])
+            for t in self.times_us:
+                writer.writerow([repr(t)])
+        return path
+
+    @classmethod
+    def from_csv(cls, path: str) -> "TraceArrivals":
+        """Load a schedule written by :meth:`to_csv`."""
+        with open(path, "r", encoding="utf-8", newline="") as fh:
+            reader = csv.reader(fh)
+            header = next(reader, None)
+            if header is None or header[:1] != ["arrival_us"]:
+                raise ConfigError(f"{path}: not an arrival trace (missing 'arrival_us' header)")
+            times = []
+            for row in reader:
+                if not row:
+                    continue
+                try:
+                    times.append(float(row[0]))
+                except ValueError:
+                    raise ConfigError(f"{path}: bad arrival time {row[0]!r}") from None
+        return cls(times_us=tuple(times))

@@ -24,6 +24,8 @@ from .. import profiling
 from ..config import LinuxSchedConfig, MachineConfig, ManagerConfig
 from ..core.manager import CpuManager
 from ..core.policies import BandwidthPolicy
+from ..dynamic.config import DynamicWorkload
+from ..dynamic.driver import OpenSystemDriver
 from ..errors import ConfigError
 from ..hw.machine import Machine
 from ..metrics.accounting import RunResult, collect_run_result
@@ -92,6 +94,14 @@ class SimulationSpec:
         :mod:`repro.profiling`). Profiling also engages when the
         process-global switch (CLI ``--profile``) is on. Never affects
         simulated results.
+    dynamic:
+        An open-system workload (:class:`repro.dynamic.DynamicWorkload`)
+        driven alongside — or instead of — the static applications: jobs
+        arrive from a stochastic process, queue for admission, and churn
+        through the manager. The run ends when the static targets *and*
+        every scheduled dynamic job are done; the resulting queueing
+        observations attach to ``RunResult.dynamic``. Like ``arrivals``,
+        needs a time-sharing scheduler.
     """
 
     targets: list[ApplicationSpec]
@@ -108,6 +118,7 @@ class SimulationSpec:
     arrivals: list[tuple[float, ApplicationSpec]] = field(default_factory=list)
     kernel: str = "linux"
     profile: bool = False
+    dynamic: DynamicWorkload | None = None
 
 
 @dataclass
@@ -122,6 +133,7 @@ class SimulationHandle:
     manager: CpuManager | None
     timeline: TimelineSampler | None
     pending_arrivals: int = 0
+    dynamic: OpenSystemDriver | None = None
 
 
 def _make_kernel(name: str, spec: "SimulationSpec") -> KernelScheduler:
@@ -134,9 +146,9 @@ def _make_kernel(name: str, spec: "SimulationSpec") -> KernelScheduler:
 
 
 def _build(spec: SimulationSpec) -> SimulationHandle:
-    if not spec.targets and not spec.arrivals:
+    if not spec.targets and not spec.arrivals and spec.dynamic is None:
         raise ConfigError("a simulation needs at least one target application")
-    if spec.arrivals and spec.scheduler in ("dedicated", "gang"):
+    if (spec.arrivals or spec.dynamic is not None) and spec.scheduler in ("dedicated", "gang"):
         raise ConfigError(
             f"dynamic arrivals need a time-sharing scheduler; "
             f"{spec.scheduler!r} has a static job set"
@@ -230,6 +242,25 @@ def _build(spec: SimulationSpec) -> SimulationHandle:
             raise ConfigError("arrival times must be non-negative")
         engine.schedule_at(at_us, lambda i=i, a=app_spec: _arrive(i, a))
 
+    if spec.dynamic is not None:
+        # The watchdog's no-starvation bound scales with the scheduling
+        # granularity: the manager quantum when a manager runs, else the
+        # kernel's nominal time slice.
+        quantum_ref = (
+            spec.manager.quantum_us if manager is not None else spec.linux.timeslice_us
+        )
+        handle.dynamic = OpenSystemDriver(
+            spec.dynamic,
+            machine,
+            engine,
+            registry,
+            manager,
+            kernel,
+            app_ids,
+            quantum_ref_us=quantum_ref,
+            n_static_apps=len(apps),
+        )
+
     return handle
 
 
@@ -255,10 +286,14 @@ def run_simulation_with_handle(
     handle.kernel.start()
     if handle.manager is not None:
         handle.manager.start()
+    if handle.dynamic is not None:
+        handle.dynamic.start()
 
     def done() -> bool:
-        return handle.pending_arrivals == 0 and all(
-            app.finished for app in handle.target_apps
+        return (
+            handle.pending_arrivals == 0
+            and all(app.finished for app in handle.target_apps)
+            and (handle.dynamic is None or handle.dynamic.all_done)
         )
 
     handle.engine.run(advancer=handle.machine, stop=done, max_time=spec.max_time_us)
@@ -267,10 +302,16 @@ def run_simulation_with_handle(
             "simulation went quiescent before all targets finished "
             "(deadlock or starvation; check scheduler configuration)"
         )
+    if handle.dynamic is not None:
+        # Fold admitted dynamic jobs into the per-app accounting (they are
+        # not targets: the static figures' turnaround metric is untouched).
+        handle.apps.extend(handle.dynamic.launched_apps)
     # First-seen order (not set order, which varies with hash seeding):
     # the result must be identical across processes and interpreter runs.
     target_names = tuple(dict.fromkeys(a.name for a in handle.target_apps))
     result = collect_run_result(handle.machine, handle.apps, target_names)
+    if handle.dynamic is not None:
+        result = dataclasses.replace(result, dynamic=handle.dynamic.stats())
     if spec.profile or profiling.enabled():
         snapshot = handle.machine.profile_snapshot()
         result = dataclasses.replace(result, profile=snapshot)

@@ -9,6 +9,8 @@ writes one CSV per artefact into a directory:
 * ``fig2a.csv`` / ``fig2b.csv`` / ``fig2c.csv`` — per-application
   turnarounds and improvements per policy
 * ``table1.csv`` — the headline summary with paper reference columns
+* ``dynamic.csv`` — the open-system sweep: queueing metrics per
+  (policy, arrival rate) operating point
 
 Each writer takes already-computed results, so callers who have run the
 experiments themselves (e.g. at a different scale) can export without
@@ -21,6 +23,7 @@ import os
 
 from ..workloads.suites import PAPER_SOLO_RATES
 from .calibration import CalibrationResult, run_calibration
+from .dynamic import DynamicRow, run_dynamic_sweep
 from .fig1 import FIG1_CONFIGS, Fig1Row, run_fig1
 from .fig2 import Fig2Row, run_fig2
 from .reporting import format_csv
@@ -31,6 +34,7 @@ __all__ = [
     "export_fig1",
     "export_fig2",
     "export_table1",
+    "export_dynamic",
     "export_all",
 ]
 
@@ -117,6 +121,51 @@ def export_table1(rows: list[Table1Row], directory: str) -> str:
     )
 
 
+def export_dynamic(rows: list[DynamicRow], directory: str) -> str:
+    """Write ``dynamic.csv`` (one row per policy × arrival-rate point)."""
+    out_rows = [
+        [
+            r.policy,
+            r.rate_per_s,
+            r.mean_response_us,
+            r.response_ci_us,
+            r.mean_slowdown,
+            r.slowdown_ci,
+            r.queue_len_time_avg,
+            r.throughput_jobs_per_s,
+            r.drop_fraction,
+            r.utilization_time_avg,
+            r.saturated_fraction,
+            r.max_starvation_age_us,
+            r.starvation_bound_us,
+            int(r.starvation_ok),
+        ]
+        for r in rows
+    ]
+    return _write(
+        os.path.join(directory, "dynamic.csv"),
+        format_csv(
+            [
+                "policy",
+                "rate_per_s",
+                "mean_response_us",
+                "response_ci_us",
+                "mean_slowdown",
+                "slowdown_ci",
+                "queue_len_time_avg",
+                "throughput_jobs_per_s",
+                "drop_fraction",
+                "utilization_time_avg",
+                "saturated_fraction",
+                "max_starvation_age_us",
+                "starvation_bound_us",
+                "starvation_ok",
+            ],
+            out_rows,
+        ),
+    )
+
+
 def export_all(
     directory: str, work_scale: float = 1.0, seed: int = 42, jobs: int | None = 1
 ) -> list[str]:
@@ -136,4 +185,13 @@ def export_all(
         fig2_results[set_name] = rows
         paths.append(export_fig2(set_name, rows, directory))
     paths.append(export_table1(build_table1(fig2_results), directory))
+    dynamic_rows = run_dynamic_sweep(
+        rates_per_s=[1.0, 2.0],
+        n_jobs=10,
+        replications=1,
+        seed=seed,
+        work_scale=work_scale,
+        jobs=jobs,
+    )
+    paths.append(export_dynamic(dynamic_rows, directory))
     return paths

@@ -6,10 +6,21 @@
   improvements, workload summaries (the numbers the paper's figures plot).
 * :mod:`repro.metrics.timeline` — periodic sampling of bus utilisation and
   running sets over simulated time.
+* :mod:`repro.metrics.queueing` — steady-state open-system metrics
+  (response time, bounded slowdown, batch-means confidence intervals) for
+  dynamic-arrival runs driven by :mod:`repro.dynamic`.
 """
 
 from .accounting import AppResult, RunResult, collect_run_result
 from .gantt import GanttChart, render_gantt
+from .queueing import (
+    DynamicStats,
+    JobRecord,
+    QueueingSummary,
+    batch_means_ci,
+    bounded_slowdown,
+    summarize_queueing,
+)
 from .stats import (
     geometric_mean,
     improvement_percent,
@@ -30,4 +41,10 @@ __all__ = [
     "TimelinePoint",
     "GanttChart",
     "render_gantt",
+    "DynamicStats",
+    "JobRecord",
+    "QueueingSummary",
+    "batch_means_ci",
+    "bounded_slowdown",
+    "summarize_queueing",
 ]

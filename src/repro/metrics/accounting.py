@@ -14,6 +14,7 @@ from typing import TYPE_CHECKING
 if TYPE_CHECKING:  # pragma: no cover
     from ..hw.machine import Machine
     from ..workloads.base import Application
+    from .queueing import DynamicStats
 
 __all__ = ["AppResult", "RunResult", "collect_run_result"]
 
@@ -94,6 +95,12 @@ class RunResult:
     profile:
         Per-phase wall-clock profile (``Machine.profile_snapshot``) when
         the run was profiled, else ``None``.
+    dynamic:
+        Open-system observations (:class:`repro.metrics.queueing.
+        DynamicStats`) when the run had a dynamic workload attached
+        (``SimulationSpec.dynamic``), else ``None``. Unlike the solver
+        counters, these are *results* — deterministic functions of the
+        spec and seed — so they participate in equality.
 
     All solver counters and the profile are *observability*, not physics:
     they vary with cache warmth and solver mode while the simulated
@@ -114,6 +121,7 @@ class RunResult:
     bus_shared_hits: int = field(default=0, compare=False)
     bus_warm_starts: int = field(default=0, compare=False)
     profile: dict[str, float] | None = field(default=None, compare=False)
+    dynamic: "DynamicStats | None" = None
 
     @property
     def workload_rate_txus(self) -> float:

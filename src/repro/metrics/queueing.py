@@ -1,0 +1,343 @@
+"""Steady-state queueing metrics for open-system (dynamic-arrival) runs.
+
+The paper evaluates its CPU manager as a *closed* batch: a fixed
+multiprogramming degree, turnaround measured per workload. Scheduler
+evaluations beyond the paper judge policies under sustained job streams
+with response-time and slowdown metrics (Sliwko, arXiv:2511.01860;
+Feitelson's bounded slowdown). This module holds the *measurement* side of
+that open-system capability; the load-generation side lives in
+:mod:`repro.dynamic`.
+
+Contents:
+
+* :class:`JobRecord` — one job's lifecycle timestamps (arrival, admission,
+  completion) plus its nominal solo service time.
+* :class:`DynamicStats` — everything the open-system driver observed in a
+  run: job records, queue-length time-average, admission drops, starvation
+  watchdog extrema, bus-utilisation time-average. It is a frozen,
+  picklable value object that participates in equality — two runs of the
+  same seed must produce *identical* stats, which the determinism property
+  tests assert.
+* :func:`batch_means_ci` — confidence intervals via the method of batch
+  means (the standard steady-state output-analysis technique: consecutive
+  observations are grouped into batches whose means are approximately
+  independent).
+* :func:`summarize_queueing` — warmup truncation + derived metrics
+  (response time, bounded slowdown, throughput, drop fraction) with CIs.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Sequence
+
+__all__ = [
+    "JobRecord",
+    "DynamicStats",
+    "QueueingSummary",
+    "batch_means_ci",
+    "bounded_slowdown",
+    "summarize_queueing",
+]
+
+
+@dataclass(frozen=True)
+class JobRecord:
+    """Lifecycle of one dynamically-arrived job.
+
+    Attributes
+    ----------
+    index:
+        Position in the arrival schedule (0-based).
+    name:
+        Application spec name the job instantiated.
+    arrival_us:
+        When the job arrived at the admission queue.
+    admit_us:
+        When it was admitted (launched and connected), or ``None`` if it
+        was dropped by admission control.
+    completion_us:
+        When its last thread finished, or ``None`` (dropped, or still in
+        service at harness stop — which the driver treats as an error for
+        finite schedules).
+    nominal_service_us:
+        The job's solo execution time on an unloaded machine (its spec's
+        per-thread work; threads run in parallel when dedicated), the
+        denominator of the slowdown metric.
+    app_id:
+        Instance id assigned at admission (``None`` for dropped jobs).
+    """
+
+    index: int
+    name: str
+    arrival_us: float
+    admit_us: float | None
+    completion_us: float | None
+    nominal_service_us: float
+    app_id: int | None
+
+    @property
+    def dropped(self) -> bool:
+        """Whether admission control rejected the job."""
+        return self.admit_us is None
+
+    @property
+    def response_us(self) -> float | None:
+        """Arrival → completion (queue wait + service), or ``None``."""
+        if self.completion_us is None:
+            return None
+        return self.completion_us - self.arrival_us
+
+    @property
+    def wait_us(self) -> float | None:
+        """Arrival → admission queueing delay, or ``None`` if dropped."""
+        if self.admit_us is None:
+            return None
+        return self.admit_us - self.arrival_us
+
+
+@dataclass(frozen=True)
+class DynamicStats:
+    """Raw open-system observations of one run (see the module docstring).
+
+    All fields are deterministic functions of the spec + seed, so the
+    dataclass participates in equality: the serial-vs-parallel property
+    tests compare these bit-for-bit.
+
+    Attributes
+    ----------
+    jobs:
+        One record per scheduled arrival, in arrival order.
+    queue_len_time_avg:
+        Time-average of the admission queue length over the run.
+    max_queue_len:
+        Peak admission queue length.
+    dropped:
+        Jobs rejected because the queue was at capacity.
+    max_starvation_age_us:
+        Largest observed time any admitted, unfinished job went without
+        making CPU progress (the no-starvation watchdog's measurement).
+    starvation_bound_us:
+        The largest bound the watchdog applied during the run (it scales
+        with the number of co-resident jobs).
+    starvation_violations:
+        Polls at which some job's age exceeded the bound. The paper's
+        head-first circular-list rotation guarantees this stays zero.
+    utilization_time_avg:
+        Mean bus utilisation sampled at the driver's poll cadence.
+    saturated_fraction:
+        Fraction of poll samples with bus utilisation at or above the
+        saturation threshold — the bandwidth-regulation quality signal
+        (lower is better at equal throughput).
+    horizon_us:
+        Simulated time when the stats were collected (run end).
+    """
+
+    jobs: tuple[JobRecord, ...]
+    queue_len_time_avg: float
+    max_queue_len: int
+    dropped: int
+    max_starvation_age_us: float
+    starvation_bound_us: float
+    starvation_violations: int
+    utilization_time_avg: float
+    saturated_fraction: float
+    horizon_us: float
+
+    @property
+    def completed(self) -> list[JobRecord]:
+        """Completed jobs in completion order."""
+        done = [j for j in self.jobs if j.completion_us is not None]
+        return sorted(done, key=lambda j: (j.completion_us, j.index))
+
+    @property
+    def n_completed(self) -> int:
+        """Number of jobs that ran to completion."""
+        return sum(1 for j in self.jobs if j.completion_us is not None)
+
+
+def _t_critical(df: int, confidence: float) -> float:
+    """Two-sided Student-t critical value (scipy when present, else normal).
+
+    The container bakes scipy in; the normal fallback keeps the module
+    importable without it (slightly narrow CIs at tiny batch counts).
+    """
+    try:
+        from scipy import stats  # type: ignore
+
+        return float(stats.t.ppf(0.5 + confidence / 2.0, df))
+    except Exception:  # pragma: no cover - scipy is normally available
+        from statistics import NormalDist
+
+        return float(NormalDist().inv_cdf(0.5 + confidence / 2.0))
+
+
+def batch_means_ci(
+    values: Sequence[float],
+    n_batches: int = 10,
+    confidence: float = 0.95,
+) -> tuple[float, float]:
+    """Mean and CI half-width of ``values`` by the method of batch means.
+
+    Consecutive observations are grouped into ``n_batches`` equal batches
+    (order matters: batching whitens the autocorrelation of steady-state
+    output series); the CI is a Student-t interval over the batch means.
+    With fewer than four observations (or fewer than two batches) the
+    half-width is ``nan`` — a mean of so few correlated samples has no
+    defensible error bar.
+
+    >>> mean, hw = batch_means_ci([1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0], n_batches=4)
+    >>> round(mean, 3)
+    1.5
+    """
+    if not 0.0 < confidence < 1.0:
+        raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+    if n_batches < 2:
+        raise ValueError(f"need at least 2 batches, got {n_batches}")
+    vals = [float(v) for v in values]
+    if not vals:
+        raise ValueError("no observations")
+    mean = sum(vals) / len(vals)
+    k = min(n_batches, len(vals) // 2)
+    if len(vals) < 4 or k < 2:
+        return (mean, math.nan)
+    base, extra = divmod(len(vals), k)
+    means = []
+    start = 0
+    for b in range(k):
+        size = base + (1 if b < extra else 0)
+        batch = vals[start : start + size]
+        start += size
+        means.append(sum(batch) / len(batch))
+    grand = sum(means) / k
+    var = sum((m - grand) ** 2 for m in means) / (k - 1)
+    half = _t_critical(k - 1, confidence) * math.sqrt(var / k)
+    return (mean, half)
+
+
+def bounded_slowdown(response_us: float, service_us: float, tau_us: float = 0.0) -> float:
+    """Bounded slowdown: ``response / max(service, tau)``, floored at 1.
+
+    ``tau`` keeps very short jobs from dominating the average (a 1 ms job
+    delayed by one quantum would otherwise report a slowdown of hundreds);
+    ``tau = 0`` reduces to the plain slowdown ratio.
+
+    >>> bounded_slowdown(300.0, 100.0)
+    3.0
+    >>> bounded_slowdown(300.0, 10.0, tau_us=100.0)
+    3.0
+    """
+    if service_us <= 0:
+        raise ValueError(f"service time must be positive, got {service_us}")
+    if response_us < 0:
+        raise ValueError("negative response time")
+    return max(1.0, response_us / max(service_us, tau_us))
+
+
+@dataclass(frozen=True)
+class QueueingSummary:
+    """Derived steady-state metrics of one open-system run.
+
+    Attributes
+    ----------
+    n_jobs / n_completed / n_dropped:
+        Schedule size, completions, admission drops.
+    drop_fraction:
+        ``n_dropped / n_jobs``.
+    mean_response_us / response_ci_us:
+        Mean response time (arrival → completion) over the post-warmup
+        completions, with its batch-means CI half-width (``nan`` when too
+        few observations).
+    mean_slowdown / slowdown_ci:
+        Mean bounded slowdown and its CI half-width.
+    mean_wait_us:
+        Mean admission-queue delay of post-warmup completions.
+    throughput_jobs_per_s:
+        Post-warmup completions per simulated second.
+    queue_len_time_avg / utilization_time_avg / saturated_fraction:
+        Copied from :class:`DynamicStats` (whole-run time averages).
+    max_starvation_age_us / starvation_bound_us / starvation_ok:
+        Watchdog extrema; ``starvation_ok`` is the no-starvation verdict.
+    """
+
+    n_jobs: int
+    n_completed: int
+    n_dropped: int
+    drop_fraction: float
+    mean_response_us: float
+    response_ci_us: float
+    mean_slowdown: float
+    slowdown_ci: float
+    mean_wait_us: float
+    throughput_jobs_per_s: float
+    queue_len_time_avg: float
+    utilization_time_avg: float
+    saturated_fraction: float
+    max_starvation_age_us: float
+    starvation_bound_us: float
+    starvation_ok: bool
+
+
+def summarize_queueing(
+    stats: DynamicStats,
+    warmup_jobs: int = 0,
+    n_batches: int = 10,
+    confidence: float = 0.95,
+    tau_us: float = 0.0,
+) -> QueueingSummary:
+    """Reduce raw open-system observations to steady-state metrics.
+
+    ``warmup_jobs`` completions are discarded (in completion order) before
+    averaging — the standard truncation that removes the empty-system
+    transient. Queue-length and utilisation averages are whole-run (they
+    are already time averages and converge regardless).
+
+    Raises
+    ------
+    ValueError
+        If no job completed after warmup (nothing to summarize).
+    """
+    if warmup_jobs < 0:
+        raise ValueError(f"warmup_jobs must be >= 0, got {warmup_jobs}")
+    done = stats.completed
+    kept = done[warmup_jobs:]
+    if not kept:
+        raise ValueError(
+            f"no completions left after warmup ({len(done)} completed, "
+            f"warmup_jobs={warmup_jobs})"
+        )
+    responses = [j.response_us for j in kept]
+    slowdowns = [
+        bounded_slowdown(j.response_us, j.nominal_service_us, tau_us) for j in kept
+    ]
+    waits = [j.wait_us for j in kept]
+    mean_resp, resp_ci = batch_means_ci(responses, n_batches, confidence)
+    mean_slow, slow_ci = batch_means_ci(slowdowns, n_batches, confidence)
+    first = kept[0].completion_us
+    last = kept[-1].completion_us
+    span_us = last - first
+    # Rate over the post-warmup completion window; a single completion has
+    # no window, fall back to the whole horizon.
+    if span_us > 0 and len(kept) > 1:
+        throughput = (len(kept) - 1) / span_us * 1e6
+    else:
+        throughput = len(kept) / stats.horizon_us * 1e6 if stats.horizon_us > 0 else 0.0
+    return QueueingSummary(
+        n_jobs=len(stats.jobs),
+        n_completed=stats.n_completed,
+        n_dropped=stats.dropped,
+        drop_fraction=stats.dropped / len(stats.jobs) if stats.jobs else 0.0,
+        mean_response_us=mean_resp,
+        response_ci_us=resp_ci,
+        mean_slowdown=mean_slow,
+        slowdown_ci=slow_ci,
+        mean_wait_us=sum(waits) / len(waits),
+        throughput_jobs_per_s=throughput,
+        queue_len_time_avg=stats.queue_len_time_avg,
+        utilization_time_avg=stats.utilization_time_avg,
+        saturated_fraction=stats.saturated_fraction,
+        max_starvation_age_us=stats.max_starvation_age_us,
+        starvation_bound_us=stats.starvation_bound_us,
+        starvation_ok=stats.starvation_violations == 0,
+    )

@@ -1,0 +1,140 @@
+"""Arrival-process tests: determinism, distributions, trace round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.dynamic import MMPPBurstyArrivals, PoissonArrivals, TraceArrivals
+from repro.errors import ConfigError
+from repro.rng import RngRegistry
+
+PROCESSES = [
+    PoissonArrivals(rate_per_s=3.0),
+    MMPPBurstyArrivals(rate_low_per_s=1.0, rate_high_per_s=8.0),
+    TraceArrivals(times_us=tuple(float(t) for t in range(0, 5_000_000, 250_000))),
+]
+
+
+class TestDeterminism:
+    @pytest.mark.parametrize("process", PROCESSES, ids=lambda p: type(p).__name__)
+    def test_fixed_seed_bit_identical(self, process):
+        """Same seed + same stream name → bit-identical schedules.
+
+        This is the property that makes serial and run_many execution
+        agree: every worker reconstructs the registry from the spec seed.
+        """
+        a = process.sample_times(RngRegistry(7).stream("dynamic.arrivals"), 20)
+        b = process.sample_times(RngRegistry(7).stream("dynamic.arrivals"), 20)
+        assert a == b
+
+    @pytest.mark.parametrize("process", PROCESSES[:2], ids=lambda p: type(p).__name__)
+    def test_different_seeds_differ(self, process):
+        a = process.sample_times(RngRegistry(7).stream("dynamic.arrivals"), 20)
+        b = process.sample_times(RngRegistry(8).stream("dynamic.arrivals"), 20)
+        assert a != b
+
+    @pytest.mark.parametrize("process", PROCESSES, ids=lambda p: type(p).__name__)
+    @pytest.mark.parametrize("seed", [1, 2, 3, 17])
+    def test_strictly_increasing_and_nonnegative(self, process, seed):
+        times = process.sample_times(np.random.default_rng(seed), 50)
+        assert all(t >= 0 for t in times)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+
+class TestPoisson:
+    def test_mean_gap_matches_rate(self):
+        proc = PoissonArrivals(rate_per_s=5.0)
+        times = proc.sample_times(np.random.default_rng(0), 4000)
+        mean_gap_us = times[-1] / len(times)
+        assert mean_gap_us == pytest.approx(1e6 / 5.0, rel=0.1)
+        assert proc.mean_rate_per_s == 5.0
+
+    def test_rejects_nonpositive_rate(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivals(rate_per_s=0.0)
+
+    def test_rejects_zero_jobs(self):
+        with pytest.raises(ConfigError):
+            PoissonArrivals(rate_per_s=1.0).sample_times(np.random.default_rng(0), 0)
+
+
+class TestMMPP:
+    def test_mean_rate_is_dwell_weighted(self):
+        proc = MMPPBurstyArrivals(
+            rate_low_per_s=1.0, rate_high_per_s=9.0, mean_low_s=3.0, mean_high_s=1.0
+        )
+        assert proc.mean_rate_per_s == pytest.approx((1.0 * 3 + 9.0 * 1) / 4)
+
+    def test_long_run_rate_converges(self):
+        proc = MMPPBurstyArrivals(rate_low_per_s=2.0, rate_high_per_s=8.0)
+        times = proc.sample_times(np.random.default_rng(1), 6000)
+        empirical = len(times) / (times[-1] / 1e6)
+        assert empirical == pytest.approx(proc.mean_rate_per_s, rel=0.15)
+
+    def test_burstier_than_poisson(self):
+        """The squared coefficient of variation of gaps must exceed 1."""
+        proc = MMPPBurstyArrivals(rate_low_per_s=0.5, rate_high_per_s=20.0)
+        times = np.asarray(proc.sample_times(np.random.default_rng(2), 6000))
+        gaps = np.diff(times)
+        cv2 = gaps.var() / gaps.mean() ** 2
+        assert cv2 > 1.2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            MMPPBurstyArrivals(rate_low_per_s=5.0, rate_high_per_s=1.0)
+        with pytest.raises(ConfigError):
+            MMPPBurstyArrivals(rate_low_per_s=1.0, rate_high_per_s=2.0, mean_low_s=0.0)
+
+
+class TestTrace:
+    def test_replays_exactly(self):
+        trace = TraceArrivals(times_us=(10.0, 20.5, 99.0))
+        assert trace.sample_times(np.random.default_rng(0), 3) == [10.0, 20.5, 99.0]
+
+    def test_shorter_trace_bounds_stream(self):
+        trace = TraceArrivals(times_us=(10.0, 20.0))
+        assert len(trace.sample_times(np.random.default_rng(0), 50)) == 2
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            TraceArrivals(times_us=())
+        with pytest.raises(ConfigError):
+            TraceArrivals(times_us=(5.0, 5.0))
+        with pytest.raises(ConfigError):
+            TraceArrivals(times_us=(-1.0, 5.0))
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_json_round_trip_lossless(self, tmp_path, seed):
+        """Any sampled schedule survives the JSON format bit-for-bit."""
+        times = PoissonArrivals(rate_per_s=2.0).sample_times(
+            np.random.default_rng(seed), 40
+        )
+        trace = TraceArrivals(times_us=tuple(times))
+        path = trace.to_json(str(tmp_path / f"trace{seed}.json"))
+        assert TraceArrivals.from_json(path) == trace
+
+    @pytest.mark.parametrize("seed", range(5))
+    def test_csv_round_trip_lossless(self, tmp_path, seed):
+        times = MMPPBurstyArrivals(rate_low_per_s=1.0, rate_high_per_s=7.0).sample_times(
+            np.random.default_rng(seed), 40
+        )
+        trace = TraceArrivals(times_us=tuple(times))
+        path = trace.to_csv(str(tmp_path / f"trace{seed}.csv"))
+        assert TraceArrivals.from_csv(path) == trace
+
+    def test_bad_files_rejected(self, tmp_path):
+        p = tmp_path / "bad.json"
+        p.write_text('{"nope": []}')
+        with pytest.raises(ConfigError):
+            TraceArrivals.from_json(str(p))
+        q = tmp_path / "bad.csv"
+        q.write_text("wrong_header\n1.0\n")
+        with pytest.raises(ConfigError):
+            TraceArrivals.from_csv(str(q))
+        r = tmp_path / "badval.csv"
+        r.write_text("arrival_us\nnot-a-number\n")
+        with pytest.raises(ConfigError):
+            TraceArrivals.from_csv(str(r))
+
+    def test_mean_rate(self):
+        trace = TraceArrivals(times_us=(0.0, 1e6, 2e6))
+        assert trace.mean_rate_per_s == pytest.approx(1.0)

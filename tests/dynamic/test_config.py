@@ -1,0 +1,97 @@
+"""Validation tests for the dynamic-workload configuration objects."""
+
+import pytest
+
+from repro.dynamic import DynamicWorkload, JobMix, PoissonArrivals, paper_mix
+from repro.errors import ConfigError
+from repro.rng import RngRegistry
+from repro.workloads.suites import paper_app
+
+
+def _workload(**overrides):
+    defaults = dict(
+        arrivals=PoissonArrivals(rate_per_s=1.0),
+        mix=paper_mix(work_scale=0.1),
+    )
+    defaults.update(overrides)
+    return DynamicWorkload(**defaults)
+
+
+class TestJobMix:
+    def test_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            JobMix(entries=())
+
+    def test_rejects_bad_weight(self):
+        with pytest.raises(ConfigError):
+            JobMix(entries=((paper_app("CG"), 0.0),))
+
+    def test_rejects_non_spec(self):
+        with pytest.raises(ConfigError):
+            JobMix(entries=(("CG", 1.0),))
+
+    def test_sampling_is_weight_proportional(self):
+        mix = JobMix(entries=((paper_app("CG"), 3.0), (paper_app("SP"), 1.0)))
+        rng = RngRegistry(3).stream("dynamic.mix")
+        names = [mix.sample(rng).name for _ in range(4000)]
+        assert names.count("CG") / len(names) == pytest.approx(0.75, abs=0.05)
+
+    def test_sampling_deterministic(self):
+        mix = paper_mix()
+        a = [mix.sample(RngRegistry(5).stream("dynamic.mix")) for _ in range(1)]
+        b = [mix.sample(RngRegistry(5).stream("dynamic.mix")) for _ in range(1)]
+        assert [s.name for s in a] == [s.name for s in b]
+
+    def test_mean_nominal_service(self):
+        mix = JobMix(entries=((paper_app("CG"), 1.0), (paper_app("SP"), 1.0)))
+        expected = (
+            paper_app("CG").work_per_thread_us + paper_app("SP").work_per_thread_us
+        ) / 2
+        assert mix.mean_nominal_service_us() == pytest.approx(expected)
+
+    def test_paper_mix_rejects_empty(self):
+        with pytest.raises(ConfigError):
+            paper_mix(names=[])
+
+
+class TestDynamicWorkloadValidation:
+    def test_defaults_valid(self):
+        wl = _workload()
+        assert wl.n_jobs == 30
+        assert wl.queue_capacity is None
+
+    @pytest.mark.parametrize(
+        "overrides",
+        [
+            dict(n_jobs=0),
+            dict(max_in_service=0),
+            dict(queue_capacity=-1),
+            dict(poll_period_us=0.0),
+            dict(watchdog_factor=0.0),
+            dict(warmup_frac=1.0),
+            dict(warmup_frac=-0.1),
+            dict(slowdown_tau_us=-1.0),
+            dict(saturation_threshold=0.0),
+            dict(saturation_threshold=1.5),
+        ],
+        ids=lambda o: next(iter(o.items()))[0] + "=" + str(next(iter(o.items()))[1]),
+    )
+    def test_bad_knobs_raise_config_error(self, overrides):
+        with pytest.raises(ConfigError):
+            _workload(**overrides)
+
+    def test_rejects_wrong_types(self):
+        with pytest.raises(ConfigError):
+            DynamicWorkload(arrivals="poisson", mix=paper_mix())
+        with pytest.raises(ConfigError):
+            DynamicWorkload(arrivals=PoissonArrivals(rate_per_s=1.0), mix="mix")
+
+    def test_warmup_jobs(self):
+        assert _workload(n_jobs=30, warmup_frac=0.1).warmup_jobs() == 3
+        assert _workload(n_jobs=5, warmup_frac=0.0).warmup_jobs() == 0
+
+    def test_starvation_bound_scales_with_load(self):
+        wl = _workload(watchdog_factor=4.0)
+        assert wl.starvation_bound_us(200_000.0, 3) == pytest.approx(2_400_000.0)
+        # At least one rotation slot even with nothing co-resident.
+        assert wl.starvation_bound_us(200_000.0, 0) == pytest.approx(800_000.0)

@@ -1,0 +1,141 @@
+"""Open-system driver tests: admission, lifecycle, drops, watchdog."""
+
+import pytest
+
+from repro.core.policies import LatestQuantumPolicy
+from repro.dynamic import (
+    DynamicWorkload,
+    PoissonArrivals,
+    TraceArrivals,
+    paper_mix,
+)
+from repro.errors import ConfigError
+from repro.experiments.base import SimulationSpec, run_simulation, run_simulation_with_handle
+
+
+def _spec(workload, scheduler="linux", seed=7, **kw):
+    return SimulationSpec(targets=[], scheduler=scheduler, dynamic=workload, seed=seed, **kw)
+
+
+def _workload(**overrides):
+    defaults = dict(
+        arrivals=PoissonArrivals(rate_per_s=3.0),
+        mix=paper_mix(work_scale=0.05),
+        n_jobs=8,
+        max_in_service=3,
+    )
+    defaults.update(overrides)
+    return DynamicWorkload(**defaults)
+
+
+class TestLifecycle:
+    def test_all_jobs_complete(self):
+        result = run_simulation(_spec(_workload()))
+        d = result.dynamic
+        assert d is not None
+        assert d.n_completed == 8
+        assert d.dropped == 0
+
+    def test_records_are_consistent(self):
+        d = run_simulation(_spec(_workload())).dynamic
+        app_ids = [j.app_id for j in d.jobs]
+        assert len(set(app_ids)) == len(app_ids)
+        for job in d.jobs:
+            assert job.admit_us >= job.arrival_us
+            assert job.completion_us > job.admit_us
+            assert job.response_us > 0
+            assert job.wait_us >= 0
+
+    def test_under_manager_policy(self):
+        result = run_simulation(_spec(_workload(), scheduler=LatestQuantumPolicy()))
+        d = result.dynamic
+        assert d.n_completed == 8
+        assert d.starvation_violations == 0
+
+    def test_manager_state_clean_after_churn(self):
+        """Every dynamic app must be fully released from the manager."""
+        spec = _spec(_workload(), scheduler=LatestQuantumPolicy())
+        result, handle = run_simulation_with_handle(spec)
+        manager = handle.manager
+        assert manager.arena.connected() == []
+        assert manager._boundary_samples == {}
+        assert manager._selected == set()
+        for app in handle.dynamic.launched_apps:
+            # Descriptors survive disconnection (post-run inspection), but
+            # leave the circular list.
+            assert not manager.arena.descriptor(app.app_id).connected
+            for tid in app.tids:
+                assert manager.signals.received_counts(tid) == (0, 0)
+
+    def test_dynamic_apps_in_accounting(self):
+        result, handle = run_simulation_with_handle(_spec(_workload()))
+        names = [a.name for a in result.apps]
+        assert len(names) == len(handle.dynamic.launched_apps)
+        assert result.dynamic.jobs[0].name in names
+
+
+class TestAdmission:
+    def test_max_in_service_respected(self):
+        """At no instant are more than max_in_service jobs in service."""
+        d = run_simulation(_spec(_workload(max_in_service=1, n_jobs=5))).dynamic
+        intervals = sorted((j.admit_us, j.completion_us) for j in d.jobs)
+        for (a1, c1), (a2, _) in zip(intervals, intervals[1:]):
+            assert a2 >= c1  # serialized service
+
+    def test_queue_builds_under_burst(self):
+        burst = TraceArrivals(times_us=(100.0, 200.0, 300.0, 400.0))
+        wl = _workload(arrivals=burst, n_jobs=4, max_in_service=1)
+        d = run_simulation(_spec(wl)).dynamic
+        assert d.max_queue_len == 3
+        assert d.queue_len_time_avg > 0
+        # FIFO: admission order follows arrival order.
+        admits = [j.admit_us for j in d.jobs]
+        assert admits == sorted(admits)
+
+    def test_bounded_queue_drops(self):
+        burst = TraceArrivals(times_us=(100.0, 200.0, 300.0, 400.0, 500.0))
+        wl = _workload(arrivals=burst, n_jobs=5, max_in_service=1, queue_capacity=1)
+        d = run_simulation(_spec(wl)).dynamic
+        assert d.dropped == 3
+        dropped = [j for j in d.jobs if j.dropped]
+        assert len(dropped) == 3
+        assert all(j.admit_us is None and j.completion_us is None for j in dropped)
+        assert d.n_completed == 2
+
+    def test_zero_capacity_queue(self):
+        burst = TraceArrivals(times_us=(100.0, 200.0))
+        wl = _workload(arrivals=burst, n_jobs=2, max_in_service=1, queue_capacity=0)
+        d = run_simulation(_spec(wl)).dynamic
+        assert d.dropped == 1
+        assert d.n_completed == 1
+
+
+class TestWatchdog:
+    def test_no_starvation_in_strict_mode(self):
+        """The paper's rotation guarantee: strict watchdog never trips."""
+        wl = _workload(watchdog_strict=True, n_jobs=10, max_in_service=4)
+        d = run_simulation(_spec(wl, scheduler=LatestQuantumPolicy())).dynamic
+        assert d.starvation_violations == 0
+        assert d.max_starvation_age_us <= d.starvation_bound_us
+
+    def test_bound_recorded(self):
+        d = run_simulation(_spec(_workload())).dynamic
+        assert d.starvation_bound_us > 0
+        assert d.utilization_time_avg >= 0
+        assert 0.0 <= d.saturated_fraction <= 1.0
+
+
+class TestSpecValidation:
+    def test_static_schedulers_reject_dynamic(self):
+        with pytest.raises(ConfigError):
+            run_simulation(_spec(_workload(), scheduler="dedicated"))
+
+    def test_empty_spec_still_rejected(self):
+        with pytest.raises(ConfigError):
+            run_simulation(SimulationSpec(targets=[]))
+
+    def test_too_wide_template_rejected(self):
+        from repro.config import MachineConfig
+
+        with pytest.raises(ConfigError):
+            run_simulation(_spec(_workload(), machine=MachineConfig(n_cpus=1)))

@@ -1,0 +1,172 @@
+"""DYN-1 harness tests: sweep structure, determinism, CLI, export."""
+
+import pytest
+
+from repro.dynamic import TraceArrivals
+from repro.errors import ConfigError
+from repro.experiments.dynamic import (
+    DYNAMIC_POLICIES,
+    format_dynamic,
+    make_arrivals,
+    run_dynamic_sweep,
+)
+
+SWEEP_KW = dict(rates_per_s=[3.0], n_jobs=6, replications=2, seed=7, work_scale=0.05)
+
+
+@pytest.fixture(scope="module")
+def sweep_rows():
+    return run_dynamic_sweep(**SWEEP_KW)
+
+
+class TestSweep:
+    def test_grid_shape(self, sweep_rows):
+        assert len(sweep_rows) == len(DYNAMIC_POLICIES)
+        assert {r.policy for r in sweep_rows} == set(DYNAMIC_POLICIES)
+        assert all(len(r.summaries) == 2 for r in sweep_rows)
+
+    def test_all_points_complete_without_starvation(self, sweep_rows):
+        for row in sweep_rows:
+            assert row.starvation_ok
+            for s in row.summaries:
+                assert s.n_completed == 6
+                assert s.n_dropped == 0
+
+    def test_metrics_sane(self, sweep_rows):
+        for row in sweep_rows:
+            assert row.mean_response_us > 0
+            assert row.mean_slowdown >= 1.0
+            assert row.throughput_jobs_per_s > 0
+            assert 0.0 <= row.saturated_fraction <= 1.0
+
+    def test_serial_parallel_identical(self, sweep_rows):
+        """The whole sweep — including DynamicStats — is worker-invariant."""
+        parallel = run_dynamic_sweep(jobs=2, **SWEEP_KW)
+        assert parallel == sweep_rows
+
+    def test_format(self, sweep_rows):
+        text = format_dynamic(sweep_rows)
+        assert "DYN-1" in text
+        assert "latest_quantum" in text
+        assert "ok" in text
+        with pytest.raises(ConfigError):
+            format_dynamic([])
+
+    def test_unknown_policy_rejected(self):
+        with pytest.raises(ConfigError):
+            run_dynamic_sweep(policies=["fifo"], **SWEEP_KW)
+
+    def test_zero_replications_rejected(self):
+        kw = dict(SWEEP_KW)
+        kw["replications"] = 0
+        with pytest.raises(ConfigError):
+            run_dynamic_sweep(**kw)
+
+
+class TestRunDeterminism:
+    def test_acceptance_run_bit_identical(self):
+        """`repro dynamic --policy latest_quantum --arrival poisson --seed 7`
+        must reproduce bit-identically run to run."""
+        kw = dict(
+            policies=["latest_quantum"],
+            rates_per_s=[2.0],
+            n_jobs=6,
+            replications=1,
+            seed=7,
+            work_scale=0.05,
+        )
+        assert run_dynamic_sweep(**kw) == run_dynamic_sweep(**kw)
+
+    def test_seed_changes_results(self):
+        kw = dict(SWEEP_KW, policies=["linux"])
+        a = run_dynamic_sweep(**kw)
+        b = run_dynamic_sweep(**{**kw, "seed": 8})
+        assert a != b
+
+
+class TestArrivalFactory:
+    def test_poisson(self):
+        assert make_arrivals("poisson", 2.0).mean_rate_per_s == 2.0
+
+    def test_mmpp_mean_rate_exact(self):
+        proc = make_arrivals("mmpp", 2.0)
+        assert proc.mean_rate_per_s == pytest.approx(2.0)
+
+    def test_unknown_kind(self):
+        with pytest.raises(ConfigError):
+            make_arrivals("uniform", 1.0)
+        with pytest.raises(ConfigError):
+            make_arrivals("poisson", -1.0)
+
+    def test_trace_sweep(self):
+        trace = TraceArrivals(times_us=tuple(float(t) for t in range(10_000, 60_000, 10_000)))
+        rows = run_dynamic_sweep(
+            policies=["linux"],
+            arrivals=trace,
+            n_jobs=5,
+            replications=1,
+            seed=7,
+            work_scale=0.05,
+        )
+        assert len(rows) == 1
+        assert rows[0].rate_per_s == pytest.approx(trace.mean_rate_per_s)
+        assert rows[0].summaries[0].n_completed == 5
+
+
+class TestCli:
+    def test_dynamic_subcommand(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            [
+                "dynamic",
+                "--policy", "latest_quantum",
+                "--arrival", "poisson",
+                "--rate", "3.0",
+                "--seed", "7",
+                "--scale", "0.05",
+                "--num-jobs", "5",
+                "--replications", "1",
+            ]
+        )
+        out = capsys.readouterr().out
+        assert code == 0
+        assert "DYN-1" in out
+        assert "latest_quantum" in out
+
+    def test_trace_file_flag(self, tmp_path, capsys):
+        from repro.cli import main
+
+        trace = TraceArrivals(times_us=(10_000.0, 30_000.0, 80_000.0))
+        path = trace.to_json(str(tmp_path / "trace.json"))
+        code = main(
+            [
+                "dynamic",
+                "--policy", "linux",
+                "--arrival", "trace",
+                "--trace-file", path,
+                "--seed", "7",
+                "--scale", "0.05",
+                "--replications", "1",
+            ]
+        )
+        assert code == 0
+        assert "DYN-1" in capsys.readouterr().out
+
+    def test_rate_and_rates_exclusive(self):
+        from repro.cli import main
+
+        with pytest.raises(ConfigError):
+            main(["dynamic", "--rate", "1.0", "--rates", "1.0,2.0"])
+
+
+class TestExport:
+    def test_export_dynamic_csv(self, tmp_path, sweep_rows):
+        from repro.experiments.export import export_dynamic
+
+        path = export_dynamic(sweep_rows, str(tmp_path))
+        with open(path) as fh:
+            lines = fh.read().strip().splitlines()
+        assert lines[0].startswith("policy,rate_per_s,mean_response_us")
+        assert len(lines) == 1 + len(sweep_rows)
+        assert lines[1].split(",")[-1] == "1"  # starvation_ok

@@ -25,6 +25,7 @@ class TestExportAll:
             "fig2b.csv",
             "fig2c.csv",
             "table1.csv",
+            "dynamic.csv",
         }
 
     def test_csv_headers_and_rows(self, exported):

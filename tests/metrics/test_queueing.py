@@ -1,0 +1,146 @@
+"""Queueing-metrics tests: CIs, bounded slowdown, warmup truncation."""
+
+import math
+
+import pytest
+
+from repro.metrics.queueing import (
+    DynamicStats,
+    JobRecord,
+    batch_means_ci,
+    bounded_slowdown,
+    summarize_queueing,
+)
+
+
+def _job(index, arrival, admit, completion, service=100.0, name="CG"):
+    return JobRecord(
+        index=index,
+        name=name,
+        arrival_us=arrival,
+        admit_us=admit,
+        completion_us=completion,
+        nominal_service_us=service,
+        app_id=None if admit is None else index + 1,
+    )
+
+
+def _stats(jobs, dropped=0, violations=0):
+    horizon = max((j.completion_us for j in jobs if j.completion_us), default=1.0)
+    return DynamicStats(
+        jobs=tuple(jobs),
+        queue_len_time_avg=0.5,
+        max_queue_len=2,
+        dropped=dropped,
+        max_starvation_age_us=50.0,
+        starvation_bound_us=1000.0,
+        starvation_violations=violations,
+        utilization_time_avg=0.4,
+        saturated_fraction=0.1,
+        horizon_us=horizon,
+    )
+
+
+class TestBatchMeansCI:
+    def test_constant_series_zero_width(self):
+        mean, hw = batch_means_ci([5.0] * 40, n_batches=8)
+        assert mean == 5.0
+        assert hw == pytest.approx(0.0)
+
+    def test_mean_is_plain_average(self):
+        values = [float(i) for i in range(1, 21)]
+        mean, hw = batch_means_ci(values, n_batches=5)
+        assert mean == pytest.approx(10.5)
+        assert hw > 0
+
+    def test_wider_spread_wider_ci(self):
+        tight = [10.0 + (i % 2) for i in range(40)]
+        loose = [10.0 + 10 * (i % 2) for i in range(40)]
+        _, hw_tight = batch_means_ci(tight, n_batches=8)
+        _, hw_loose = batch_means_ci(loose, n_batches=8)
+        assert hw_loose > hw_tight
+
+    def test_too_few_observations_nan_width(self):
+        mean, hw = batch_means_ci([1.0, 2.0, 3.0], n_batches=10)
+        assert mean == pytest.approx(2.0)
+        assert math.isnan(hw)
+
+    def test_uneven_batches_handled(self):
+        mean, hw = batch_means_ci([float(i) for i in range(23)], n_batches=5)
+        assert mean == pytest.approx(11.0)
+        assert math.isfinite(hw)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            batch_means_ci([], n_batches=4)
+        with pytest.raises(ValueError):
+            batch_means_ci([1.0], n_batches=1)
+        with pytest.raises(ValueError):
+            batch_means_ci([1.0], confidence=1.5)
+
+
+class TestBoundedSlowdown:
+    def test_plain_ratio(self):
+        assert bounded_slowdown(300.0, 100.0) == 3.0
+
+    def test_floored_at_one(self):
+        assert bounded_slowdown(50.0, 100.0) == 1.0
+
+    def test_tau_caps_short_jobs(self):
+        assert bounded_slowdown(300.0, 1.0, tau_us=100.0) == 3.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            bounded_slowdown(10.0, 0.0)
+        with pytest.raises(ValueError):
+            bounded_slowdown(-1.0, 10.0)
+
+
+class TestSummarize:
+    def test_basic_metrics(self):
+        jobs = [
+            _job(i, arrival=i * 100.0, admit=i * 100.0 + 10, completion=i * 100.0 + 210)
+            for i in range(10)
+        ]
+        s = summarize_queueing(_stats(jobs))
+        assert s.n_jobs == 10
+        assert s.n_completed == 10
+        assert s.mean_response_us == pytest.approx(210.0)
+        assert s.mean_wait_us == pytest.approx(10.0)
+        assert s.mean_slowdown == pytest.approx(2.1)
+        assert s.starvation_ok
+        # 9 completion gaps of 100 us each.
+        assert s.throughput_jobs_per_s == pytest.approx(9 / 900 * 1e6)
+
+    def test_warmup_truncation(self):
+        jobs = [
+            # Transient: the first completion, with an inflated response.
+            _job(0, arrival=0.0, admit=0.0, completion=250.0),
+        ] + [
+            _job(i, arrival=i * 100.0, admit=i * 100.0, completion=i * 100.0 + 200.0)
+            for i in range(1, 9)
+        ]
+        full = summarize_queueing(_stats(jobs), warmup_jobs=0)
+        trimmed = summarize_queueing(_stats(jobs), warmup_jobs=1)
+        assert trimmed.mean_response_us == pytest.approx(200.0)
+        assert full.mean_response_us > trimmed.mean_response_us
+
+    def test_dropped_jobs_counted_not_averaged(self):
+        jobs = [
+            _job(0, arrival=0.0, admit=5.0, completion=105.0),
+            _job(1, arrival=10.0, admit=None, completion=None),
+        ]
+        s = summarize_queueing(_stats(jobs, dropped=1))
+        assert s.n_dropped == 1
+        assert s.drop_fraction == pytest.approx(0.5)
+        assert s.mean_response_us == pytest.approx(105.0)
+
+    def test_everything_truncated_raises(self):
+        jobs = [_job(0, arrival=0.0, admit=0.0, completion=100.0)]
+        with pytest.raises(ValueError):
+            summarize_queueing(_stats(jobs), warmup_jobs=1)
+
+    def test_violations_flip_verdict(self):
+        jobs = [_job(0, arrival=0.0, admit=0.0, completion=100.0)]
+        s = summarize_queueing(_stats(jobs, violations=2))
+        assert not s.starvation_ok
