@@ -1,0 +1,51 @@
+"""Opt-in runtime invariant auditing (the correctness twin of profiling).
+
+Three activation paths:
+
+* per-spec — ``SimulationSpec(audit=True)`` audits that run only;
+* process-global — :func:`enable` (the CLI's ``--audit`` flag) audits
+  every subsequent run in this process; fork-based ``run_many`` workers
+  inherit the switch at fork time, and a violation raised inside a worker
+  propagates to the parent as a fully-contextualised
+  :class:`~repro.errors.AuditViolation`;
+* direct — construct an :class:`InvariantAuditor` and hook it up by hand
+  (what the audit self-tests do to inject synthetic faults).
+
+Audited runs carry their :class:`AuditReport` on ``RunResult.audit``. The
+report is observability, never physics: auditing on or off, simulated
+trajectories are bit-identical, and the field is excluded from
+``RunResult`` equality.
+"""
+
+from __future__ import annotations
+
+from .checks import AuditReport, InvariantAuditor
+from .oracle import reference_selection
+
+__all__ = [
+    "AuditReport",
+    "InvariantAuditor",
+    "reference_selection",
+    "enable",
+    "disable",
+    "enabled",
+]
+
+_enabled = False
+
+
+def enable() -> None:
+    """Turn on invariant auditing for every run in this process."""
+    global _enabled
+    _enabled = True
+
+
+def disable() -> None:
+    """Turn the process-global audit switch back off."""
+    global _enabled
+    _enabled = False
+
+
+def enabled() -> bool:
+    """Whether the process-global audit switch is on."""
+    return _enabled

@@ -97,6 +97,16 @@ def build_parser() -> argparse.ArgumentParser:
             "simulation results (see EXPERIMENTS.md)"
         ),
     )
+    parser.add_argument(
+        "--audit", action="store_true",
+        help=(
+            "run the invariant auditor alongside every simulation (bus "
+            "capacity, allocation, signal protocol, starvation bound, "
+            "accounting reconciliation; see repro.audit); a violation "
+            "aborts the run with an AuditViolation, and results are "
+            "bit-identical to an unaudited run"
+        ),
+    )
     return parser
 
 
@@ -331,6 +341,10 @@ def main(argv: list[str] | None = None) -> int:
         from . import profiling
 
         profiling.enable()
+    if args.audit:
+        from . import audit
+
+        audit.enable()
     start = time.time()
     runners = {
         "calibration": _run_calibration,
@@ -360,6 +374,9 @@ def main(argv: list[str] | None = None) -> int:
         runners[args.experiment](args)
     if args.profile:
         _print_profile()
+    if args.audit:
+        # Reaching this line means no run raised an AuditViolation.
+        print("[audit: all invariant checks passed]", file=sys.stderr)
     print(f"[done in {time.time() - start:.1f}s]", file=sys.stderr)
     return 0
 

@@ -27,6 +27,7 @@ labour as the paper's user-level implementation.
 
 from __future__ import annotations
 
+import math
 from typing import TYPE_CHECKING
 
 import numpy as np
@@ -40,11 +41,25 @@ from .policies import BandwidthPolicy, JobView
 from .signals import SignalDispatcher
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..audit.checks import InvariantAuditor
     from ..hw.machine import Machine
     from ..sched.base import KernelScheduler
     from ..workloads.base import Application
 
 __all__ = ["CpuManager"]
+
+
+def _clean_rate(rate: float) -> float | None:
+    """Sanitise a measured tx rate before it reaches an estimator.
+
+    Saturated or raced intervals can yield tiny negative deltas (the arena
+    tolerates a −1e-9 counter regression) and a pathological sampler could
+    produce NaN/inf; estimators must never see either. Non-finite rates
+    are dropped, negative ones clamped to zero.
+    """
+    if not math.isfinite(rate):
+        return None
+    return rate if rate > 0.0 else 0.0
 
 
 class CpuManager:
@@ -66,10 +81,12 @@ class CpuManager:
         config: ManagerConfig,
         policy: BandwidthPolicy,
         kernel: "KernelScheduler",
+        auditor: "InvariantAuditor | None" = None,
     ) -> None:
         self.config = config
         self.policy = policy
         self.kernel = kernel
+        self._auditor = auditor
         self._machine: "Machine | None" = None
         self._engine: Engine | None = None
         self.arena = SharedArena(sample_period_us=config.sample_period_us)
@@ -105,6 +122,10 @@ class CpuManager:
             handling_cost_lines=self.config.signal_cost_lines,
             protocol=self.config.signal_protocol,
         )
+        if self._auditor is not None:
+            self._auditor.install_manager(self)
+            auditor = self._auditor
+            self._signals.set_audit_hook(lambda tid: auditor.on_deliver(self, tid))
 
     @property
     def machine(self) -> "Machine":
@@ -132,6 +153,11 @@ class CpuManager:
         """Number of quantum boundaries processed."""
         return self._quanta
 
+    @property
+    def selected(self) -> frozenset[int]:
+        """The current selection *intent* (selected plus mid-quantum connects)."""
+        return frozenset(self._selected)
+
     def register_app(self, app: "Application") -> None:
         """Handle an application's connection message."""
         if app.n_threads > self.machine.n_cpus:
@@ -140,12 +166,21 @@ class CpuManager:
                 f"machine ({self.machine.n_cpus} CPUs); a gang policy can never run it"
             )
         desc = self.arena.connect(app.app_id, f"{app.name}#{app.app_id}", app.tids)
-        # Initial zero publication: the runtime library starts its counters
-        # at connect time, so quantum-rate deltas are well-defined.
-        zero = ArenaSample(time_us=self.machine.now, cum_transactions=0.0, cum_runtime_us=0.0)
-        desc.publish(zero)
-        self._boundary_samples[app.app_id] = zero
-        self._last_sample_seen[app.app_id] = zero
+        # Initial publication of the *current* counter snapshot: the runtime
+        # library starts accumulating at connect time, so quantum-rate
+        # deltas are measured from here. Fresh threads have zero counters,
+        # but an application id reconnecting after a disconnect must not
+        # fold its previous life's transactions into its first rate — that
+        # stale baseline would poison the estimator with a lifetime average.
+        snap = self.machine.counters.read_many(app.tids)
+        first = ArenaSample(
+            time_us=self.machine.now,
+            cum_transactions=snap.bus_transactions,
+            cum_runtime_us=snap.cycles_us,
+        )
+        desc.publish(first)
+        self._boundary_samples[app.app_id] = first
+        self._last_sample_seen[app.app_id] = first
         # A freshly connected application is unblocked (it has received no
         # signals), so the manager's intent set must include it: the first
         # boundary then sends *blocks* to the losers and no redundant
@@ -262,8 +297,12 @@ class CpuManager:
             if prev is not None:
                 rate = desc.rate_between(prev, sample)
                 if rate is not None:
+                    rate = _clean_rate(rate)
+                if rate is not None:
                     self.policy.on_sample(desc.app_id, rate, saturated=saturated)
             self._last_sample_seen[desc.app_id] = sample
+        if self._auditor is not None:
+            self._auditor.on_sample(self)
 
     # ------------------------------------------------------------------ quantum
 
@@ -294,6 +333,8 @@ class CpuManager:
                 continue
             if start is not None:
                 rate = desc.rate_between(start, latest)
+                if rate is not None:
+                    rate = _clean_rate(rate)
                 if rate is not None:
                     self.policy.on_quantum(desc.app_id, rate, saturated=saturated)
             self._boundary_samples[desc.app_id] = latest
@@ -342,6 +383,8 @@ class CpuManager:
             selected=sorted(new_selected),
             order=self.arena.list_order(),
         )
+        if self._auditor is not None:
+            self._auditor.on_quantum(self, jobs, selection)
 
         # 5. Next quantum.
         self._boundary_scheduled = True

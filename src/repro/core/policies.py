@@ -115,6 +115,11 @@ class BandwidthPolicy(ABC):
     #: Short name used in reports.
     name: str = "abstract"
 
+    #: Whether the audit oracle can replay this policy's selection from
+    #: (jobs, estimates, fitness) alone. Subclasses whose ``select`` is
+    #: stateful or randomised must set this False.
+    oracle_replayable: bool = True
+
     def __init__(
         self,
         bus_capacity_txus: float = 29.5,
@@ -345,6 +350,9 @@ class RandomGangPolicy(BandwidthPolicy):
     """Gang structure + head rule, but random fills (ablation baseline)."""
 
     name = "random-gang"
+
+    #: Scores consume the rng stream — replaying them would perturb it.
+    oracle_replayable = False
 
     def estimate(self, app_id: int) -> float | None:
         return None

@@ -81,6 +81,10 @@ class ModelDrivenPolicy(QuantaWindowPolicy):
 
     name = "model-driven"
 
+    #: Whole-set optimizer with deficit state mutated inside ``select`` —
+    #: intentionally diverges from the greedy fitness rule the oracle replays.
+    oracle_replayable = False
+
     def __init__(
         self,
         model: ContentionModel | None = None,

@@ -126,6 +126,17 @@ class SignalDispatcher:
         # Threads whose application disconnected: in-flight deliveries to
         # them are inert until a fresh send addresses them again.
         self._departed: set[int] = set()
+        # Optional audit hook invoked with each *applied* delivery's tid
+        # (after the departed/finished guards) — see repro.audit.
+        self._audit_deliver: Callable[[int], None] | None = None
+
+    def set_audit_hook(self, hook: Callable[[int], None] | None) -> None:
+        """Install (or clear) the audit callback for applied deliveries."""
+        self._audit_deliver = hook
+
+    def is_departed(self, tid: int) -> bool:
+        """Whether deliveries to ``tid`` are currently muted (departed)."""
+        return tid in self._departed
 
     @property
     def signals_sent(self) -> int:
@@ -211,6 +222,8 @@ class SignalDispatcher:
         thread = self._machine.thread(tid)
         if thread.finished:
             return  # signal raced with exit; harmless
+        if self._audit_deliver is not None:
+            self._audit_deliver(tid)
         if self._cost_lines > 0.0:
             # Handling the signal disturbs the thread's cache state a bit.
             self._machine.add_rebuild_debt(tid, self._cost_lines)

@@ -12,9 +12,25 @@ suggested extension.
 
 from __future__ import annotations
 
+import math
 from collections import deque
 
 __all__ = ["MovingWindow", "EwmaEstimator"]
+
+
+def _require_finite(sample: float) -> float:
+    """Reject NaN/inf samples before they poison an estimator.
+
+    A single NaN pushed into a moving window makes every subsequent
+    average NaN (and an EWMA never recovers); the estimators fail fast
+    instead. Negative rates are the *caller's* responsibility to clamp
+    (the CPU manager sanitises at the ``on_sample`` boundary) — they are
+    accepted here because the estimators are generic accumulators.
+    """
+    value = float(sample)
+    if not math.isfinite(value):
+        raise ValueError(f"estimator sample must be finite, got {value}")
+    return value
 
 
 class MovingWindow:
@@ -52,8 +68,14 @@ class MovingWindow:
         return len(self._buf)
 
     def push(self, sample: float) -> None:
-        """Add one sample, evicting the oldest if the window is full."""
-        self._buf.append(float(sample))
+        """Add one sample, evicting the oldest if the window is full.
+
+        Raises
+        ------
+        ValueError
+            If the sample is NaN or infinite.
+        """
+        self._buf.append(_require_finite(sample))
 
     def average(self) -> float | None:
         """Mean of the held samples, or ``None`` before the first push."""
@@ -112,11 +134,18 @@ class EwmaEstimator:
         return self._alpha
 
     def push(self, sample: float) -> None:
-        """Fold one sample into the estimate."""
+        """Fold one sample into the estimate.
+
+        Raises
+        ------
+        ValueError
+            If the sample is NaN or infinite.
+        """
+        value = _require_finite(sample)
         if self._value is None:
-            self._value = float(sample)
+            self._value = value
         else:
-            self._value = self._alpha * float(sample) + (1.0 - self._alpha) * self._value
+            self._value = self._alpha * value + (1.0 - self._alpha) * self._value
 
     def average(self) -> float | None:
         """Current estimate, or ``None`` before the first push."""

@@ -59,3 +59,27 @@ class WorkloadError(ReproError):
     Examples: negative demand rate, zero-length phase, application with no
     threads.
     """
+
+
+class AuditViolation(ReproError):
+    """A runtime invariant check (:mod:`repro.audit`) failed.
+
+    Carries the check name, the simulated time of the failure and a detail
+    mapping, so a violation raised inside a ``run_many`` worker process
+    arrives in the parent with its full context intact (the exception
+    pickles through the standard ``(check, time_us, details)`` argument
+    tuple).
+    """
+
+    def __init__(self, check: str, time_us: float, details: dict | None = None) -> None:
+        self.check = check
+        self.time_us = float(time_us)
+        self.details = dict(details or {})
+        extra = ", ".join(f"{k}={v!r}" for k, v in sorted(self.details.items()))
+        message = f"audit check {check!r} failed at t={self.time_us:.3f}us"
+        if extra:
+            message += f" ({extra})"
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (type(self), (self.check, self.time_us, self.details))

@@ -19,7 +19,9 @@ import dataclasses
 import itertools
 from dataclasses import dataclass, field
 
+from .. import audit as audit_mod
 from .. import profiling
+from ..audit import InvariantAuditor
 
 from ..config import LinuxSchedConfig, MachineConfig, ManagerConfig
 from ..core.manager import CpuManager
@@ -94,6 +96,16 @@ class SimulationSpec:
         :mod:`repro.profiling`). Profiling also engages when the
         process-global switch (CLI ``--profile``) is on. Never affects
         simulated results.
+    audit:
+        Run the invariant auditor alongside this simulation (see
+        :mod:`repro.audit`): bus-capacity, allocation, signal-protocol,
+        starvation and accounting invariants are checked at every sample
+        tick and quantum boundary, and a violation raises
+        :class:`~repro.errors.AuditViolation`. The
+        :class:`~repro.audit.AuditReport` attaches to
+        ``RunResult.audit``. Also engages when the process-global switch
+        (CLI ``--audit``) is on. Like profiling, never affects simulated
+        results — trajectories are bit-identical either way.
     dynamic:
         An open-system workload (:class:`repro.dynamic.DynamicWorkload`)
         driven alongside — or instead of — the static applications: jobs
@@ -119,6 +131,7 @@ class SimulationSpec:
     kernel: str = "linux"
     profile: bool = False
     dynamic: DynamicWorkload | None = None
+    audit: bool = False
 
 
 @dataclass
@@ -134,6 +147,7 @@ class SimulationHandle:
     timeline: TimelineSampler | None
     pending_arrivals: int = 0
     dynamic: OpenSystemDriver | None = None
+    auditor: InvariantAuditor | None = None
 
 
 def _make_kernel(name: str, spec: "SimulationSpec") -> KernelScheduler:
@@ -181,11 +195,17 @@ def _build(spec: SimulationSpec) -> SimulationHandle:
             )
         )
 
+    auditor: InvariantAuditor | None = None
+    if spec.audit or audit_mod.enabled():
+        auditor = InvariantAuditor(
+            machine, engine, bus_capacity_txus=spec.machine.bus.capacity_txus
+        )
+
     manager: CpuManager | None = None
     kernel: KernelScheduler
     if isinstance(spec.scheduler, BandwidthPolicy):
         kernel = _make_kernel(spec.kernel, spec)
-        manager = CpuManager(spec.manager, spec.scheduler, kernel)
+        manager = CpuManager(spec.manager, spec.scheduler, kernel, auditor=auditor)
     elif spec.scheduler == "linux":
         kernel = LinuxScheduler(spec.linux)
     elif spec.scheduler == "linux26":
@@ -202,6 +222,11 @@ def _build(spec: SimulationSpec) -> SimulationHandle:
         manager.attach(machine, engine, registry.stream("manager"))
         manager.register_apps(apps)
 
+    if auditor is not None and manager is None:
+        # Kernel-only runs have no manager hooks to ride; audit the bus
+        # and engine ledger on a periodic observer tick instead.
+        auditor.start_periodic(spec.manager.sample_period_us)
+
     timeline: TimelineSampler | None = None
     if spec.timeline_period_us is not None:
         timeline = TimelineSampler(machine, engine, spec.timeline_period_us)
@@ -214,6 +239,7 @@ def _build(spec: SimulationSpec) -> SimulationHandle:
         kernel=kernel,
         manager=manager,
         timeline=timeline,
+        auditor=auditor,
     )
 
     # Dynamic arrivals: each fires an engine event that launches the
@@ -312,6 +338,8 @@ def run_simulation_with_handle(
     result = collect_run_result(handle.machine, handle.apps, target_names)
     if handle.dynamic is not None:
         result = dataclasses.replace(result, dynamic=handle.dynamic.stats())
+    if handle.auditor is not None:
+        result = dataclasses.replace(result, audit=handle.auditor.finalize())
     if spec.profile or profiling.enabled():
         snapshot = handle.machine.profile_snapshot()
         result = dataclasses.replace(result, profile=snapshot)

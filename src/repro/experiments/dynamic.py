@@ -117,7 +117,8 @@ class DynamicRow:
         (replication order = seed order).
     mean_response_us / response_ci_us:
         Mean response time across replications and its Student-t
-        half-width (``nan`` with a single replication).
+        half-width (``None`` with a single replication — no defensible
+        error bar from one sample).
     mean_slowdown / slowdown_ci:
         Bounded slowdown, likewise.
     queue_len_time_avg / throughput_jobs_per_s / drop_fraction /
@@ -133,9 +134,9 @@ class DynamicRow:
     rate_per_s: float
     summaries: tuple[QueueingSummary, ...]
     mean_response_us: float
-    response_ci_us: float
+    response_ci_us: float | None
     mean_slowdown: float
-    slowdown_ci: float
+    slowdown_ci: float | None
     queue_len_time_avg: float
     throughput_jobs_per_s: float
     drop_fraction: float
@@ -146,13 +147,17 @@ class DynamicRow:
     starvation_ok: bool
 
 
-def _across_seeds(values: list[float]) -> tuple[float, float]:
-    """Mean and t-based half-width over replications (one batch per seed)."""
+def _across_seeds(values: list[float]) -> tuple[float, float | None]:
+    """Mean and t-based half-width over replications (one batch per seed).
+
+    A half-width of ``None`` means "no error bar" (zero or one finite
+    replication); with no finite values at all the mean itself is NaN.
+    """
     finite = [v for v in values if math.isfinite(v)]
     if not finite:
-        return (math.nan, math.nan)
+        return (math.nan, None)
     if len(finite) < 2:
-        return (finite[0], math.nan)
+        return (finite[0], None)
     return batch_means_ci(finite, n_batches=len(finite))
 
 
@@ -269,10 +274,10 @@ def run_dynamic_sweep(
     return rows
 
 
-def _fmt_ci(mean: float, half: float, scale: float = 1.0, unit: str = "") -> str:
+def _fmt_ci(mean: float, half: float | None, scale: float = 1.0, unit: str = "") -> str:
     if not math.isfinite(mean):
         return "n/a"
-    if math.isfinite(half):
+    if half is not None and math.isfinite(half):
         return f"{mean * scale:.2f}±{half * scale:.2f}{unit}"
     return f"{mean * scale:.2f}{unit}"
 

@@ -122,15 +122,19 @@ def export_table1(rows: list[Table1Row], directory: str) -> str:
 
 
 def export_dynamic(rows: list[DynamicRow], directory: str) -> str:
-    """Write ``dynamic.csv`` (one row per policy × arrival-rate point)."""
+    """Write ``dynamic.csv`` (one row per policy × arrival-rate point).
+
+    CI half-widths of ``None`` (too few replications for an error bar)
+    export as empty cells, not the string ``"None"``.
+    """
     out_rows = [
         [
             r.policy,
             r.rate_per_s,
             r.mean_response_us,
-            r.response_ci_us,
+            "" if r.response_ci_us is None else r.response_ci_us,
             r.mean_slowdown,
-            r.slowdown_ci,
+            "" if r.slowdown_ci is None else r.slowdown_ci,
             r.queue_len_time_avg,
             r.throughput_jobs_per_s,
             r.drop_fraction,

@@ -402,6 +402,17 @@ class Machine:
         self._ensure_solution()
         return self._bus_latency
 
+    @property
+    def bus_total_txus(self) -> float:
+        """Aggregate *actual* transaction rate of the current configuration.
+
+        Sum of the per-lane granted rates; the bus model guarantees it
+        never exceeds the configured capacity (within solver tolerance),
+        which is exactly what the audit layer asserts.
+        """
+        self._ensure_solution()
+        return sum(lane.tx_rate for lane in self._lanes)
+
     def thread_speed(self, tid: int) -> float:
         """Current execution speed of a running thread (0 if not running)."""
         self._ensure_solution()

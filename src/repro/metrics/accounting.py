@@ -12,6 +12,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
+    from ..audit import AuditReport
     from ..hw.machine import Machine
     from ..workloads.base import Application
     from .queueing import DynamicStats
@@ -92,6 +93,17 @@ class RunResult:
     bus_shared_hits / bus_warm_starts:
         Hits served from the process-shared solve cache (chunked parallel
         dispatch) and Newton searches seeded from the previous equilibrium.
+    solve_skips / lane_rebuilds:
+        This run's settle-loop fast-path counters (see
+        :attr:`repro.hw.machine.Machine.solve_skips`). Strictly *per run*:
+        each simulation builds a fresh machine, so a chunked ``run_many``
+        worker running several specs back-to-back reports each run's own
+        counts, never the chunk's running total (the two-runs-one-worker
+        regression test pins this down).
+    audit:
+        The invariant auditor's :class:`repro.audit.AuditReport` when the
+        run was audited (``SimulationSpec.audit`` or the process-global
+        ``--audit`` switch), else ``None``.
     profile:
         Per-phase wall-clock profile (``Machine.profile_snapshot``) when
         the run was profiled, else ``None``.
@@ -120,6 +132,9 @@ class RunResult:
     bus_bisection_steps: int = field(default=0, compare=False)
     bus_shared_hits: int = field(default=0, compare=False)
     bus_warm_starts: int = field(default=0, compare=False)
+    solve_skips: int = field(default=0, compare=False)
+    lane_rebuilds: int = field(default=0, compare=False)
+    audit: "AuditReport | None" = field(default=None, compare=False)
     profile: dict[str, float] | None = field(default=None, compare=False)
     dynamic: "DynamicStats | None" = None
 
@@ -199,4 +214,6 @@ def collect_run_result(
         bus_bisection_steps=machine.bus.bisection_steps,
         bus_shared_hits=machine.bus.shared_hits,
         bus_warm_starts=machine.bus.warm_starts,
+        solve_skips=machine.solve_skips,
+        lane_rebuilds=machine.lane_rebuilds,
     )

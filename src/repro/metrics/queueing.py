@@ -177,19 +177,26 @@ def batch_means_ci(
     values: Sequence[float],
     n_batches: int = 10,
     confidence: float = 0.95,
-) -> tuple[float, float]:
+) -> tuple[float, float | None]:
     """Mean and CI half-width of ``values`` by the method of batch means.
 
     Consecutive observations are grouped into ``n_batches`` equal batches
     (order matters: batching whitens the autocorrelation of steady-state
     output series); the CI is a Student-t interval over the batch means.
     With fewer than four observations (or fewer than two batches) the
-    half-width is ``nan`` — a mean of so few correlated samples has no
-    defensible error bar.
+    half-width is ``None`` — a mean of so few correlated samples has no
+    defensible error bar, and ``None`` (unlike the NaN this used to
+    return) cannot silently propagate through downstream arithmetic or
+    serialise as the string ``"nan"`` in CSV exports. Identical batch
+    means legitimately yield a zero-width interval (0.0, not ``None``).
 
     >>> mean, hw = batch_means_ci([1.0, 2.0, 1.0, 2.0, 1.0, 2.0, 1.0, 2.0], n_batches=4)
     >>> round(mean, 3)
     1.5
+    >>> batch_means_ci([1.0, 2.0])
+    (1.5, None)
+    >>> batch_means_ci([3.0] * 8, n_batches=4)
+    (3.0, 0.0)
     """
     if not 0.0 < confidence < 1.0:
         raise ValueError(f"confidence must be in (0, 1), got {confidence}")
@@ -198,10 +205,12 @@ def batch_means_ci(
     vals = [float(v) for v in values]
     if not vals:
         raise ValueError("no observations")
+    if any(not math.isfinite(v) for v in vals):
+        raise ValueError("observations must be finite")
     mean = sum(vals) / len(vals)
     k = min(n_batches, len(vals) // 2)
     if len(vals) < 4 or k < 2:
-        return (mean, math.nan)
+        return (mean, None)
     base, extra = divmod(len(vals), k)
     means = []
     start = 0
@@ -223,16 +232,29 @@ def bounded_slowdown(response_us: float, service_us: float, tau_us: float = 0.0)
     delayed by one quantum would otherwise report a slowdown of hundreds);
     ``tau = 0`` reduces to the plain slowdown ratio.
 
+    A zero service time (a degenerate no-work job) is well-defined rather
+    than an error: with ``tau > 0`` the bound takes over as usual; with
+    ``tau = 0`` the slowdown is 1.0 for an instant response and ``inf``
+    otherwise (the mathematical limit), never a ZeroDivisionError or NaN.
+    Only *negative* service is rejected.
+
     >>> bounded_slowdown(300.0, 100.0)
     3.0
     >>> bounded_slowdown(300.0, 10.0, tau_us=100.0)
     3.0
+    >>> bounded_slowdown(300.0, 0.0, tau_us=100.0)
+    3.0
+    >>> bounded_slowdown(0.0, 0.0)
+    1.0
     """
-    if service_us <= 0:
-        raise ValueError(f"service time must be positive, got {service_us}")
+    if service_us < 0:
+        raise ValueError(f"service time must be non-negative, got {service_us}")
     if response_us < 0:
         raise ValueError("negative response time")
-    return max(1.0, response_us / max(service_us, tau_us))
+    denom = max(service_us, tau_us)
+    if denom <= 0:
+        return math.inf if response_us > 0 else 1.0
+    return max(1.0, response_us / denom)
 
 
 @dataclass(frozen=True)
@@ -247,10 +269,10 @@ class QueueingSummary:
         ``n_dropped / n_jobs``.
     mean_response_us / response_ci_us:
         Mean response time (arrival → completion) over the post-warmup
-        completions, with its batch-means CI half-width (``nan`` when too
-        few observations).
+        completions, with its batch-means CI half-width (``None`` when
+        too few observations for a defensible error bar).
     mean_slowdown / slowdown_ci:
-        Mean bounded slowdown and its CI half-width.
+        Mean bounded slowdown and its CI half-width (``None`` likewise).
     mean_wait_us:
         Mean admission-queue delay of post-warmup completions.
     throughput_jobs_per_s:
@@ -266,9 +288,9 @@ class QueueingSummary:
     n_dropped: int
     drop_fraction: float
     mean_response_us: float
-    response_ci_us: float
+    response_ci_us: float | None
     mean_slowdown: float
-    slowdown_ci: float
+    slowdown_ci: float | None
     mean_wait_us: float
     throughput_jobs_per_s: float
     queue_len_time_avg: float

@@ -74,6 +74,7 @@ class EventHandle:
         if not self._event.cancelled:
             self._event.cancelled = True
             self._engine._pending -= 1
+            self._engine._events_cancelled += 1
 
 
 class Engine:
@@ -97,6 +98,7 @@ class Engine:
         self._seq = 0
         self._pending = 0  # live (non-cancelled) events
         self._events_fired = 0
+        self._events_cancelled = 0
 
     # -- clock ---------------------------------------------------------------
 
@@ -155,6 +157,21 @@ class Engine:
         """Total timer callbacks dispatched over the engine's lifetime."""
         return self._events_fired
 
+    @property
+    def events_scheduled(self) -> int:
+        """Total events ever scheduled over the engine's lifetime."""
+        return self._seq
+
+    @property
+    def events_cancelled(self) -> int:
+        """Events cancelled via their handle before firing.
+
+        Together with the other counters this supports the exact ledger
+        ``pending_events == events_scheduled − events_fired −
+        events_cancelled`` that the audit layer asserts at every hook.
+        """
+        return self._events_cancelled
+
     def next_event_time(self) -> float:
         """Absolute time of the earliest pending event, or ``inf``."""
         self._drop_cancelled()
@@ -183,11 +200,13 @@ class Engine:
         while True:
             self._drop_cancelled()
             if not self._heap or self._heap[0].time > self._now:
-                if fired:
-                    self._events_fired += fired
                 return fired
             ev = heapq.heappop(self._heap)
             self._pending -= 1
+            # Count the dispatch *before* the callback so the ledger
+            # ``pending == scheduled − fired − cancelled`` holds exactly at
+            # every point a callback can observe it (the audit layer does).
+            self._events_fired += 1
             ev.cancelled = True  # mark as consumed so handles report inactive
             ev.callback()
             fired += 1

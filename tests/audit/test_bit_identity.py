@@ -1,0 +1,86 @@
+"""Auditing must never perturb simulation physics.
+
+The auditor is a read-only observer: with auditing on or off, and whether
+runs execute serially or in forked workers, the simulated trajectory — and
+therefore every compared ``RunResult`` field — must be bit-identical.
+Policies are stateful (their estimators learn), so every spec gets a fresh
+policy instance.
+"""
+
+import pytest
+
+from repro.config import ManagerConfig
+from repro.core.policies import LatestQuantumPolicy
+from repro.dynamic import PoissonArrivals
+from repro.dynamic.config import DynamicWorkload
+from repro.dynamic.config import paper_mix
+from repro.experiments.base import SimulationSpec, run_simulation
+from repro.parallel import fork_available, run_many
+from repro.workloads.microbench import bbma_spec, nbbma_spec
+
+
+def _managed_spec(audit: bool, seed: int = 7) -> SimulationSpec:
+    return SimulationSpec(
+        targets=[bbma_spec(work_us=30_000.0), nbbma_spec(work_us=25_000.0)],
+        background=[bbma_spec(work_us=500_000.0)],
+        scheduler=LatestQuantumPolicy(),
+        manager=ManagerConfig(quantum_us=5_000.0),
+        seed=seed,
+        audit=audit,
+    )
+
+
+def _dynamic_spec(audit: bool, seed: int = 11) -> SimulationSpec:
+    return SimulationSpec(
+        targets=[],
+        scheduler=LatestQuantumPolicy(),
+        manager=ManagerConfig(quantum_us=5_000.0),
+        dynamic=DynamicWorkload(
+            arrivals=PoissonArrivals(rate_per_s=50.0),
+            mix=paper_mix(work_scale=0.02),
+            n_jobs=5,
+        ),
+        seed=seed,
+        audit=audit,
+    )
+
+
+class TestAuditOnOff:
+    def test_static_managed_run_identical(self):
+        plain = run_simulation(_managed_spec(audit=False))
+        audited = run_simulation(_managed_spec(audit=True))
+        assert plain == audited
+        assert plain.makespan_us == audited.makespan_us
+        assert plain.audit is None
+        assert audited.audit is not None
+        assert audited.audit.ok
+        assert audited.audit.total_checks > 0
+
+    def test_dynamic_run_identical(self):
+        plain = run_simulation(_dynamic_spec(audit=False))
+        audited = run_simulation(_dynamic_spec(audit=True))
+        assert plain == audited
+        assert plain.dynamic == audited.dynamic
+        assert audited.audit is not None
+        assert audited.audit.ok
+
+
+class TestSerialParallel:
+    def test_audited_results_survive_fork_boundary(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        specs = [_managed_spec(audit=True, seed=s) for s in (1, 2, 3)]
+        serial = run_many([_managed_spec(audit=True, seed=s) for s in (1, 2, 3)], jobs=1)
+        parallel = run_many(specs, jobs=2)
+        assert serial == parallel
+        for result in parallel:
+            assert result.audit is not None
+            assert result.audit.ok
+            assert result.audit.total_checks > 0
+
+    def test_audit_does_not_change_parallel_results(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        audited = run_many([_managed_spec(audit=True, seed=s) for s in (4, 5)], jobs=2)
+        plain = run_many([_managed_spec(audit=False, seed=s) for s in (4, 5)], jobs=2)
+        assert audited == plain

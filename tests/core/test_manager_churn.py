@@ -108,6 +108,82 @@ class TestDisconnectBlockedApp:
         assert manager._selected == set()
 
 
+class TestRateHygiene:
+    """The manager sanitises measured rates before the estimators see them."""
+
+    def test_clean_rate_drops_non_finite(self):
+        from math import inf, nan
+
+        from repro.core.manager import _clean_rate
+
+        assert _clean_rate(nan) is None
+        assert _clean_rate(inf) is None
+        assert _clean_rate(-inf) is None
+
+    def test_clean_rate_clamps_negatives(self):
+        from repro.core.manager import _clean_rate
+
+        assert _clean_rate(-0.5) == 0.0
+        assert _clean_rate(-1e-12) == 0.0
+        assert _clean_rate(0.0) == 0.0
+        assert _clean_rate(3.25) == 3.25
+
+
+class TestReconnect:
+    """An app id reconnecting after a disconnect starts from a clean slate."""
+
+    def _reconnected(self):
+        """Disconnect a mid-run app, then connect the same id again."""
+        engine, machine, apps, kernel, manager = _setup(n_apps=3)
+        kernel.start()
+        manager.start()
+        engine.run_until(30_000.0, advancer=machine)
+        victim = apps[0]
+        manager.disconnect_app(victim.app_id)
+        manager.register_app(victim)
+        return engine, machine, apps, kernel, manager, victim
+
+    def test_signal_counters_start_at_zero(self):
+        engine, machine, apps, kernel, manager, victim = self._reconnected()
+        for tid in victim.tids:
+            assert manager.signals.received_counts(tid) == (0, 0)
+
+    def test_first_sample_is_live_counter_snapshot(self):
+        # The runtime library starts accumulating at connect time: the
+        # baseline published at reconnection must be the threads' *current*
+        # counters, not zero — otherwise the first quantum's rate spans the
+        # application's previous life and poisons the estimator with a
+        # lifetime average.
+        engine, machine, apps, kernel, manager, victim = self._reconnected()
+        snap = machine.counters.read_many(victim.tids)
+        assert snap.bus_transactions > 0  # the previous life left traffic
+        latest = manager.arena.descriptor(victim.app_id).latest
+        assert latest is not None
+        assert latest.cum_transactions == snap.bus_transactions
+        assert latest.cum_runtime_us == snap.cycles_us
+        assert manager._boundary_samples[victim.app_id] == latest
+
+    def test_reconnected_threads_accept_signals_again(self):
+        # forget_thread at disconnect must not leave the threads muted:
+        # after reconnection the signal path works like on day one.
+        engine, machine, apps, kernel, manager, victim = self._reconnected()
+        assert not victim.blocked()
+        live = [t for t in victim.tids if not machine.thread(t).finished]
+        manager.signals.send_block(live)
+        engine.run_until(engine.now + 5_000.0, advancer=machine)
+        assert victim.blocked()
+        manager.signals.send_unblock(live)
+        engine.run_until(engine.now + 5_000.0, advancer=machine)
+        assert not victim.blocked()
+
+    def test_reconnected_app_rejoins_circular_list_and_finishes(self):
+        engine, machine, apps, kernel, manager, victim = self._reconnected()
+        assert victim.app_id in manager.arena.list_order()
+        assert victim.app_id in manager.selected
+        engine.run(advancer=machine, stop=machine.all_finished, max_time=1e10)
+        assert victim.finished
+
+
 class TestBoundaryRevival:
     def test_late_connection_revives_quantum_chain(self):
         """An app connecting after the arena emptied must still be managed."""

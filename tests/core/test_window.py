@@ -1,5 +1,7 @@
 """Moving-window and EWMA estimator tests."""
 
+import math
+
 import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
@@ -45,6 +47,17 @@ class TestMovingWindow:
         w.push(1.0)
         w.clear()
         assert w.average() is None
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_sample_rejected(self, bad):
+        # A NaN pushed into the window would poison every average it
+        # touches; the estimator refuses it at the boundary instead.
+        w = MovingWindow(3)
+        w.push(2.0)
+        with pytest.raises(ValueError):
+            w.push(bad)
+        assert w.average() == 2.0  # the rejected sample left no trace
+        assert w.count == 1
 
     @given(_samples, st.integers(min_value=1, max_value=10))
     @settings(max_examples=200, deadline=None)
@@ -97,6 +110,14 @@ class TestEwma:
         e.push(1.0)
         e.clear()
         assert e.average() is None
+
+    @pytest.mark.parametrize("bad", [math.nan, math.inf, -math.inf])
+    def test_non_finite_sample_rejected(self, bad):
+        e = EwmaEstimator(0.5)
+        e.push(4.0)
+        with pytest.raises(ValueError):
+            e.push(bad)
+        assert e.average() == 4.0
 
     @given(_samples, st.floats(min_value=0.01, max_value=1.0))
     @settings(max_examples=200, deadline=None)

@@ -60,10 +60,24 @@ class TestBatchMeansCI:
         _, hw_loose = batch_means_ci(loose, n_batches=8)
         assert hw_loose > hw_tight
 
-    def test_too_few_observations_nan_width(self):
+    def test_too_few_observations_none_width(self):
+        # None, not NaN: a NaN half-width silently propagates through
+        # arithmetic and serialises as the string "nan" in CSV exports.
         mean, hw = batch_means_ci([1.0, 2.0, 3.0], n_batches=10)
         assert mean == pytest.approx(2.0)
-        assert math.isnan(hw)
+        assert hw is None
+
+    def test_zero_variance_zero_width_not_none(self):
+        # Identical batch means are a legitimate zero-width interval.
+        mean, hw = batch_means_ci([3.0] * 8, n_batches=4)
+        assert mean == 3.0
+        assert hw == 0.0
+
+    def test_non_finite_observations_rejected(self):
+        with pytest.raises(ValueError):
+            batch_means_ci([1.0, math.nan, 3.0, 4.0])
+        with pytest.raises(ValueError):
+            batch_means_ci([1.0, math.inf, 3.0, 4.0])
 
     def test_uneven_batches_handled(self):
         mean, hw = batch_means_ci([float(i) for i in range(23)], n_batches=5)
@@ -89,9 +103,18 @@ class TestBoundedSlowdown:
     def test_tau_caps_short_jobs(self):
         assert bounded_slowdown(300.0, 1.0, tau_us=100.0) == 3.0
 
+    def test_zero_service_with_tau_uses_bound(self):
+        # A degenerate no-work job is well-defined when tau bounds it.
+        assert bounded_slowdown(300.0, 0.0, tau_us=100.0) == 3.0
+
+    def test_zero_service_zero_tau_limits(self):
+        # The mathematical limit, never a ZeroDivisionError or NaN.
+        assert bounded_slowdown(0.0, 0.0) == 1.0
+        assert bounded_slowdown(10.0, 0.0) == math.inf
+
     def test_validation(self):
         with pytest.raises(ValueError):
-            bounded_slowdown(10.0, 0.0)
+            bounded_slowdown(10.0, -1.0)
         with pytest.raises(ValueError):
             bounded_slowdown(-1.0, 10.0)
 

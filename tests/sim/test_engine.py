@@ -124,6 +124,45 @@ class TestScheduling:
         assert eng.next_event_time() == 4.0
 
 
+class TestEventLedger:
+    """pending == scheduled − fired − cancelled, exactly, at all times."""
+
+    def _balanced(self, eng):
+        return (
+            eng.pending_events
+            == eng.events_scheduled - eng.events_fired - eng.events_cancelled
+        )
+
+    def test_ledger_holds_inside_callbacks(self):
+        # Regression: fired-event counting used to be batched at the end of
+        # a dispatch round, so the ledger was off by the number of events
+        # already dispatched whenever a same-instant callback observed it
+        # (the audit layer does exactly that).
+        eng = Engine()
+        observed = []
+        for _ in range(3):
+            eng.schedule_at(5.0, lambda: observed.append(self._balanced(eng)))
+        eng.run_until(10.0)
+        assert observed == [True, True, True]
+
+    def test_ledger_holds_with_cancellations_and_chains(self):
+        eng = Engine()
+        observed = []
+
+        def chained():
+            observed.append(self._balanced(eng))
+            eng.schedule_at(eng.now, lambda: observed.append(self._balanced(eng)))
+            doomed = eng.schedule_at(eng.now + 1.0, lambda: None)
+            doomed.cancel()
+            observed.append(self._balanced(eng))
+
+        eng.schedule_at(2.0, chained)
+        eng.run_until(5.0)
+        assert observed and all(observed)
+        assert self._balanced(eng)
+        assert eng.events_cancelled == 1
+
+
 class _FakeAdvancer:
     """Advancer that transitions at fixed times and records advances."""
 

@@ -160,6 +160,35 @@ class TestChunkedDispatch:
         for result, (makespan, machine_now) in pairs:
             assert result.makespan_us == makespan == machine_now
 
+    def test_counters_are_per_run_not_per_worker(self):
+        # Two specs executed back-to-back in ONE worker (same process, one
+        # chunk): each RunResult's solver/profiling counters must describe
+        # only its own run. A regression that accumulated them across the
+        # worker's chunk would inflate the second run's counters.
+        from repro.hw.bus import clear_shared_solve_cache
+        from repro.parallel import _execute_chunk
+
+        spec_a, spec_b = _specs(2)
+        try:
+            clear_shared_solve_cache()
+            fresh_a = run_many([spec_a], jobs=1)[0]
+            clear_shared_solve_cache()
+            fresh_b = run_many([spec_b], jobs=1)[0]
+            clear_shared_solve_cache()
+            chunked = _execute_chunk([(0, spec_a, None), (1, spec_b, None)])
+        finally:
+            clear_shared_solve_cache()
+        assert [i for i, _, _ in chunked] == [0, 1]
+        for fresh, (_, result, _) in zip((fresh_a, fresh_b), chunked):
+            assert result == fresh
+            # Chunk-invariant counters: identical to an isolated run.
+            # (bisection_steps and bus_shared_hits legitimately differ —
+            # shared-cache warmth changes how equilibria are reached.)
+            assert result.bus_solve_calls == fresh.bus_solve_calls
+            assert result.bus_cache_hits == fresh.bus_cache_hits
+            assert result.solve_skips == fresh.solve_skips
+            assert result.lane_rebuilds == fresh.lane_rebuilds
+
     def test_shared_cache_reports_hits_without_changing_results(self):
         if not fork_available():
             pytest.skip("no fork on this platform")
