@@ -39,6 +39,20 @@ The audited invariants, each anchored in the paper:
 * **accounting-totals** — at end of run, per-thread work never exceeds
   its total or its on-CPU time, and summed thread run time plus CPU idle
   time reconciles against ``n_cpus × makespan``.
+* **progress-liveness** (fault runs only) — an application that stays
+  selected must eventually retire work: zero progress for well past the
+  hardened manager's watchdog patience means a hung application kept its
+  processors pinned. With hardening armed the watchdog quarantines first
+  and this check never fires; with hardening off it documents exactly the
+  degradation the injector caused.
+
+Fault runs adjust two checks: the allocation-intent and signal-counters
+checks are suspended while the manager reports
+``signal_checks_relaxed`` (signal faults with hardening armed — transient
+intent mismatches are *expected* until the verifier converges), and the
+selection-oracle replay is skipped for boundaries the manager flags as
+head-first fallbacks (the degraded selection intentionally ignores the
+fitness metric the oracle replays; the structural check still applies).
 """
 
 from __future__ import annotations
@@ -132,6 +146,12 @@ class InvariantAuditor:
         # Per-app starvation ages: app_id → [unselected quanta, peak
         # co-resident count during the current wait].
         self._wait: dict[int, list[int]] = {}
+        # Progress liveness (fault runs): app_id → [last observed work_us,
+        # consecutive zero-progress quanta while selected], plus the
+        # previous boundary's selection so "was selected for the quantum
+        # that just ended" is judged against the right decision.
+        self._liveness: dict[int, list[float]] = {}
+        self._prev_selected: set[int] = set()
         self._manager: "CpuManager | None" = None
 
     # ------------------------------------------------------------------ wiring
@@ -255,33 +275,38 @@ class InvariantAuditor:
         # signal-latency window.
         if manager.config.sample_period_us < 2.0 * self._signal_settle_us(manager):
             return
-        selected = manager.selected
-        expected: set[int] = set()
-        managed: list[int] = []
-        for desc in manager.arena.connected():
-            live = [t for t in desc.tids if not machine.thread(t).finished]
-            managed.extend(live)
-            if desc.app_id in selected:
-                expected.update(live)
-        unblocked = {t for t in managed if not machine.thread(t).blocked}
-        self._check(
-            "allocation-intent",
-            unblocked == expected,
-            unblocked=sorted(unblocked),
-            expected=sorted(expected),
-            selected=sorted(selected),
-        )
-        if manager.signals.protocol == "counter":
-            ok = True
-            for tid in managed:
-                blocks, unblocks = manager.signals.received_counts(tid)
-                if blocks < 0 or unblocks < 0:
-                    ok = False
-                    break
-                if machine.thread(tid).blocked != (blocks > unblocks):
-                    ok = False
-                    break
-            self._check("signal-counters", ok, managed=sorted(managed))
+        # Under signal faults with hardening armed the manager *expects*
+        # transient intent/counter mismatches (lost or delayed signals it
+        # is still retrying), so these two checks are suspended; every
+        # other invariant above and below stays live.
+        if not getattr(manager, "signal_checks_relaxed", False):
+            selected = manager.selected
+            expected: set[int] = set()
+            managed: list[int] = []
+            for desc in manager.arena.connected():
+                live = [t for t in desc.tids if not machine.thread(t).finished]
+                managed.extend(live)
+                if desc.app_id in selected:
+                    expected.update(live)
+            unblocked = {t for t in managed if not machine.thread(t).blocked}
+            self._check(
+                "allocation-intent",
+                unblocked == expected,
+                unblocked=sorted(unblocked),
+                expected=sorted(expected),
+                selected=sorted(selected),
+            )
+            if manager.signals.protocol == "counter":
+                ok = True
+                for tid in managed:
+                    blocks, unblocks = manager.signals.received_counts(tid)
+                    if blocks < 0 or unblocks < 0:
+                        ok = False
+                        break
+                    if machine.thread(tid).blocked != (blocks > unblocks):
+                        ok = False
+                        break
+                self._check("signal-counters", ok, managed=sorted(managed))
 
         def deferred() -> None:
             # Work conservation at observer priority: every same-instant
@@ -306,8 +331,16 @@ class InvariantAuditor:
         manager: "CpuManager",
         jobs: list["JobView"],
         selection: "Selection",
+        fallback: bool = False,
     ) -> None:
-        """Quantum-boundary hook: structure, oracle replay, starvation."""
+        """Quantum-boundary hook: structure, oracle replay, starvation.
+
+        ``fallback`` marks a boundary where the hardened manager degraded
+        to bandwidth-agnostic head-first selection (all estimates stale);
+        the oracle replay is skipped there — the degraded path is not the
+        greedy algorithm — but structure and starvation still apply
+        (head-first first-fit preserves both).
+        """
         self.check_engine()
         self.check_bus()
         self._check_running()
@@ -332,7 +365,7 @@ class InvariantAuditor:
 
         # Differential oracle: replay the paper's greedy algorithm.
         policy = manager.policy
-        if getattr(policy, "oracle_replayable", False):
+        if getattr(policy, "oracle_replayable", False) and not fallback:
             expected = reference_selection(
                 jobs,
                 machine.n_cpus,
@@ -371,6 +404,43 @@ class InvariantAuditor:
                     wait_quanta=state[0],
                     peak_coresident=state[1],
                 )
+
+        # Progress liveness (fault runs only): an application selected for
+        # the quantum that just ended, with live threads, must have retired
+        # *some* work within the patience window. The threshold sits two
+        # quanta past the hardened watchdog's, so with hardening armed the
+        # manager always quarantines first and this check stays clean; with
+        # hardening off a hung app pins its processors and the violation
+        # documents the damage.
+        if getattr(manager, "faults_active", False):
+            patience = manager.config.watchdog_quanta + 2
+            for app_id in list(self._liveness):
+                if app_id not in connected:
+                    del self._liveness[app_id]
+            for desc in manager.arena.connected():
+                live = [t for t in desc.tids if not machine.thread(t).finished]
+                if not live:
+                    continue
+                work = machine.counters.read_many(desc.tids).work_us
+                state = self._liveness.setdefault(desc.app_id, [work, 0.0])
+                if desc.app_id not in self._prev_selected:
+                    # Deselected apps legitimately cannot progress; hold
+                    # the count rather than punishing the wait.
+                    state[0] = work
+                    continue
+                if work - state[0] > 1e-9:
+                    state[0] = work
+                    state[1] = 0.0
+                else:
+                    state[1] += 1.0
+                    self._check(
+                        "progress-liveness",
+                        state[1] <= patience,
+                        app_id=desc.app_id,
+                        stuck_quanta=int(state[1]),
+                        patience=patience,
+                    )
+            self._prev_selected = set(ids)
 
     def on_deliver(self, manager: "CpuManager", tid: int) -> None:
         """A block/unblock signal is about to be *applied* to ``tid``.

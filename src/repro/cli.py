@@ -8,6 +8,7 @@ Regenerates every table and figure of the paper from the terminal::
     python -m repro table1               # TAB-1 headline summary
     python -m repro ablations            # ABL-W/Q/F/A
     python -m repro dynamic --rate 1.0   # DYN-1 open-system sweep
+    python -m repro faults               # FAULT-1 degradation curves
     python -m repro all                  # everything, full scale
 
 ``--scale`` shrinks application work (0.25 runs in seconds and preserves
@@ -36,7 +37,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=["calibration", "fig1", "fig2", "table1", "ablations", "smt", "io", "kernels", "validate", "dynamic", "all"],
+        choices=["calibration", "fig1", "fig2", "table1", "ablations", "smt", "io", "kernels", "validate", "dynamic", "faults", "all"],
         help="which artefact to regenerate",
     )
     parser.add_argument("--set", dest="set_name", choices=["A", "B", "C", "all"], default="all")
@@ -88,6 +89,26 @@ def build_parser() -> argparse.ArgumentParser:
     dyn.add_argument(
         "--trace-file", type=str, default=None, metavar="PATH",
         help="arrival trace to replay (.json or .csv, see TraceArrivals)",
+    )
+    flt = parser.add_argument_group("faults", "options for the 'faults' degradation sweep")
+    flt.add_argument(
+        "--intensities", type=str, default=None, metavar="I1,I2,...",
+        help=(
+            "comma-separated fault-intensity sweep scaling the reference "
+            "plan (default: 0,0.25,0.5,0.75,1); 0 is the fault-free baseline"
+        ),
+    )
+    flt.add_argument(
+        "--fault-app", type=str, default="CG", metavar="APP",
+        help="target application for the degradation sweep (default: CG)",
+    )
+    flt.add_argument(
+        "--no-fault-audit", action="store_true",
+        help=(
+            "skip the strict invariant auditor during the faults sweep "
+            "(on by default there: the degradation curve is only "
+            "meaningful if the degraded runs stay invariant-clean)"
+        ),
     )
     parser.add_argument(
         "--profile", action="store_true",
@@ -324,6 +345,45 @@ def _run_dynamic(args: argparse.Namespace) -> None:
     print(format_dynamic(rows))
 
 
+def _run_faults(args: argparse.Namespace) -> None:
+    from .config import ManagerConfig
+    from .errors import ConfigError
+    from .experiments.faults import format_faults, run_faults
+    from .experiments.fig2 import default_policies
+
+    intensities = None
+    if args.intensities is not None:
+        intensities = [float(i) for i in args.intensities.split(",") if i.strip()]
+    policies = None
+    if args.policy is not None:
+        by_name = {p.name: p for p in default_policies(ManagerConfig())}
+        # Accept the dynamic sweep's snake_case spellings too.
+        aliases = {"latest_quantum": "latest-quantum", "quanta_window": "quanta-window"}
+        wanted = [
+            aliases.get(p.strip(), p.strip())
+            for p in args.policy.split(",")
+            if p.strip()
+        ]
+        unknown = [p for p in wanted if p not in by_name]
+        if unknown:
+            raise ConfigError(
+                f"unknown fault-sweep policies {unknown}; known: {', '.join(by_name)}"
+            )
+        policies = [by_name[p] for p in wanted]
+    rows = run_faults(
+        app=args.fault_app,
+        intensities=intensities,
+        policies=policies,
+        replications=args.replications,
+        seed=args.seed,
+        work_scale=args.scale,
+        audit=not args.no_fault_audit,
+        jobs=args.jobs,
+        progress=_progress(args),
+    )
+    print(format_faults(rows))
+
+
 def _run_validate(args: argparse.Namespace) -> None:
     from .experiments.validation import format_validation, run_validation
 
@@ -357,6 +417,7 @@ def main(argv: list[str] | None = None) -> int:
         "kernels": _run_kernels,
         "validate": _run_validate,
         "dynamic": _run_dynamic,
+        "faults": _run_faults,
     }
     if args.experiment == "all":
         for name in ("calibration", "fig1", "fig2", "table1", "ablations", "smt", "io", "kernels"):

@@ -338,6 +338,35 @@ class ManagerConfig:
         quantum boundary instead of only on transitions. Recovers from
         lost signals; requires the ``"sequence"`` protocol (asymmetric
         resends poison the counter protocol's counts).
+    hardening:
+        Enable the graceful-degradation machinery when (and only when) a
+        fault plan is active on the run: signal acknowledgement deadline
+        with targeted retry, sample-staleness fallback and the hung-app
+        watchdog. The knobs below are inert in fault-free runs — the
+        manager schedules no extra events, so fault-free trajectories are
+        bit-identical with hardening on or off.
+    signal_ack_deadline_us:
+        How long after a quantum boundary's signals the manager waits
+        before verifying that every thread's realised blocked state
+        matches its intent. ``None`` derives a deadline from the signal
+        settle time (first hop + per-thread forwarding) plus the fault
+        plan's injected delay bound.
+    signal_max_retries:
+        Verification rounds per quantum boundary. Each round re-sends
+        only the mismatched threads' intents and doubles the wait
+        (exponential backoff); after the last round the manager gives up
+        until the next boundary restates intent afresh.
+    staleness_quanta:
+        Number of consecutive quanta an application may run without a
+        fresh counter sample before its estimate is considered stale and
+        the policy falls back to the last trusted average. When *every*
+        connected application is stale the manager abandons fitness
+        packing entirely for bandwidth-agnostic head-first selection.
+    watchdog_quanta:
+        Number of consecutive quanta a selected, unblocked application
+        may make zero progress before the watchdog declares it hung and
+        quarantines it (releases its arena slot and stops scheduling it)
+        rather than letting it pin processors.
     """
 
     quantum_us: float = ms(200)
@@ -351,6 +380,11 @@ class ManagerConfig:
     saturation_threshold: float = 0.9
     signal_protocol: str = "counter"
     resend_intent: bool = False
+    hardening: bool = True
+    signal_ack_deadline_us: float | None = None
+    signal_max_retries: int = 6
+    staleness_quanta: int = 2
+    watchdog_quanta: int = 3
 
     def __post_init__(self) -> None:
         _require(self.quantum_us > 0, "quantum must be positive")
@@ -370,6 +404,13 @@ class ManagerConfig:
             "resend_intent requires the sequence signal protocol "
             "(asymmetric resends poison the counter protocol)",
         )
+        _require(
+            self.signal_ack_deadline_us is None or self.signal_ack_deadline_us > 0,
+            "signal_ack_deadline_us must be positive (or None to derive)",
+        )
+        _require(self.signal_max_retries >= 0, "signal_max_retries must be >= 0")
+        _require(self.staleness_quanta >= 1, "staleness_quanta must be >= 1")
+        _require(self.watchdog_quanta >= 1, "watchdog_quanta must be >= 1")
 
     @property
     def sample_period_us(self) -> float:

@@ -23,6 +23,34 @@ Linux scheduler underneath). Its event loop, exactly as described:
 The kernel scheduler underneath sees only the unblocked threads and places
 them on CPUs with its usual affinity heuristics — the same division of
 labour as the paper's user-level implementation.
+
+Graceful degradation under faults
+---------------------------------
+When a run carries an enabled :class:`repro.faults.FaultPlan`, the manager
+is constructed with the run's :class:`repro.faults.FaultInjector` and
+(with ``ManagerConfig.hardening``) arms three defences:
+
+* **Signal verification** — after each boundary's block/unblock signals
+  the manager re-checks, at an acknowledgement deadline, that every
+  thread's realised blocked state matches its intent, and re-sends the
+  intent *per mismatched thread* with exponential backoff (group-wide
+  resends would poison the counter protocol's inversion-protection
+  counts; targeted resends converge because the verifier re-examines the
+  realised state each round).
+* **Staleness fallback** — applications that were scheduled yet published
+  no fresh counter sample for ``staleness_quanta`` consecutive quanta are
+  marked stale; their estimator simply retains the last trusted average.
+  When *every* runnable application is stale the manager abandons fitness
+  packing for bandwidth-agnostic head-first selection (rotation alone
+  still prevents starvation).
+* **Hung-app watchdog** — a selected application whose threads make zero
+  progress for ``watchdog_quanta`` consecutive quanta is quarantined:
+  its threads are force-blocked (freeing the processors they pinned) and
+  the application is disconnected from the circular list.
+
+All of this is *event-free in fault-free runs*: without an injector the
+manager schedules exactly the events it always did, so fault-free
+trajectories are bit-identical to a build without this machinery.
 """
 
 from __future__ import annotations
@@ -37,12 +65,13 @@ from ..errors import ArenaError, SchedulingError
 from ..sim.engine import Engine
 from ..sim.events import EventPriority
 from .arena import ArenaSample, SharedArena
-from .policies import BandwidthPolicy, JobView
+from .policies import BandwidthPolicy, JobView, head_first_selection
 from .signals import SignalDispatcher
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..audit.checks import InvariantAuditor
-    from ..hw.machine import Machine
+    from ..faults.injector import FaultInjector
+    from ..hw.machine import Machine, ThreadState
     from ..sched.base import KernelScheduler
     from ..workloads.base import Application
 
@@ -74,6 +103,13 @@ class CpuManager:
     kernel:
         The kernel scheduler running underneath (receives block-change
         notifications so freed CPUs refill immediately).
+    auditor:
+        Optional invariant auditor riding the manager's hooks.
+    faults:
+        The run's fault injector, or ``None`` for a fault-free run. Its
+        presence switches on signal-fault wiring, PMC perturbation, the
+        immediate crash-reap path and (with ``config.hardening``) the
+        degradation defences.
     """
 
     def __init__(
@@ -82,11 +118,13 @@ class CpuManager:
         policy: BandwidthPolicy,
         kernel: "KernelScheduler",
         auditor: "InvariantAuditor | None" = None,
+        faults: "FaultInjector | None" = None,
     ) -> None:
         self.config = config
         self.policy = policy
         self.kernel = kernel
         self._auditor = auditor
+        self._faults = faults
         self._machine: "Machine | None" = None
         self._engine: Engine | None = None
         self.arena = SharedArena(sample_period_us=config.sample_period_us)
@@ -103,6 +141,36 @@ class CpuManager:
         # (time, cumulative transactions over all managed threads).
         self._global_sample: tuple[float, float] = (0.0, 0.0)
         self._global_boundary: tuple[float, float] = (0.0, 0.0)
+        # Hardening state (all inert in fault-free runs).
+        self._prev_boundary_time = 0.0
+        self._verify_epoch = 0
+        self._stale_count: dict[int, int] = {}
+        self._watchdog_work: dict[int, float] = {}
+        self._watchdog_count: dict[int, int] = {}
+
+    # ---------------------------------------------------------------- fault mode
+
+    @property
+    def faults_active(self) -> bool:
+        """Whether this run injects faults (an injector is attached)."""
+        return self._faults is not None
+
+    @property
+    def hardening_active(self) -> bool:
+        """Whether the degradation defences are armed for this run."""
+        return self._faults is not None and self.config.hardening
+
+    @property
+    def signal_checks_relaxed(self) -> bool:
+        """Whether the audit layer should skip the intent/counter checks.
+
+        With signal faults injected *and* hardening armed, transient
+        intent/realised-state mismatches are expected between a boundary
+        and the verifier's convergence — the audit would report false
+        positives. With hardening off the checks stay strict so injection
+        self-tests can observe the violations.
+        """
+        return self.hardening_active and self._faults.plan.any_signal_faults
 
     # ------------------------------------------------------------------ wiring
 
@@ -113,6 +181,9 @@ class CpuManager:
         self._machine = machine
         self._engine = engine
         self.policy.bind_rng(rng)
+        fault_kwargs = {}
+        if self._faults is not None and self._faults.plan.any_signal_faults:
+            fault_kwargs = self._faults.signal_params()
         self._signals = SignalDispatcher(
             machine,
             engine,
@@ -121,7 +192,16 @@ class CpuManager:
             on_block_change=self.kernel.on_block_change,
             handling_cost_lines=self.config.signal_cost_lines,
             protocol=self.config.signal_protocol,
+            **fault_kwargs,
         )
+        if self._faults is not None:
+            self._faults.bind_dispatcher(self._signals)
+            # Crash injection kills threads mid-quantum; reap the arena
+            # slot immediately instead of waiting for the next boundary.
+            # Registered only in fault runs: the disconnect's saturation
+            # checkpoint repair is exact in real arithmetic but not bit-
+            # exact in floats, and fault-free trajectories must not move.
+            machine.add_exit_listener(self._on_thread_exit)
         if self._auditor is not None:
             self._auditor.install_manager(self)
             auditor = self._auditor
@@ -208,25 +288,71 @@ class CpuManager:
         unblocked first: once unmanaged it must not stay frozen by a block
         signal nobody will ever revoke.
         """
+        self._release(app_id, unblock=True)
+
+    def _release(self, app_id: int, unblock: bool) -> None:
+        """Disconnect + release one application's manager-side resources.
+
+        ``unblock=False`` is the quarantine path: the watchdog *wants* the
+        hung application's threads to stay blocked off the processors.
+        """
         try:
             desc = self.arena.descriptor(app_id)
         except ArenaError:
             return  # never connected here; nothing to release
         machine = self.machine
         if desc.connected:
+            if self._faults is not None:
+                # Saturation-checkpoint repair: the interval rate in
+                # _interval_saturated sums cumulative counters over
+                # *connected* descriptors, so this app's lifetime count
+                # vanishing from the total would read as a large negative
+                # interval rate. Subtracting its final count from the
+                # open checkpoints keeps the interval delta equal to the
+                # live apps' contribution plus what this app issued since
+                # the checkpoint — exact, and only applied in fault runs
+                # (floating-point association differs from the fault-free
+                # expression).
+                final = machine.counters.read_many(desc.tids).bus_transactions
+                t_s, tot_s = self._global_sample
+                self._global_sample = (t_s, tot_s - final)
+                t_b, tot_b = self._global_boundary
+                self._global_boundary = (t_b, tot_b - final)
             self.arena.disconnect(app_id)
-            for tid in desc.tids:
-                thread = machine.thread(tid)
-                if not thread.finished and thread.blocked:
-                    machine.set_blocked(tid, False)
-                    self.kernel.on_block_change(tid, False)
+            if unblock:
+                for tid in desc.tids:
+                    thread = machine.thread(tid)
+                    if not thread.finished and thread.blocked:
+                        machine.set_blocked(tid, False)
+                        self.kernel.on_block_change(tid, False)
         self.policy.forget(app_id)
         self._selected.discard(app_id)
         self._boundary_samples.pop(app_id, None)
         self._last_sample_seen.pop(app_id, None)
+        self._stale_count.pop(app_id, None)
+        self._watchdog_work.pop(app_id, None)
+        self._watchdog_count.pop(app_id, None)
         if self._signals is not None:
             for tid in desc.tids:
                 self.signals.forget_thread(tid)
+
+    def _on_thread_exit(self, state: "ThreadState") -> None:
+        """Immediate reap for fault runs: a dead app frees its slot now.
+
+        Fires from the machine's exit listeners (possibly mid-settle,
+        while the machine is momentarily ahead of the engine clock); the
+        whole-app disconnect below touches only manager bookkeeping — no
+        threads are live, so no ``set_blocked`` reconfiguration happens.
+        """
+        try:
+            desc = self.arena.descriptor(state.app_id)
+        except ArenaError:
+            return
+        if not desc.connected:
+            return
+        machine = self.machine
+        if all(machine.thread(t).finished for t in desc.tids):
+            self.disconnect_app(state.app_id)
 
     def register_apps(self, apps: list["Application"]) -> None:
         """Connect several applications in order."""
@@ -280,6 +406,8 @@ class CpuManager:
     def _sample_tick(self) -> None:
         """One arena publication round (the runtime library's timer)."""
         machine = self.machine
+        faults = self._faults
+        perturb = faults is not None and faults.plan.any_pmc_faults
         saturated, self._global_sample = self._interval_saturated(self._global_sample)
         for desc in self.arena.connected():
             # Only running applications update their pages: a blocked
@@ -292,6 +420,21 @@ class CpuManager:
                 cum_transactions=snap.bus_transactions,
                 cum_runtime_us=snap.cycles_us,
             )
+            if perturb:
+                sample = faults.perturb_sample(desc.app_id, sample, desc.latest)
+                if sample is None:
+                    continue  # dropped read: nothing published this period
+                latest = desc.latest
+                if latest is not None and (
+                    sample.cum_transactions < latest.cum_transactions - 1e-9
+                    or sample.cum_runtime_us < latest.cum_runtime_us - 1e-9
+                ):
+                    # Monotonicity guard: cumulative counters never run
+                    # backwards, so a regressing read is a wrap/reset.
+                    # Discard it; the next clean read spans two periods
+                    # and the cumulative estimate stays unbiased.
+                    faults.pmc_wrap_rejects += 1
+                    continue
             desc.publish(sample)
             prev = self._last_sample_seen.get(desc.app_id)
             if prev is not None:
@@ -299,7 +442,9 @@ class CpuManager:
                 if rate is not None:
                     rate = _clean_rate(rate)
                 if rate is not None:
-                    self.policy.on_sample(desc.app_id, rate, saturated=saturated)
+                    self.policy.on_sample(
+                        desc.app_id, rate, saturated=saturated, time_us=machine.now
+                    )
             self._last_sample_seen[desc.app_id] = sample
         if self._auditor is not None:
             self._auditor.on_sample(self)
@@ -317,6 +462,12 @@ class CpuManager:
         for desc in list(self.arena.connected()):
             if all(machine.thread(t).finished for t in desc.tids):
                 self.disconnect_app(desc.app_id)
+
+        # 0b. Hung-app watchdog (hardened fault runs only): quarantine
+        #     applications that were scheduled yet made zero progress for
+        #     watchdog_quanta consecutive quanta.
+        if self.hardening_active and self._faults.plan.any_app_faults:
+            self._watchdog_scan()
 
         descs = self.arena.connected()
         if not descs:
@@ -336,7 +487,9 @@ class CpuManager:
                 if rate is not None:
                     rate = _clean_rate(rate)
                 if rate is not None:
-                    self.policy.on_quantum(desc.app_id, rate, saturated=saturated)
+                    self.policy.on_quantum(
+                        desc.app_id, rate, saturated=saturated, time_us=machine.now
+                    )
             self._boundary_samples[desc.app_id] = latest
 
         # 2. Rotate: previously running jobs to the back of the list.
@@ -354,7 +507,13 @@ class CpuManager:
             for d in self.arena.connected()
         ]
         jobs = [j for j in jobs if j.width > 0]
-        selection = self.policy.select(jobs, machine.n_cpus)
+        fallback = False
+        if self.hardening_active:
+            fallback = self._track_staleness(set(ran), jobs)
+        if fallback:
+            selection = head_first_selection(jobs, machine.n_cpus)
+        else:
+            selection = self.policy.select(jobs, machine.n_cpus)
         new_selected = set(selection.app_ids)
 
         # 4. Signal the deltas (block losers first so their CPUs free up
@@ -384,7 +543,20 @@ class CpuManager:
             order=self.arena.list_order(),
         )
         if self._auditor is not None:
-            self._auditor.on_quantum(self, jobs, selection)
+            self._auditor.on_quantum(self, jobs, selection, fallback=fallback)
+
+        # 4b. Arm the signal verifier (hardened signal-fault runs only):
+        #     after the acknowledgement deadline, re-check realised blocked
+        #     states against the intent and re-send per mismatched thread.
+        if self.signal_checks_relaxed and self.config.signal_max_retries > 0:
+            self._verify_epoch += 1
+            self.engine.schedule_after(
+                self._ack_deadline_us(),
+                lambda epoch=self._verify_epoch: self._verify_signals(1, epoch),
+                priority=EventPriority.MANAGER,
+            )
+
+        self._prev_boundary_time = machine.now
 
         # 5. Next quantum.
         self._boundary_scheduled = True
@@ -392,3 +564,143 @@ class CpuManager:
             self.config.quantum_us, self._quantum_boundary, priority=EventPriority.MANAGER
         )
         self._schedule_samples()
+
+    # ------------------------------------------------------------- hardening
+
+    def _watchdog_scan(self) -> None:
+        """Quarantine applications that pinned CPUs without progressing.
+
+        Progress is measured with the work counter (the
+        instructions-retired analogue): an application that was *selected*
+        — so its threads were unblocked and schedulable — yet retired zero
+        work over ``watchdog_quanta`` consecutive quanta is hung, not
+        slow. Deselected applications are skipped without resetting their
+        count (they legitimately cannot progress while blocked).
+        """
+        machine = self.machine
+        for desc in list(self.arena.connected()):
+            live = [t for t in desc.tids if not machine.thread(t).finished]
+            if not live:
+                continue
+            work = machine.counters.read_many(desc.tids).work_us
+            prev = self._watchdog_work.get(desc.app_id)
+            self._watchdog_work[desc.app_id] = work
+            if prev is None or desc.app_id not in self._selected:
+                continue
+            if work - prev > 1e-9:
+                self._watchdog_count[desc.app_id] = 0
+                continue
+            count = self._watchdog_count.get(desc.app_id, 0) + 1
+            self._watchdog_count[desc.app_id] = count
+            if count >= self.config.watchdog_quanta:
+                self._quarantine(desc)
+
+    def _quarantine(self, desc) -> None:
+        """Force a hung application off its processors and out of the list.
+
+        The manager bypasses the cooperative signal protocol — a hung
+        process would never run its handler anyway — and blocks the
+        threads directly (modelling SIGSTOP from the server), then
+        disconnects the application *without* the usual exit-unblock:
+        quarantined threads must stay off the CPUs they were pinning.
+        """
+        machine = self.machine
+        for tid in desc.tids:
+            thread = machine.thread(tid)
+            if not thread.finished and not thread.blocked:
+                machine.set_blocked(tid, True)
+                self.kernel.on_block_change(tid, True)
+        machine.trace.record(
+            machine.now, "manager.quarantine", app_id=desc.app_id, name=desc.name
+        )
+        if self._faults is not None:
+            self._faults.apps_quarantined += 1
+        self._release(desc.app_id, unblock=False)
+
+    def _track_staleness(self, ran: set[int], jobs: list[JobView]) -> bool:
+        """Update per-app staleness; return True for head-first fallback.
+
+        An application that was selected for the whole previous quantum
+        yet pushed nothing fresh into its estimator (its
+        ``last_update_time`` predates the previous boundary) accrues one
+        stale quantum; a fresh update resets the count. Stale estimates
+        simply *hold* — the estimator retains the last trusted average —
+        which is counted as a fallback. Only when every runnable
+        application is stale does selection abandon fitness packing.
+        """
+        threshold = self.config.staleness_quanta
+        for app_id in ran:
+            last = self.policy.last_update_time(app_id)
+            if last is None or last <= self._prev_boundary_time + 1e-9:
+                self._stale_count[app_id] = self._stale_count.get(app_id, 0) + 1
+            else:
+                self._stale_count[app_id] = 0
+        if not jobs:
+            return False
+        stale = [j for j in jobs if self._stale_count.get(j.app_id, 0) >= threshold]
+        if stale and self._faults is not None:
+            self._faults.stale_fallbacks += 1
+        if len(stale) == len(jobs):
+            if self._faults is not None:
+                self._faults.headfirst_fallbacks += 1
+            return True
+        return False
+
+    def _ack_deadline_us(self) -> float:
+        """Acknowledgement deadline for the first verification round."""
+        if self.config.signal_ack_deadline_us is not None:
+            return self.config.signal_ack_deadline_us
+        max_width = max(
+            (len(d.tids) for d in self.arena.connected()), default=1
+        )
+        settle = (
+            self.config.signal_first_hop_us
+            + self.config.signal_forward_us * max_width
+        )
+        delay = self._faults.plan.signal_delay_us if self._faults is not None else 0.0
+        return 2.0 * settle + delay
+
+    def _verify_signals(self, round_: int, epoch: int) -> None:
+        """One acknowledgement-deadline verification round.
+
+        Compares every managed live thread's realised blocked state with
+        the current intent and re-sends the intent *per mismatched
+        thread*. Per-thread targeting is what makes retries safe under
+        the counter protocol: a group-wide resend adds surplus signals to
+        already-correct threads and wedges their inversion-protection
+        counts, while a targeted resend either lands the missing signal
+        or (if the original was merely delayed) creates a surplus this
+        same verifier observes and cancels in the next round. The chain
+        backs off exponentially and gives up after ``signal_max_retries``
+        rounds — the next boundary restates intent and starts a fresh
+        chain (``epoch`` retires any round still pending from the old
+        one, so two chains never interleave their resends).
+        """
+        if self._faults is None or epoch != self._verify_epoch:
+            return
+        machine = self.machine
+        mismatched: list[tuple[int, bool]] = []
+        for desc in self.arena.connected():
+            want_blocked = desc.app_id not in self._selected
+            for tid in desc.tids:
+                thread = machine.thread(tid)
+                if thread.finished:
+                    continue
+                if thread.blocked != want_blocked:
+                    mismatched.append((tid, want_blocked))
+        if not mismatched:
+            return
+        if round_ > self.config.signal_max_retries:
+            self._faults.signal_giveups += 1
+            return
+        for tid, want_blocked in mismatched:
+            self._faults.signal_retries += 1
+            if want_blocked:
+                self.signals.send_block([tid])
+            else:
+                self.signals.send_unblock([tid])
+        self.engine.schedule_after(
+            self._ack_deadline_us() * (2.0 ** round_),
+            lambda: self._verify_signals(round_ + 1, epoch),
+            priority=EventPriority.MANAGER,
+        )

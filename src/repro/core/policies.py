@@ -58,6 +58,7 @@ __all__ = [
     "EwmaPolicy",
     "OraclePolicy",
     "RandomGangPolicy",
+    "head_first_selection",
 ]
 
 
@@ -96,6 +97,33 @@ class Selection:
 
     app_ids: tuple[int, ...]
     abbw_trace: tuple[float, ...]
+
+
+def head_first_selection(jobs: list[JobView], n_cpus: int) -> Selection:
+    """Bandwidth-agnostic first-fit selection in circular-list order.
+
+    Keeps the structural guarantees of the paper's algorithm — the head
+    of the list runs whenever it fits, no application is selected twice,
+    the gang widths fit in ``n_cpus`` — but ignores bandwidth estimates
+    entirely. This is the hardened manager's last-resort degradation mode
+    when *every* application's estimate is stale: rotation alone still
+    guarantees freedom from starvation (Section 4's circular-list
+    argument needs no bandwidth information).
+    """
+    if n_cpus < 1:
+        raise SchedulingError("need at least one CPU")
+    chosen: list[int] = []
+    free = n_cpus
+    for job in jobs:
+        if job.width > n_cpus:
+            raise SchedulingError(
+                f"application {job.app_id} needs {job.width} CPUs on an "
+                f"{n_cpus}-CPU machine; gang policies cannot ever run it"
+            )
+        if job.width <= free:
+            chosen.append(job.app_id)
+            free -= job.width
+    return Selection(app_ids=tuple(chosen), abbw_trace=())
 
 
 class BandwidthPolicy(ABC):
@@ -149,17 +177,42 @@ class BandwidthPolicy(ABC):
     def estimate(self, app_id: int) -> float | None:
         """Current BBW/thread estimate for an application (None = unknown)."""
 
-    def on_sample(self, app_id: int, rate_per_thread: float, saturated: bool = False) -> None:
+    def on_sample(
+        self,
+        app_id: int,
+        rate_per_thread: float,
+        saturated: bool = False,
+        time_us: float | None = None,
+    ) -> None:
         """A new per-sample rate was published to the arena. Default: ignore.
 
         ``saturated`` marks measurements taken while the whole workload
         consumed (nearly) the full bus capacity: such a rate is only a
         *lower bound* on the job's demand, and estimators must not let it
         lower their estimate (see :class:`repro.config.ManagerConfig`).
+        ``time_us``, when given, is the simulated time of the measurement
+        and feeds :meth:`last_update_time` for staleness tracking.
         """
 
-    def on_quantum(self, app_id: int, rate_per_thread: float, saturated: bool = False) -> None:
+    def on_quantum(
+        self,
+        app_id: int,
+        rate_per_thread: float,
+        saturated: bool = False,
+        time_us: float | None = None,
+    ) -> None:
         """A full-quantum rate was computed at a boundary. Default: ignore."""
+
+    def last_update_time(self, app_id: int) -> float | None:
+        """When the application's estimate last absorbed a fresh sample.
+
+        ``None`` means never (or the policy keeps no estimator state —
+        the default). Only timestamped updates (``time_us`` passed to
+        ``on_sample`` / ``on_quantum``) count; the hardened manager uses
+        this to decide when an estimate has gone stale without reaching
+        into policy internals.
+        """
+        return None
 
     def forget(self, app_id: int) -> None:
         """An application disconnected; drop its state. Default: no-op."""
@@ -233,8 +286,17 @@ class LatestQuantumPolicy(BandwidthPolicy):
     def __init__(self, **kwargs) -> None:
         super().__init__(**kwargs)
         self._last: dict[int, float] = {}
+        self._updated: dict[int, float] = {}
 
-    def on_quantum(self, app_id: int, rate_per_thread: float, saturated: bool = False) -> None:
+    def on_quantum(
+        self,
+        app_id: int,
+        rate_per_thread: float,
+        saturated: bool = False,
+        time_us: float | None = None,
+    ) -> None:
+        if time_us is not None:
+            self._updated[app_id] = time_us
         current = self._last.get(app_id)
         if saturated and current is not None and rate_per_thread < current:
             return  # lower bound only: keep the higher previous estimate
@@ -243,8 +305,12 @@ class LatestQuantumPolicy(BandwidthPolicy):
     def estimate(self, app_id: int) -> float | None:
         return self._last.get(app_id)
 
+    def last_update_time(self, app_id: int) -> float | None:
+        return self._updated.get(app_id)
+
     def forget(self, app_id: int) -> None:
         self._last.pop(app_id, None)
+        self._updated.pop(app_id, None)
 
 
 class QuantaWindowPolicy(BandwidthPolicy):
@@ -265,19 +331,29 @@ class QuantaWindowPolicy(BandwidthPolicy):
         self.window_length = window_length
         self._windows: dict[int, MovingWindow] = {}
 
-    def on_sample(self, app_id: int, rate_per_thread: float, saturated: bool = False) -> None:
+    def on_sample(
+        self,
+        app_id: int,
+        rate_per_thread: float,
+        saturated: bool = False,
+        time_us: float | None = None,
+    ) -> None:
         window = self._windows.setdefault(app_id, MovingWindow(self.window_length))
         current = window.average()
         if saturated and current is not None and rate_per_thread < current:
             # Lower bound only: re-push the current average so the window
             # keeps sliding without dragging the estimate down.
-            window.push(current)
+            window.push(current, time_us=time_us)
             return
-        window.push(rate_per_thread)
+        window.push(rate_per_thread, time_us=time_us)
 
     def estimate(self, app_id: int) -> float | None:
         w = self._windows.get(app_id)
         return None if w is None else w.average()
+
+    def last_update_time(self, app_id: int) -> float | None:
+        w = self._windows.get(app_id)
+        return None if w is None else w.last_update_time
 
     def peak_estimate(self, app_id: int) -> float | None:
         """Largest sample in the window (conservative demand bound)."""
@@ -305,16 +381,28 @@ class EwmaPolicy(BandwidthPolicy):
         self.alpha = alpha
         self._estimates: dict[int, EwmaEstimator] = {}
 
-    def on_sample(self, app_id: int, rate_per_thread: float, saturated: bool = False) -> None:
+    def on_sample(
+        self,
+        app_id: int,
+        rate_per_thread: float,
+        saturated: bool = False,
+        time_us: float | None = None,
+    ) -> None:
         est = self._estimates.setdefault(app_id, EwmaEstimator(self.alpha))
         current = est.average()
         if saturated and current is not None and rate_per_thread < current:
+            if time_us is not None and current is not None:
+                est.push(current, time_us=time_us)  # refresh timestamp only
             return  # lower bound only
-        est.push(rate_per_thread)
+        est.push(rate_per_thread, time_us=time_us)
 
     def estimate(self, app_id: int) -> float | None:
         e = self._estimates.get(app_id)
         return None if e is None else e.average()
+
+    def last_update_time(self, app_id: int) -> float | None:
+        e = self._estimates.get(app_id)
+        return None if e is None else e.last_update_time
 
     def forget(self, app_id: int) -> None:
         self._estimates.pop(app_id, None)

@@ -112,9 +112,15 @@ class ModelDrivenPolicy(QuantaWindowPolicy):
 
     # ------------------------------------------------------------------
 
-    def on_sample(self, app_id: int, rate_per_thread: float, saturated: bool = False) -> None:
+    def on_sample(
+        self,
+        app_id: int,
+        rate_per_thread: float,
+        saturated: bool = False,
+        time_us: float | None = None,
+    ) -> None:
         """Track whether the job was ever measured off a saturated bus."""
-        super().on_sample(app_id, rate_per_thread, saturated=saturated)
+        super().on_sample(app_id, rate_per_thread, saturated=saturated, time_us=time_us)
         if not saturated:
             self._seen_unsaturated.add(app_id)
 

@@ -56,6 +56,7 @@ class MovingWindow:
             raise ValueError(f"window length must be >= 1, got {length}")
         self._buf: deque[float] = deque(maxlen=length)
         self._length = length
+        self._last_update_time: float | None = None
 
     @property
     def length(self) -> int:
@@ -67,8 +68,22 @@ class MovingWindow:
         """Samples currently held (≤ length)."""
         return len(self._buf)
 
-    def push(self, sample: float) -> None:
+    @property
+    def last_update_time(self) -> float | None:
+        """Timestamp of the last timestamped push, or ``None``.
+
+        Staleness tracking: callers that pass ``time_us`` to :meth:`push`
+        can ask *when* the estimate was last refreshed without reaching
+        into the owner's bookkeeping. Untimestamped pushes leave it
+        unchanged.
+        """
+        return self._last_update_time
+
+    def push(self, sample: float, time_us: float | None = None) -> None:
         """Add one sample, evicting the oldest if the window is full.
+
+        ``time_us``, when given, records when the sample was taken (see
+        :attr:`last_update_time`).
 
         Raises
         ------
@@ -76,6 +91,8 @@ class MovingWindow:
             If the sample is NaN or infinite.
         """
         self._buf.append(_require_finite(sample))
+        if time_us is not None:
+            self._last_update_time = float(time_us)
 
     def average(self) -> float | None:
         """Mean of the held samples, or ``None`` before the first push."""
@@ -97,8 +114,9 @@ class MovingWindow:
         return max(self._buf) if self._buf else None
 
     def clear(self) -> None:
-        """Drop all samples."""
+        """Drop all samples (and the last-update timestamp)."""
         self._buf.clear()
+        self._last_update_time = None
 
 
 class EwmaEstimator:
@@ -127,14 +145,26 @@ class EwmaEstimator:
             raise ValueError(f"alpha must be in (0, 1], got {alpha}")
         self._alpha = alpha
         self._value: float | None = None
+        self._last_update_time: float | None = None
 
     @property
     def alpha(self) -> float:
         """Newest-sample weight."""
         return self._alpha
 
-    def push(self, sample: float) -> None:
+    @property
+    def last_update_time(self) -> float | None:
+        """Timestamp of the last timestamped push, or ``None``.
+
+        Same contract as :attr:`MovingWindow.last_update_time`.
+        """
+        return self._last_update_time
+
+    def push(self, sample: float, time_us: float | None = None) -> None:
         """Fold one sample into the estimate.
+
+        ``time_us``, when given, records when the sample was taken (see
+        :attr:`last_update_time`).
 
         Raises
         ------
@@ -146,6 +176,8 @@ class EwmaEstimator:
             self._value = value
         else:
             self._value = self._alpha * value + (1.0 - self._alpha) * self._value
+        if time_us is not None:
+            self._last_update_time = float(time_us)
 
     def average(self) -> float | None:
         """Current estimate, or ``None`` before the first push."""
@@ -158,3 +190,4 @@ class EwmaEstimator:
     def clear(self) -> None:
         """Reset to the no-samples state."""
         self._value = None
+        self._last_update_time = None

@@ -29,6 +29,7 @@ from ..core.policies import BandwidthPolicy
 from ..dynamic.config import DynamicWorkload
 from ..dynamic.driver import OpenSystemDriver
 from ..errors import ConfigError
+from ..faults import FaultInjector, FaultPlan
 from ..hw.machine import Machine
 from ..metrics.accounting import RunResult, collect_run_result
 from ..metrics.timeline import TimelineSampler
@@ -114,6 +115,16 @@ class SimulationSpec:
         every scheduled dynamic job are done; the resulting queueing
         observations attach to ``RunResult.dynamic``. Like ``arrivals``,
         needs a time-sharing scheduler.
+    faults:
+        A deterministic fault plan (:class:`repro.faults.FaultPlan`)
+        injecting PMC noise, signal-delivery faults and application
+        failures into the run. Requires a bandwidth-policy scheduler (the
+        fault surface — arena samples, manager signals — only exists under
+        a CPU manager). A plan with every rate zero is inert: no injector
+        is built and the trajectory is bit-identical to ``faults=None``.
+        Degradation counters attach to ``RunResult.faults``. Fault draws
+        come from dedicated named RNG streams, so results remain
+        deterministic per seed and process-safe through ``run_many``.
     """
 
     targets: list[ApplicationSpec]
@@ -132,6 +143,7 @@ class SimulationSpec:
     profile: bool = False
     dynamic: DynamicWorkload | None = None
     audit: bool = False
+    faults: FaultPlan | None = None
 
 
 @dataclass
@@ -148,6 +160,7 @@ class SimulationHandle:
     pending_arrivals: int = 0
     dynamic: OpenSystemDriver | None = None
     auditor: InvariantAuditor | None = None
+    faults: FaultInjector | None = None
 
 
 def _make_kernel(name: str, spec: "SimulationSpec") -> KernelScheduler:
@@ -166,6 +179,13 @@ def _build(spec: SimulationSpec) -> SimulationHandle:
         raise ConfigError(
             f"dynamic arrivals need a time-sharing scheduler; "
             f"{spec.scheduler!r} has a static job set"
+        )
+    faults_on = spec.faults is not None and spec.faults.enabled
+    if faults_on and not isinstance(spec.scheduler, BandwidthPolicy):
+        raise ConfigError(
+            "fault injection requires a bandwidth-policy scheduler: the "
+            "fault surface (arena samples, manager signals, quantum "
+            "selection) only exists under a CPU manager"
         )
     engine = Engine()
     trace = TraceRecorder(enabled=spec.trace, capacity=200_000)
@@ -201,11 +221,20 @@ def _build(spec: SimulationSpec) -> SimulationHandle:
             machine, engine, bus_capacity_txus=spec.machine.bus.capacity_txus
         )
 
+    # The injector is only built for plans that actually inject: a
+    # zero-rate plan leaves every fault hook unarmed, which is what makes
+    # the bit-identity guarantee structural rather than probabilistic.
+    injector: FaultInjector | None = None
+    if faults_on:
+        injector = FaultInjector(spec.faults, registry)
+
     manager: CpuManager | None = None
     kernel: KernelScheduler
     if isinstance(spec.scheduler, BandwidthPolicy):
         kernel = _make_kernel(spec.kernel, spec)
-        manager = CpuManager(spec.manager, spec.scheduler, kernel, auditor=auditor)
+        manager = CpuManager(
+            spec.manager, spec.scheduler, kernel, auditor=auditor, faults=injector
+        )
     elif spec.scheduler == "linux":
         kernel = LinuxScheduler(spec.linux)
     elif spec.scheduler == "linux26":
@@ -221,6 +250,17 @@ def _build(spec: SimulationSpec) -> SimulationHandle:
     if manager is not None:
         manager.attach(machine, engine, registry.stream("manager"))
         manager.register_apps(apps)
+
+    if injector is not None:
+        # Application faults cover the statically launched set (arrived /
+        # dynamic jobs churn too fast for per-app failure processes to be
+        # meaningful); targets are immune by default so the degradation
+        # metric — target turnaround — measures scheduling quality under
+        # faults, not the faults killing the measured job itself.
+        immune = (
+            {a.app_id for a in target_apps} if spec.faults.targets_immune else None
+        )
+        injector.schedule_app_faults(engine, machine, apps, immune_ids=immune)
 
     if auditor is not None and manager is None:
         # Kernel-only runs have no manager hooks to ride; audit the bus
@@ -240,6 +280,7 @@ def _build(spec: SimulationSpec) -> SimulationHandle:
         manager=manager,
         timeline=timeline,
         auditor=auditor,
+        faults=injector,
     )
 
     # Dynamic arrivals: each fires an engine event that launches the
@@ -338,6 +379,8 @@ def run_simulation_with_handle(
     result = collect_run_result(handle.machine, handle.apps, target_names)
     if handle.dynamic is not None:
         result = dataclasses.replace(result, dynamic=handle.dynamic.stats())
+    if handle.faults is not None:
+        result = dataclasses.replace(result, faults=handle.faults.stats())
     if handle.auditor is not None:
         result = dataclasses.replace(result, audit=handle.auditor.finalize())
     if spec.profile or profiling.enabled():

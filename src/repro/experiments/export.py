@@ -11,6 +11,8 @@ writes one CSV per artefact into a directory:
 * ``table1.csv`` — the headline summary with paper reference columns
 * ``dynamic.csv`` — the open-system sweep: queueing metrics per
   (policy, arrival rate) operating point
+* ``faults.csv`` — the FAULT-1 degradation sweep: retained throughput
+  and degradation counters per (policy, fault intensity) point
 
 Each writer takes already-computed results, so callers who have run the
 experiments themselves (e.g. at a different scale) can export without
@@ -21,9 +23,11 @@ from __future__ import annotations
 
 import os
 
+from ..faults import FaultStats
 from ..workloads.suites import PAPER_SOLO_RATES
 from .calibration import CalibrationResult, run_calibration
 from .dynamic import DynamicRow, run_dynamic_sweep
+from .faults import FaultRow, run_faults
 from .fig1 import FIG1_CONFIGS, Fig1Row, run_fig1
 from .fig2 import Fig2Row, run_fig2
 from .reporting import format_csv
@@ -35,6 +39,7 @@ __all__ = [
     "export_fig2",
     "export_table1",
     "export_dynamic",
+    "export_faults",
     "export_all",
 ]
 
@@ -170,6 +175,35 @@ def export_dynamic(rows: list[DynamicRow], directory: str) -> str:
     )
 
 
+def export_faults(rows: list[FaultRow], directory: str) -> str:
+    """Write ``faults.csv`` (one row per policy × intensity point).
+
+    The degradation counters are flattened alongside the retained
+    throughput, so the curve and its causes plot from one file.
+    """
+    stat_keys = list(FaultStats().to_dict())
+    out_rows = [
+        [
+            row.policy,
+            cell.intensity,
+            cell.turnaround_us,
+            cell.retained_percent,
+            int(cell.audit_ok),
+        ]
+        + [cell.stats.to_dict()[k] for k in stat_keys]
+        for row in rows
+        for cell in row.cells
+    ]
+    return _write(
+        os.path.join(directory, "faults.csv"),
+        format_csv(
+            ["policy", "intensity", "turnaround_us", "retained_percent", "audit_ok"]
+            + stat_keys,
+            out_rows,
+        ),
+    )
+
+
 def export_all(
     directory: str, work_scale: float = 1.0, seed: int = 42, jobs: int | None = 1
 ) -> list[str]:
@@ -198,4 +232,12 @@ def export_all(
         jobs=jobs,
     )
     paths.append(export_dynamic(dynamic_rows, directory))
+    fault_rows = run_faults(
+        intensities=(0.0, 0.5, 1.0),
+        replications=1,
+        seed=seed,
+        work_scale=work_scale,
+        jobs=jobs,
+    )
+    paths.append(export_faults(fault_rows, directory))
     return paths

@@ -1,0 +1,24 @@
+"""Deterministic fault injection for the reproduction's fragile mechanisms.
+
+The paper's user-level CPU manager (Section 4) leans on three mechanisms
+the base simulation models as perfect: performance-counter polling,
+UNIX-signal block/unblock delivery, and cooperating applications that
+never misbehave. This package breaks each of them on purpose — seeded,
+reproducibly, and process-safely through ``run_many`` — so the hardened
+manager's graceful degradation can be measured (the FAULT-1 experiment)
+and audited (the invariant layer's fault-mode checks).
+
+Public surface:
+
+* :class:`~repro.faults.plan.FaultPlan` — frozen per-run fault
+  configuration, attached to ``SimulationSpec.faults``.
+* :class:`~repro.faults.injector.FaultInjector` — the live per-run
+  injector (built only when the plan is enabled).
+* :class:`~repro.faults.injector.FaultStats` — frozen degradation
+  counters on ``RunResult.faults``.
+"""
+
+from .injector import FaultInjector, FaultStats
+from .plan import FaultPlan
+
+__all__ = ["FaultPlan", "FaultInjector", "FaultStats"]

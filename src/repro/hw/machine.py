@@ -82,6 +82,7 @@ class ThreadState:
         "last_cpu",
         "rebuild_debt",
         "blocked",
+        "stalled",
         "finished",
         "finished_at",
         "created_at",
@@ -118,6 +119,9 @@ class ThreadState:
         self.last_cpu: int | None = None
         self.rebuild_debt = 0.0
         self.blocked = False
+        # A stalled thread occupies its CPU without progressing or issuing
+        # bus traffic (fault injection's "hung application" semantics).
+        self.stalled = False
         self.finished = False
         self.finished_at: float | None = None
         self.created_at = created_at
@@ -506,6 +510,52 @@ class Machine:
         self.trace.record(self._time, "sched.block" if blocked else "sched.unblock", tid=tid)
         self._mark_dirty()
 
+    def set_stalled(self, tid: int, stalled: bool) -> None:
+        """Set a thread's stalled flag (fault injection's hang semantics).
+
+        A stalled thread *keeps its CPU* but makes no progress and issues
+        no bus traffic — modelling a hung or temporarily wedged process
+        that still occupies a processor. Contrast :meth:`set_blocked`,
+        which vacates the CPU. Finished threads ignore the call.
+        """
+        state = self.thread(tid)
+        if state.finished:
+            return
+        if state.stalled == stalled:
+            return
+        self._require_settled()
+        state.stalled = stalled
+        self.trace.record(
+            self._time, "thread.stall" if stalled else "thread.resume", tid=tid
+        )
+        if state.cpu is not None:
+            self._mark_dirty()
+
+    def kill_thread(self, tid: int) -> None:
+        """Terminate a thread mid-flight (fault injection's crash semantics).
+
+        Unlike natural completion the thread's remaining work is *lost*:
+        ``work_done`` stays where it was. Everything else mirrors
+        :meth:`_finish_thread` — the CPU is freed, the thread is marked
+        finished (so schedulers, the manager and the arena treat it as
+        departed) and exit listeners fire. Killing a finished thread is a
+        no-op.
+        """
+        state = self.thread(tid)
+        if state.finished:
+            return
+        self._require_settled()
+        state.stalled = False
+        state.finished = True
+        state.finished_at = self._time
+        if state.cpu is not None:
+            self.cpus[state.cpu].set_thread(None, self._time)
+            state.cpu = None
+        self._mark_dirty()
+        self.trace.record(self._time, "thread.kill", tid=state.tid, name=state.name)
+        for cb in self._exit_listeners:
+            cb(state)
+
     def add_rebuild_debt(self, tid: int, lines: float) -> None:
         """Charge extra rebuild debt to a thread (signal handling, traps).
 
@@ -560,6 +610,12 @@ class Machine:
             if cpu.tid is None:
                 continue
             st = self._threads[cpu.tid]
+            if st.stalled:
+                # Hung/stalled: the thread pins its CPU but consumes
+                # nothing — zero demand, zero fill, zero progress, and no
+                # segment boundary can arrive while it isn't progressing.
+                entries.append((st, 0.0, 0.0, 0.0, math.inf))
+                continue
             rate, seg_end = st.demand.segment(st.work_done)
             if rate < 0:
                 raise WorkloadError(f"demand pattern of thread {st.tid} returned negative rate")

@@ -13,6 +13,7 @@ from typing import TYPE_CHECKING
 
 if TYPE_CHECKING:  # pragma: no cover
     from ..audit import AuditReport
+    from ..faults import FaultStats
     from ..hw.machine import Machine
     from ..workloads.base import Application
     from .queueing import DynamicStats
@@ -113,6 +114,12 @@ class RunResult:
         (``SimulationSpec.dynamic``), else ``None``. Unlike the solver
         counters, these are *results* — deterministic functions of the
         spec and seed — so they participate in equality.
+    faults:
+        Degradation counters (:class:`repro.faults.FaultStats`) when the
+        run had a fault plan attached (``SimulationSpec.faults``), else
+        ``None``. Deterministic functions of the spec and seed — injection
+        draws come from dedicated named RNG streams — so, like
+        ``dynamic``, they participate in equality.
 
     All solver counters and the profile are *observability*, not physics:
     they vary with cache warmth and solver mode while the simulated
@@ -137,6 +144,7 @@ class RunResult:
     audit: "AuditReport | None" = field(default=None, compare=False)
     profile: dict[str, float] | None = field(default=None, compare=False)
     dynamic: "DynamicStats | None" = None
+    faults: "FaultStats | None" = None
 
     @property
     def workload_rate_txus(self) -> float:

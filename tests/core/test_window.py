@@ -134,3 +134,35 @@ class TestEwma:
         for _ in range(10):
             e.push(value)
         assert e.average() == pytest.approx(value)
+
+
+class TestLastUpdateTime:
+    """Both estimators expose when they last ingested a sample."""
+
+    @pytest.mark.parametrize("make", [lambda: MovingWindow(3), lambda: EwmaEstimator(0.5)])
+    def test_starts_unset(self, make):
+        assert make().last_update_time is None
+
+    @pytest.mark.parametrize("make", [lambda: MovingWindow(3), lambda: EwmaEstimator(0.5)])
+    def test_untimed_push_leaves_unset(self, make):
+        est = make()
+        est.push(1.0)
+        assert est.last_update_time is None
+
+    @pytest.mark.parametrize("make", [lambda: MovingWindow(3), lambda: EwmaEstimator(0.5)])
+    def test_tracks_latest_timed_push(self, make):
+        est = make()
+        est.push(1.0, time_us=10.0)
+        assert est.last_update_time == 10.0
+        est.push(2.0, time_us=35.5)
+        assert est.last_update_time == 35.5
+        # An untimed push in between does not rewind the timestamp.
+        est.push(3.0)
+        assert est.last_update_time == 35.5
+
+    @pytest.mark.parametrize("make", [lambda: MovingWindow(3), lambda: EwmaEstimator(0.5)])
+    def test_clear_resets_timestamp(self, make):
+        est = make()
+        est.push(1.0, time_us=10.0)
+        est.clear()
+        assert est.last_update_time is None

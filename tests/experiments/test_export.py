@@ -26,6 +26,7 @@ class TestExportAll:
             "fig2c.csv",
             "table1.csv",
             "dynamic.csv",
+            "faults.csv",
         }
 
     def test_csv_headers_and_rows(self, exported):

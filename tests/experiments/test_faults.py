@@ -1,0 +1,111 @@
+"""FAULT-1 degradation-curve experiment tests."""
+
+import os
+
+import pytest
+
+from repro.core.policies import QuantaWindowPolicy
+from repro.errors import ConfigError
+from repro.experiments.export import export_faults
+from repro.experiments.faults import (
+    DEFAULT_INTENSITIES,
+    REFERENCE_PLAN,
+    FaultRow,
+    format_faults,
+    run_faults,
+)
+
+
+def _tiny(**kwargs):
+    defaults = dict(
+        app="CG",
+        intensities=(0.0, 1.0),
+        policies=[QuantaWindowPolicy()],
+        replications=1,
+        work_scale=0.05,
+        seed=11,
+    )
+    defaults.update(kwargs)
+    return run_faults(**defaults)
+
+
+class TestRunFaults:
+
+    def test_reference_plan_hits_acceptance_operating_point(self):
+        assert REFERENCE_PLAN.signal_drop_prob == pytest.approx(0.10)
+        assert REFERENCE_PLAN.pmc_jitter == pytest.approx(0.20)
+        assert not REFERENCE_PLAN.any_app_faults
+        assert 0.0 in DEFAULT_INTENSITIES and 1.0 in DEFAULT_INTENSITIES
+
+    def test_curve_structure_and_baseline(self):
+        rows = _tiny()
+        assert len(rows) == 1
+        row = rows[0]
+        assert isinstance(row, FaultRow)
+        assert row.policy == "quanta-window"
+        assert [c.intensity for c in row.cells] == [0.0, 1.0]
+        assert row.retained(0.0) == pytest.approx(100.0)
+        assert row.baseline_turnaround_us > 0
+        # The fault-free cell injects nothing and audits clean.
+        assert not row.cells[0].stats.any_injected
+        assert all(c.audit_ok for c in row.cells)
+        # The full-intensity cell actually injected faults.
+        assert row.cells[1].stats.any_injected
+
+    def test_unknown_app_and_bad_inputs_rejected(self):
+        with pytest.raises(ConfigError):
+            _tiny(app="NoSuchApp")
+        with pytest.raises(ConfigError):
+            _tiny(replications=0)
+        with pytest.raises(ConfigError):
+            _tiny(intensities=(-0.5, 1.0))
+
+    def test_parallel_matches_serial(self):
+        serial = _tiny()
+        parallel = _tiny(jobs=2)
+        assert serial == parallel
+
+
+class TestFormatting:
+
+    def test_format_and_export(self, tmp_path):
+        rows = _tiny()
+        text = format_faults(rows)
+        assert "FAULT-1" in text
+        assert "quanta-window" in text
+        assert "retained" in text
+        path = export_faults(rows, str(tmp_path))
+        assert os.path.basename(path) == "faults.csv"
+        with open(path, encoding="utf-8") as fh:
+            header = fh.readline()
+        assert "retained_percent" in header
+        assert "signal_retries" in header
+
+    def test_format_empty_rejected(self):
+        with pytest.raises(ConfigError):
+            format_faults([])
+
+
+class TestCli:
+
+    def test_faults_cli_smoke(self, capsys):
+        from repro.cli import main
+
+        rc = main(
+            [
+                "faults",
+                "--scale", "0.05",
+                "--intensities", "0,1",
+                "--policy", "quanta_window",
+                "--replications", "1",
+            ]
+        )
+        assert rc == 0
+        out = capsys.readouterr().out
+        assert "FAULT-1" in out
+
+    def test_unknown_policy_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(ConfigError):
+            main(["faults", "--scale", "0.05", "--policy", "nope"])

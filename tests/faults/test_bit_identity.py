@@ -1,0 +1,87 @@
+"""Zero-rate fault plans are bit-identical to fault-free runs.
+
+The guarantee is structural: a disabled plan builds no injector, arms no
+hook and schedules no engine event, so the simulated trajectory — and the
+whole comparable ``RunResult`` — is exactly the fault-free one, serially
+and through the multiprocess grid runner.
+"""
+
+import dataclasses
+
+from repro.core.policies import LatestQuantumPolicy, QuantaWindowPolicy
+from repro.experiments.base import SimulationSpec, run_simulation
+from repro.faults import FaultPlan
+from repro.parallel import run_many
+from repro.workloads.microbench import bbma_spec
+from repro.workloads.suites import PAPER_APPS
+
+
+def _spec(policy, faults=None, seed=11):
+    app = PAPER_APPS["CG"].scaled(0.05)
+    return SimulationSpec(
+        targets=[app, app],
+        background=[bbma_spec(), bbma_spec()],
+        scheduler=policy,
+        seed=seed,
+        faults=faults,
+    )
+
+
+class TestZeroRateIdentity:
+
+    def test_serial_bit_identical(self):
+        base = run_simulation(_spec(QuantaWindowPolicy()))
+        zero = run_simulation(_spec(QuantaWindowPolicy(), faults=FaultPlan()))
+        assert base == zero
+        assert zero.faults is None
+
+    def test_scaled_to_zero_bit_identical(self):
+        ref = FaultPlan(pmc_jitter=0.2, signal_drop_prob=0.1, hang_prob=0.3)
+        base = run_simulation(_spec(LatestQuantumPolicy()))
+        zero = run_simulation(_spec(LatestQuantumPolicy(), faults=ref.scaled(0.0)))
+        assert base == zero
+
+    def test_parallel_matches_serial(self):
+        specs = [
+            _spec(QuantaWindowPolicy()),
+            _spec(QuantaWindowPolicy(), faults=FaultPlan()),
+            _spec(
+                QuantaWindowPolicy(),
+                faults=FaultPlan(pmc_jitter=0.2, signal_drop_prob=0.1),
+            ),
+        ]
+
+        def rebuild(s):
+            return dataclasses.replace(s, scheduler=QuantaWindowPolicy())
+
+        serial = run_many([rebuild(s) for s in specs], jobs=1)
+        parallel = run_many([rebuild(s) for s in specs], jobs=2)
+        assert serial == parallel
+        # Within one batch: fault-free == zero-rate, and both have no stats.
+        assert serial[0] == serial[1]
+        assert serial[0].faults is None and serial[1].faults is None
+        # The faulted run is deterministic too (stats participate in ==).
+        assert parallel[2].faults is not None
+        assert parallel[2].faults == serial[2].faults
+
+
+class TestFaultedDeterminism:
+
+    def test_same_seed_same_trajectory_and_stats(self):
+        plan = FaultPlan(
+            pmc_jitter=0.2,
+            pmc_drop_prob=0.05,
+            pmc_stale_prob=0.05,
+            signal_drop_prob=0.1,
+            signal_delay_us=200.0,
+        )
+        a = run_simulation(_spec(QuantaWindowPolicy(), faults=plan))
+        b = run_simulation(_spec(QuantaWindowPolicy(), faults=plan))
+        assert a == b
+        assert a.faults == b.faults
+
+    def test_seed_changes_fault_trajectory(self):
+        plan = FaultPlan(pmc_jitter=0.3, pmc_drop_prob=0.2, signal_drop_prob=0.2)
+        a = run_simulation(_spec(QuantaWindowPolicy(), faults=plan, seed=11))
+        b = run_simulation(_spec(QuantaWindowPolicy(), faults=plan, seed=12))
+        assert a != b

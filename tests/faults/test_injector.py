@@ -1,0 +1,214 @@
+"""FaultInjector unit tests: draw discipline, perturbation classes, immunity."""
+
+import pytest
+
+from repro.core.arena import ArenaSample
+from repro.faults import FaultInjector, FaultPlan
+from repro.rng import RngRegistry
+
+
+def _injector(plan, seed=7):
+    return FaultInjector(plan, RngRegistry(seed))
+
+
+def _sample(t, tx, rt):
+    return ArenaSample(time_us=t, cum_transactions=tx, cum_runtime_us=rt)
+
+
+class TestConstruction:
+
+    def test_requires_enabled_plan(self):
+        with pytest.raises(ValueError):
+            _injector(FaultPlan())
+
+    def test_signal_params_mirror_plan(self):
+        plan = FaultPlan(
+            signal_drop_prob=0.1, signal_duplicate_prob=0.02, signal_delay_us=200.0
+        )
+        params = _injector(plan).signal_params()
+        assert params["drop_prob"] == 0.1
+        assert params["duplicate_prob"] == 0.02
+        assert params["jitter_us"] == 200.0
+        assert params["rng"] is not None
+
+
+class TestPerturbSample:
+
+    def test_drop_certain(self):
+        inj = _injector(FaultPlan(pmc_drop_prob=1.0))
+        assert inj.perturb_sample(1, _sample(10.0, 5.0, 8.0), None) is None
+        assert inj.pmc_dropped == 1
+
+    def test_first_sample_passes_through_without_prev(self):
+        # Only drops can hit the first read; everything else needs `prev`.
+        inj = _injector(FaultPlan(pmc_stale_prob=1.0))
+        s = _sample(10.0, 5.0, 8.0)
+        assert inj.perturb_sample(1, s, None) is s
+
+    def test_stale_returns_previous_counters_at_new_time(self):
+        inj = _injector(FaultPlan(pmc_stale_prob=1.0))
+        prev = _sample(10.0, 5.0, 8.0)
+        out = inj.perturb_sample(1, _sample(20.0, 9.0, 16.0), prev)
+        assert out.time_us == 20.0
+        assert out.cum_transactions == prev.cum_transactions
+        assert out.cum_runtime_us == prev.cum_runtime_us
+        assert inj.pmc_stale == 1
+
+    def test_wrap_regresses_to_interval_delta(self):
+        inj = _injector(FaultPlan(pmc_wrap_prob=1.0))
+        prev = _sample(10.0, 100.0, 50.0)
+        out = inj.perturb_sample(1, _sample(20.0, 130.0, 60.0), prev)
+        assert out.cum_transactions == pytest.approx(30.0)
+        assert out.cum_runtime_us == pytest.approx(10.0)
+        assert inj.pmc_wraps == 1
+
+    def test_jitter_bounded_and_never_regresses(self):
+        inj = _injector(FaultPlan(pmc_jitter=0.5))
+        prev = _sample(10.0, 100.0, 50.0)
+        for i in range(200):
+            out = inj.perturb_sample(1, _sample(20.0, 110.0, 60.0), prev)
+            delta = out.cum_transactions - prev.cum_transactions
+            assert 10.0 * 0.5 - 1e-9 <= delta <= 10.0 * 1.5 + 1e-9
+            assert out.cum_transactions >= prev.cum_transactions
+        assert inj.pmc_jittered == 200
+
+    def test_zero_delta_not_jittered(self):
+        inj = _injector(FaultPlan(pmc_jitter=0.5))
+        prev = _sample(10.0, 100.0, 50.0)
+        s = _sample(20.0, 100.0, 60.0)
+        assert inj.perturb_sample(1, s, prev) is s
+
+    def test_deterministic_per_seed(self):
+        plan = FaultPlan(
+            pmc_jitter=0.3, pmc_drop_prob=0.2, pmc_wrap_prob=0.1, pmc_stale_prob=0.2
+        )
+
+        def trajectory(seed):
+            inj = _injector(plan, seed=seed)
+            prev = _sample(0.0, 0.0, 0.0)
+            out = []
+            for i in range(50):
+                s = inj.perturb_sample(1, _sample(10.0 * i, 7.0 * i, 9.0 * i), prev)
+                out.append(None if s is None else (s.cum_transactions, s.cum_runtime_us))
+                if s is not None:
+                    prev = s
+            return out
+
+        assert trajectory(3) == trajectory(3)
+        assert trajectory(3) != trajectory(4)
+
+    def test_stream_isolated_from_other_registry_streams(self):
+        # Pulling unrelated named streams first never changes fault draws.
+        plan = FaultPlan(pmc_drop_prob=0.5)
+        reg_a = RngRegistry(11)
+        reg_b = RngRegistry(11)
+        reg_b.stream("kernel")
+        reg_b.stream("target0.CG")
+        inj_a = FaultInjector(plan, reg_a)
+        inj_b = FaultInjector(plan, reg_b)
+        s = _sample(10.0, 5.0, 8.0)
+        for _ in range(32):
+            a = inj_a.perturb_sample(1, s, None)
+            b = inj_b.perturb_sample(1, s, None)
+            assert (a is None) == (b is None)
+
+
+class TestAppFaultScheduling:
+
+    def _machine(self):
+        from repro.config import MachineConfig
+        from repro.hw.machine import Machine
+        from repro.sim.engine import Engine
+        from repro.sim.trace import TraceRecorder
+
+        engine = Engine()
+        machine = Machine(MachineConfig(n_cpus=4), engine, TraceRecorder())
+        return engine, machine
+
+    def _apps(self, machine, n=2):
+        import numpy as np
+
+        from repro.workloads.base import Application, ApplicationSpec
+        from repro.workloads.patterns import ConstantPattern
+
+        specs = [
+            ApplicationSpec(
+                name=f"app{i}",
+                n_threads=2,
+                work_per_thread_us=1e9,
+                pattern=ConstantPattern(5.0),
+                footprint_lines=256.0,
+            )
+            for i in range(n)
+        ]
+        return [
+            Application.launch(s, machine, np.random.default_rng(i))
+            for i, s in enumerate(specs)
+        ]
+
+    def test_certain_crash_kills_all_threads(self):
+        engine, machine = self._machine()
+        apps = self._apps(machine)
+        inj = _injector(FaultPlan(crash_prob=1.0, crash_mean_time_us=1_000.0))
+        inj.schedule_app_faults(engine, machine, apps)
+        engine.run_until(1_000_000.0, advancer=machine)
+        assert inj.apps_crashed == 2
+        assert all(t.finished for a in apps for t in a.threads)
+
+    def test_immune_apps_never_faulted(self):
+        engine, machine = self._machine()
+        apps = self._apps(machine)
+        inj = _injector(FaultPlan(crash_prob=1.0, crash_mean_time_us=1_000.0))
+        inj.schedule_app_faults(
+            engine, machine, apps, immune_ids={apps[0].app_id}
+        )
+        engine.run_until(1_000_000.0, advancer=machine)
+        assert inj.apps_crashed == 1
+        assert not any(t.finished for t in apps[0].threads)
+        assert all(t.finished for t in apps[1].threads)
+
+    def test_hang_stalls_threads_without_finishing_them(self):
+        engine, machine = self._machine()
+        apps = self._apps(machine)
+        inj = _injector(FaultPlan(hang_prob=1.0, hang_mean_time_us=1_000.0))
+        inj.schedule_app_faults(engine, machine, apps)
+        engine.run_until(1_000_000.0, advancer=machine)
+        assert inj.apps_hung == 2
+        for a in apps:
+            for t in a.threads:
+                assert machine.thread(t.tid).stalled
+                assert not machine.thread(t.tid).finished
+
+    def test_transient_stall_resumes(self):
+        engine, machine = self._machine()
+        apps = self._apps(machine, n=1)
+        inj = _injector(
+            FaultPlan(
+                stall_prob=1.0, stall_duration_us=5_000.0, stall_check_period_us=50_000.0
+            )
+        )
+        inj.schedule_app_faults(engine, machine, apps)
+        # First lottery fires at 50 ms and stalls; by 58 ms it has resumed.
+        engine.run_until(52_000.0, advancer=machine)
+        assert inj.stalls_injected >= 1
+        assert all(machine.thread(t.tid).stalled for t in apps[0].threads)
+        engine.run_until(58_000.0, advancer=machine)
+        assert not any(machine.thread(t.tid).stalled for t in apps[0].threads)
+
+    def test_draws_consumed_for_immune_apps(self):
+        # Immunity masks the fault but must not shift the stream: the
+        # non-immune apps' crash decisions are identical either way.
+        def crashed_indices(immune_indices):
+            engine, machine = self._machine()
+            apps = self._apps(machine, n=4)
+            inj = _injector(FaultPlan(crash_prob=0.5, crash_mean_time_us=1_000.0))
+            immune = {apps[i].app_id for i in immune_indices}
+            inj.schedule_app_faults(engine, machine, apps, immune_ids=immune)
+            engine.run_until(1_000_000.0, advancer=machine)
+            return {
+                i for i, a in enumerate(apps) if all(t.finished for t in a.threads)
+            }
+
+        free = crashed_indices(set())
+        masked = crashed_indices({0, 1})
+        assert masked == free - {0, 1}

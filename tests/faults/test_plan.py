@@ -1,0 +1,85 @@
+"""FaultPlan validation, scaling and gating semantics."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.faults import FaultPlan
+
+
+class TestValidation:
+
+    def test_default_plan_is_inert(self):
+        plan = FaultPlan()
+        assert not plan.enabled
+        assert not plan.any_pmc_faults
+        assert not plan.any_signal_faults
+        assert not plan.any_app_faults
+
+    @pytest.mark.parametrize(
+        "kwargs",
+        [
+            dict(pmc_drop_prob=-0.1),
+            dict(pmc_drop_prob=1.5),
+            dict(signal_drop_prob=2.0),
+            dict(crash_prob=-1.0),
+            dict(pmc_jitter=-0.2),
+            dict(signal_delay_us=-1.0),
+            dict(crash_mean_time_us=0.0),
+            dict(hang_mean_time_us=-5.0),
+            dict(stall_duration_us=0.0),
+            dict(stall_check_period_us=0.0),
+            # PMC categorical classes must share one unit interval.
+            dict(pmc_drop_prob=0.5, pmc_wrap_prob=0.4, pmc_stale_prob=0.2),
+        ],
+    )
+    def test_invalid_rejected(self, kwargs):
+        with pytest.raises(ConfigError):
+            FaultPlan(**kwargs)
+
+    def test_family_flags(self):
+        assert FaultPlan(pmc_jitter=0.1).any_pmc_faults
+        assert FaultPlan(pmc_drop_prob=0.1).any_pmc_faults
+        assert FaultPlan(signal_drop_prob=0.1).any_signal_faults
+        assert FaultPlan(signal_delay_us=10.0).any_signal_faults
+        assert FaultPlan(crash_prob=0.1).any_app_faults
+        assert FaultPlan(hang_prob=0.1).any_app_faults
+        assert FaultPlan(stall_prob=0.1).any_app_faults
+        assert FaultPlan(stall_prob=0.1).enabled
+
+    def test_to_dict_round_trips(self):
+        plan = FaultPlan(pmc_jitter=0.2, signal_drop_prob=0.1)
+        assert FaultPlan(**plan.to_dict()) == plan
+
+
+class TestScaled:
+
+    def test_zero_intensity_disables(self):
+        plan = FaultPlan(pmc_jitter=0.2, signal_drop_prob=0.1, crash_prob=0.3)
+        assert not plan.scaled(0.0).enabled
+
+    def test_unit_intensity_is_identity(self):
+        plan = FaultPlan(pmc_jitter=0.2, signal_drop_prob=0.1, signal_delay_us=200.0)
+        assert plan.scaled(1.0) == plan
+
+    def test_linear_in_probs_jitter_and_delay(self):
+        plan = FaultPlan(pmc_jitter=0.2, signal_drop_prob=0.1, signal_delay_us=200.0)
+        half = plan.scaled(0.5)
+        assert half.pmc_jitter == pytest.approx(0.1)
+        assert half.signal_drop_prob == pytest.approx(0.05)
+        assert half.signal_delay_us == pytest.approx(100.0)
+
+    def test_probabilities_clamped_at_one(self):
+        plan = FaultPlan(signal_drop_prob=0.6)
+        assert plan.scaled(3.0).signal_drop_prob == 1.0
+
+    def test_time_scales_and_immunity_preserved(self):
+        plan = FaultPlan(
+            hang_prob=0.2, hang_mean_time_us=7_000.0, targets_immune=False
+        )
+        scaled = plan.scaled(0.5)
+        assert scaled.hang_mean_time_us == 7_000.0
+        assert scaled.targets_immune is False
+
+    def test_negative_intensity_rejected(self):
+        with pytest.raises(ConfigError):
+            FaultPlan(signal_drop_prob=0.1).scaled(-1.0)
