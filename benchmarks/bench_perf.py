@@ -1,7 +1,8 @@
 """PERF: solver/dispatch variants, wall clock, and cache effectiveness.
 
 A standalone script (not a pytest-benchmark module) that times ``run_fig2``
-four ways and writes ``BENCH_fig2.json``:
+four ways, times the vectorized hot path on a scaled-up workload, and
+writes ``BENCH_fig2.json``:
 
 1. **serial / cache off** — the pre-optimization baseline
    (``solve_cache_size=0``);
@@ -17,13 +18,24 @@ warm starts, and root-finder throughput evaluations — the optimizations'
 job is to make the last number drop. The script asserts the variants agree
 on the figure's actual rows: chunked parallel must match serial *exactly*;
 cache-off and newton must match the cached bisect run to solver tolerance
-(the CI benchmark smoke job runs this script at ``--scale 0.1`` and fails
-on any violation).
+(the CI benchmark smoke job runs this script and fails on any violation).
 
-On boxes with fewer than two CPUs the parallel variant still runs (the
-bit-identity gate is cheap and always worth keeping), but its speedup
-fields are annotated as not meaningful rather than reporting a misleading
-sub-1x "speedup" from oversubscribing a single core.
+The **vectorized** section scales the fig2 workload up to a large SMP
+(default: 256 CPUs, 128 target app instances of Barnes/SP/CG/Raytrace
+plus 128 microbenchmark background apps under the Quanta Window policy)
+and times ``solver_mode="vector"`` + incremental selection against the
+PR 5 state of the art, ``solver_mode="newton"`` + full re-rank selection.
+The two runs must produce *bit-identical* ``RunResult``s — the speedup is
+pure evaluation-order-preserving batching — and the report carries the
+hot-path counters (``batched_lanes``, ``dirty_mask_hits``, the fraction
+of per-job estimates actually re-scored) that prove where the time went.
+
+Parallel timing is only reported as a speedup where it can be one: the
+script records both ``os.cpu_count()`` and the scheduler affinity mask,
+and on boxes where fewer than two CPUs are actually usable the
+``run_many`` entries are annotated as skipped (with the reason) rather
+than reporting a misleading sub-1x "speedup" from oversubscribing a
+single core. The bit-identity gate still runs with 2 workers either way.
 
 Usage::
 
@@ -41,6 +53,19 @@ import time
 
 from repro.config import BusConfig, MachineConfig
 from repro.parallel import fork_available, resolve_jobs
+
+#: Application subset for the scaled-up vectorized gate: two
+#: bandwidth-hungry codes (SP, CG), one cache-friendly (Barnes) and one
+#: mixed (Raytrace), mirroring the fig2 "set A vs set C" spread.
+SCALED_APPS = ["Barnes", "SP", "CG", "Raytrace"]
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
 
 
 def _machine(cache: bool, solver: str = "bisect") -> MachineConfig:
@@ -99,6 +124,176 @@ def _run(set_name: str, machine: MachineConfig, jobs: int, scale: float,
     return results, stats
 
 
+def _scaled_spec(mode: str, incremental: bool, n_cpus: int, inst: int,
+                 scale: float, seed: int, profile: bool = False):
+    """One scaled-up fig2 workload under Quanta Window.
+
+    ``inst`` instances of each app in :data:`SCALED_APPS` (two threads
+    each), ``3*inst`` BBMA + ``inst`` nBBMA background apps, on an
+    ``n_cpus``-way machine whose bus capacity scales with the CPU count.
+    Policies are cloned per call so estimator state never crosses runs.
+    """
+    from repro.config import LinuxSchedConfig, ManagerConfig
+    from repro.experiments.base import SimulationSpec
+    from repro.experiments.fig2 import _fresh_policy, default_policies
+    from repro.workloads.microbench import bbma_spec, nbbma_spec
+    from repro.workloads.suites import PAPER_APPS
+
+    machine = MachineConfig(
+        n_cpus=n_cpus,
+        bus=BusConfig(
+            solver_mode=mode,
+            capacity_txus=BusConfig().capacity_txus * (n_cpus / 4.0),
+        ),
+    )
+    manager = ManagerConfig()
+    template = default_policies(manager)[1]  # Quanta Window
+    template.incremental = incremental
+    targets = []
+    for name in SCALED_APPS:
+        app = PAPER_APPS[name].scaled(scale)
+        targets.extend([app] * inst)
+    background = [bbma_spec() for _ in range(3 * inst)]
+    background += [nbbma_spec() for _ in range(inst)]
+    return SimulationSpec(
+        targets=targets,
+        background=background,
+        scheduler=_fresh_policy(template),
+        machine=machine,
+        manager=manager,
+        linux=LinuxSchedConfig(),
+        seed=seed,
+        profile=profile,
+    )
+
+
+def _best_of(reps: int, make_spec, run):
+    """Best wall-clock over ``reps`` runs of freshly-built specs."""
+    best = float("inf")
+    result = None
+    for _ in range(reps):
+        spec = make_spec()
+        start = time.perf_counter()
+        result = run(spec)
+        best = min(best, time.perf_counter() - start)
+    return best, result
+
+
+def _vector_benchmark(n_cpus: int, inst: int, scale: float, seed: int,
+                      reps: int) -> dict:
+    """Time vector+incremental against newton+full-rerank, bit-for-bit."""
+    from repro.experiments.base import run_simulation
+
+    def newton_spec():
+        return _scaled_spec("newton", False, n_cpus, inst, scale, seed)
+
+    def vector_spec():
+        return _scaled_spec("vector", True, n_cpus, inst, scale, seed)
+
+    t_newton, r_newton = _best_of(reps, newton_spec, run_simulation)
+    t_vector, r_vector = _best_of(reps, vector_spec, run_simulation)
+    identical = r_newton == r_vector
+    assert identical, "vectorized hot path diverged from the newton reference"
+
+    # One extra profiled run for the hot-path counters (never timed: the
+    # per-phase timers themselves cost wall clock).
+    profiled = run_simulation(
+        _scaled_spec("vector", True, n_cpus, inst, scale, seed, profile=True)
+    )
+    prof = profiled.profile or {}
+    rescored = prof.get("sel_est_rescored", 0)
+    reused = prof.get("sel_est_reused", 0)
+    section = {
+        "workload": {
+            "n_cpus": n_cpus,
+            "apps": SCALED_APPS,
+            "instances_per_app": inst,
+            "target_apps": len(SCALED_APPS) * inst,
+            "background_apps": 4 * inst,
+            "work_scale": scale,
+            "scheduler": "quanta-window",
+            "seed": seed,
+        },
+        "best_of": reps,
+        "serial_newton_warm": {
+            "wall_clock_s": round(t_newton, 4),
+            "solver_mode": "newton",
+            "incremental_selection": False,
+            "solve_calls": r_newton.bus_solve_calls,
+            "solver_steps": r_newton.bus_bisection_steps,
+        },
+        "vectorized": {
+            "wall_clock_s": round(t_vector, 4),
+            "solver_mode": "vector",
+            "incremental_selection": True,
+            "solve_calls": r_vector.bus_solve_calls,
+            "solver_steps": r_vector.bus_bisection_steps,
+            "batched_lanes": prof.get("batched_lanes", 0),
+            "dirty_mask_hits": prof.get("dirty_mask_hits", 0),
+            "sel_est_rescored": rescored,
+            "sel_est_reused": reused,
+            "sel_rerank_fraction": (
+                round(rescored / (rescored + reused), 4)
+                if (rescored + reused)
+                else None
+            ),
+        },
+        "speedup_vs_newton": round(t_newton / t_vector, 2),
+        "bit_identical_newton_vector": identical,
+    }
+    return section
+
+
+def _multicore_benchmark(n_cpus: int, inst: int, scale: float, seed: int,
+                         jobs: int, cpu_count: int, affinity: int) -> dict:
+    """``run_many`` speedup over replications of the scaled workload.
+
+    Honest by construction: the speedup is only measured (and reported)
+    when at least two CPUs are actually usable by this process *and*
+    fork-based workers exist; otherwise the entry says exactly why it was
+    skipped instead of timing oversubscription.
+    """
+    from repro.parallel import run_many
+
+    section = {
+        "cpu_count": cpu_count,
+        "affinity_cpus": affinity,
+        "fork_available": fork_available(),
+        "jobs": jobs,
+    }
+    meaningful = affinity >= 2 and jobs > 1 and fork_available()
+    if not meaningful:
+        section["skipped"] = True
+        section["note"] = (
+            f"cpu_count={cpu_count}, usable (affinity) CPUs={affinity}, "
+            f"jobs={jobs}, fork={fork_available()}: a run_many speedup "
+            "needs >=2 usable CPUs and fork workers; timing parallel "
+            "dispatch here would measure oversubscription, not speedup"
+        )
+        return section
+
+    def grid():
+        return [
+            _scaled_spec("vector", True, n_cpus, inst, scale, seed + i)
+            for i in range(jobs)
+        ]
+
+    t_serial, r_serial = _best_of(1, grid, lambda s: run_many(s, jobs=1))
+    t_par, r_par = _best_of(1, grid, lambda s: run_many(s, jobs=jobs))
+    assert r_par == r_serial, "run_many diverged from serial on scaled grid"
+    section.update(
+        {
+            "skipped": False,
+            "replications": jobs,
+            "serial_wall_clock_s": round(t_serial, 4),
+            "parallel_wall_clock_s": round(t_par, 4),
+            "run_many_speedup": round(t_serial / t_par, 2),
+            "bit_identical_serial_parallel": True,
+        }
+    )
+    return section
+
+
 def _assert_within_tolerance(reference, candidate, label: str) -> None:
     """Every finished turnaround must agree to solver tolerance."""
     for a, b in zip(reference, candidate):
@@ -120,14 +315,35 @@ def main(argv: list[str] | None = None) -> int:
         help="comma-separated application subset",
     )
     parser.add_argument("--out", type=str, default="BENCH_fig2.json")
+    parser.add_argument(
+        "--vector-cpus", type=int, default=256,
+        help="machine size for the scaled-up vectorized gate",
+    )
+    parser.add_argument(
+        "--vector-inst", type=int, default=32,
+        help="instances of each scaled app (targets = 4*inst)",
+    )
+    parser.add_argument(
+        "--vector-scale", type=float, default=0.05,
+        help="work scale for the vectorized gate workload",
+    )
+    parser.add_argument(
+        "--best-of", type=int, default=2,
+        help="timing repetitions per vectorized variant (best wins)",
+    )
+    parser.add_argument(
+        "--skip-vector", action="store_true",
+        help="skip the scaled-up vectorized section entirely",
+    )
     args = parser.parse_args(argv)
     apps = [a.strip() for a in args.apps.split(",") if a.strip()]
     jobs = resolve_jobs(args.jobs)
     cpu_count = os.cpu_count() or 1
-    # On a 1-core (or fork-less) box a timed parallel run only measures
-    # oversubscription; still verify bit-identity with 2 workers, but
-    # annotate the timing as meaningless.
-    parallel_meaningful = cpu_count >= 2 and jobs > 1 and fork_available()
+    affinity = usable_cpus()
+    # On a 1-core (or fork-less, or affinity-restricted) box a timed
+    # parallel run only measures oversubscription; still verify
+    # bit-identity with 2 workers, but annotate the timing as meaningless.
+    parallel_meaningful = affinity >= 2 and jobs > 1 and fork_available()
     parallel_jobs = jobs if parallel_meaningful else 2
 
     variants = {}
@@ -148,9 +364,10 @@ def main(argv: list[str] | None = None) -> int:
     if not parallel_meaningful:
         variants["parallel_chunked"]["timing_meaningful"] = False
         variants["parallel_chunked"]["note"] = (
-            f"cpu_count={cpu_count}, jobs={jobs}, fork={fork_available()}: "
-            "ran with 2 workers for the bit-identity gate only; wall clock "
-            "measures oversubscription, not speedup"
+            f"cpu_count={cpu_count}, usable (affinity) CPUs={affinity}, "
+            f"jobs={jobs}, fork={fork_available()}: ran with 2 workers for "
+            "the bit-identity gate only; wall clock measures "
+            "oversubscription, not speedup"
         )
 
     # Correctness gates: chunked parallel must be exactly serial; neither
@@ -159,6 +376,17 @@ def main(argv: list[str] | None = None) -> int:
     assert parallel_results == cached_results, "parallel diverged from serial"
     _assert_within_tolerance(base_results, cached_results, "cache")
     _assert_within_tolerance(cached_results, newton_results, "newton solver")
+
+    vector_section = None
+    if not args.skip_vector:
+        vector_section = _vector_benchmark(
+            args.vector_cpus, args.vector_inst, args.vector_scale,
+            args.seed, args.best_of,
+        )
+    multicore_section = _multicore_benchmark(
+        args.vector_cpus, args.vector_inst, args.vector_scale, args.seed,
+        jobs, cpu_count, affinity,
+    )
 
     base = variants["serial_cache_off"]
     cached = variants["serial_cache_on"]
@@ -171,7 +399,13 @@ def main(argv: list[str] | None = None) -> int:
         "seed": args.seed,
         "jobs": jobs,
         "cpu_count": cpu_count,
+        "affinity_cpus": affinity,
         "variants": variants,
+        "vectorized": vector_section,
+        "multicore": multicore_section,
+        "vector_speedup_vs_newton": (
+            vector_section["speedup_vs_newton"] if vector_section else None
+        ),
         "bisection_reduction_pct": round(
             100.0 * (1.0 - cached["solver_steps"] / base["solver_steps"]), 1
         )

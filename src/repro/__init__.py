@@ -24,6 +24,26 @@ See ``examples/`` for complete scenarios and ``python -m repro all`` to
 regenerate the paper's evaluation.
 """
 
+_NUMPY_MIN = (1, 24)
+
+try:
+    import numpy as _np
+except ImportError as _exc:  # pragma: no cover - environment dependent
+    raise ImportError(
+        "repro requires numpy >= {}.{} for the vectorized bus solver and "
+        "settle path (see DESIGN.md, 'Hot path'); install it with "
+        "'pip install numpy'".format(*_NUMPY_MIN)
+    ) from _exc
+
+_np_version = tuple(int(p) for p in _np.__version__.split(".")[:2])
+if _np_version < _NUMPY_MIN:  # pragma: no cover - environment dependent
+    raise ImportError(
+        "repro requires numpy >= {}.{}, found {} — older releases predate "
+        "the strict left-to-right cumsum semantics the bit-identity gates "
+        "rely on".format(*_NUMPY_MIN, _np.__version__)
+    )
+del _np, _np_version
+
 from .config import (
     BusConfig,
     CacheConfig,

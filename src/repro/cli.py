@@ -111,6 +111,15 @@ def build_parser() -> argparse.ArgumentParser:
         ),
     )
     parser.add_argument(
+        "--solver", choices=["bisect", "newton", "vector"], default=None,
+        help=(
+            "bus solver mode override for 'fig2' and 'table1' (default: the "
+            "MachineConfig default); all three modes produce equivalent "
+            "physics — 'vector' additionally arms the numpy-batched settle "
+            "path and is bit-identical to 'newton' (see DESIGN.md)"
+        ),
+    )
+    parser.add_argument(
         "--profile", action="store_true",
         help=(
             "collect per-phase profiling (solver/settle/dispatch time, cache "
@@ -168,12 +177,29 @@ def _print_profile() -> None:
         print(f"  {key:<22} {text}", file=sys.stderr)
     print(f"  {'cache_hit_rate':<22} {hit_rate:.3f}", file=sys.stderr)
     print(f"  {'solve_skip_rate':<22} {skip_rate:.3f}", file=sys.stderr)
+    rescored = agg.get("sel_est_rescored", 0.0)
+    reused = agg.get("sel_est_reused", 0.0)
+    if rescored + reused > 0.0:
+        rerank = rescored / (rescored + reused)
+        print(f"  {'sel_rerank_fraction':<22} {rerank:.3f}", file=sys.stderr)
 
 
 def _apps_arg(args: argparse.Namespace) -> list[str] | None:
     if args.apps is None:
         return None
     return [a.strip() for a in args.apps.split(",") if a.strip()]
+
+
+def _machine_arg(args: argparse.Namespace):
+    """A MachineConfig honouring --solver, or None for the default."""
+    if args.solver is None:
+        return None
+    from dataclasses import replace
+
+    from .config import MachineConfig
+
+    base = MachineConfig()
+    return replace(base, bus=replace(base.bus, solver_mode=args.solver))
 
 
 def _run_calibration(args: argparse.Namespace) -> None:
@@ -204,7 +230,8 @@ def _run_fig2(args: argparse.Namespace) -> None:
     sets = ["A", "B", "C"] if args.set_name == "all" else [args.set_name]
     for set_name in sets:
         rows = run_fig2(
-            set_name, seed=args.seed, work_scale=args.scale, apps=_apps_arg(args),
+            set_name, machine=_machine_arg(args), seed=args.seed,
+            work_scale=args.scale, apps=_apps_arg(args),
             jobs=args.jobs, progress=_progress(args),
         )
         print(format_fig2(set_name, rows))
@@ -217,8 +244,8 @@ def _run_table1(args: argparse.Namespace) -> None:
 
     results = {
         s: run_fig2(
-            s, seed=args.seed, work_scale=args.scale, apps=_apps_arg(args),
-            jobs=args.jobs,
+            s, machine=_machine_arg(args), seed=args.seed, work_scale=args.scale,
+            apps=_apps_arg(args), jobs=args.jobs,
         )
         for s in ("A", "B", "C")
     }

@@ -91,6 +91,16 @@ class BusConfig:
         (``tests/hw/test_bus_newton.py`` proves the equivalence on
         randomized workloads); newton typically needs ~5× fewer
         throughput evaluations.
+        ``"vector"`` — the same guarded-Newton iteration with every
+        per-lane evaluation batched into numpy array operations (one
+        elementwise kernel per iteration instead of a Python loop over
+        lanes). The array kernels evaluate the identical IEEE-754
+        expressions with sequential (``cumsum``) reductions, so vector
+        mode is *bitwise identical* to newton mode
+        (``tests/hw/test_bus_vector.py``) — it is the fast path, newton
+        the scalar A/B reference. Selecting vector mode also arms the
+        vectorized settle loop and dirty-mask entry reuse in
+        :class:`repro.hw.machine.Machine`.
     solve_cache_size:
         Capacity (entries) of the LRU memo cache inside
         :meth:`repro.hw.bus.BusModel.solve`, keyed on the canonicalized
@@ -121,7 +131,7 @@ class BusConfig:
         )
         _require(0 < self.fixed_point_tol < 1e-2, "fixed_point_tol out of range")
         _require(
-            self.solver_mode in ("bisect", "newton"),
+            self.solver_mode in ("bisect", "newton", "vector"),
             f"unknown solver mode {self.solver_mode!r}",
         )
         _require(self.solve_cache_size >= 0, "solve_cache_size must be >= 0")

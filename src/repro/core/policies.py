@@ -138,6 +138,22 @@ class BandwidthPolicy(ABC):
         Scoring function (Equation 1 by default; see ABL-F).
     fitness_scale:
         Numerator of Equation 1.
+    incremental:
+        Use the incremental selection pass (default): per-application
+        estimates are computed once per quantum and cached until the
+        estimator absorbs new data (``on_sample``/``on_quantum``/
+        ``forget`` invalidate), the allocated-BBW sum is maintained as a
+        running accumulator, and — for the stock Equation 1 fitness —
+        each traversal scores all candidates in one numpy pass.
+        Selections are *identical* to the reference full-re-rank loop
+        (``incremental=False``): cached estimates equal fresh ones by the
+        invalidation contract, the running sum reproduces the reference's
+        left-to-right partial sums bitwise, and ``np.argmax`` implements
+        the same first-strict-maximum tie-break as the reference scan
+        (the audit differential oracle and
+        ``tests/core/test_policies_incremental.py`` both pin this down).
+        Subclasses that mutate estimator state outside the three hooks
+        must call :meth:`_invalidate_estimate` themselves.
     """
 
     #: Short name used in reports.
@@ -153,6 +169,7 @@ class BandwidthPolicy(ABC):
         bus_capacity_txus: float = 29.5,
         fitness_fn: FitnessFn | None = None,
         fitness_scale: float = 1000.0,
+        incremental: bool = True,
     ) -> None:
         if bus_capacity_txus <= 0:
             raise SchedulingError("bus capacity must be positive")
@@ -160,6 +177,12 @@ class BandwidthPolicy(ABC):
         self._fitness_fn = fitness_fn
         self._fitness_scale = fitness_scale
         self._rng: np.random.Generator | None = None
+        self.incremental = incremental
+        # app_id -> cached effective_estimate(), dropped on invalidation.
+        self._est_cache: dict[int, float] = {}
+        self._selection_calls = 0
+        self._est_rescored = 0
+        self._est_reused = 0
 
     def bind_rng(self, rng: np.random.Generator) -> None:
         """Provide the policy's random stream (used by randomized variants)."""
@@ -224,6 +247,34 @@ class BandwidthPolicy(ABC):
         est = self.estimate(app_id)
         return 0.0 if est is None else est
 
+    def _invalidate_estimate(self, app_id: int) -> None:
+        """Drop the cached effective estimate (estimator state changed)."""
+        self._est_cache.pop(app_id, None)
+
+    def _cached_estimate(self, app_id: int) -> float:
+        """``effective_estimate`` through the invalidation-tracked cache."""
+        cached = self._est_cache.get(app_id)
+        if cached is None:
+            cached = self.effective_estimate(app_id)
+            self._est_cache[app_id] = cached
+            self._est_rescored += 1
+        else:
+            self._est_reused += 1
+        return cached
+
+    def selection_profile(self) -> dict[str, float]:
+        """Selection-pass counters (merged into ``RunResult.profile``).
+
+        ``sel_est_rescored`` counts estimator evaluations the cache could
+        not serve; ``sel_est_reused`` counts cache hits — their ratio is
+        the re-rank fraction the CLI's ``--profile`` report derives.
+        """
+        return {
+            "selection_calls": float(self._selection_calls),
+            "sel_est_rescored": float(self._est_rescored),
+            "sel_est_reused": float(self._est_reused),
+        }
+
     def select(self, jobs: list[JobView], n_cpus: int) -> Selection:
         """Run the paper's selection algorithm over ``jobs`` in list order.
 
@@ -238,6 +289,9 @@ class BandwidthPolicy(ABC):
                     f"application {job.app_id} needs {job.width} CPUs on an "
                     f"{n_cpus}-CPU machine; gang policies cannot ever run it"
                 )
+        self._selection_calls += 1
+        if self.incremental:
+            return self._select_incremental(jobs, n_cpus)
         chosen: list[JobView] = []
         chosen_ids: set[int] = set()
         abbw_trace: list[float] = []
@@ -277,6 +331,83 @@ class BandwidthPolicy(ABC):
     def _candidate_score(self, job: JobView, abbw_per_proc: float) -> float:
         return self.fitness(abbw_per_proc, self.effective_estimate(job.app_id))
 
+    def _select_incremental(self, jobs: list[JobView], n_cpus: int) -> Selection:
+        """Incremental/vectorized selection — same result as the reference.
+
+        Three changes, each selection-identical (see class docstring):
+        estimates come from the invalidation-tracked cache and are looked
+        up once per job per quantum, ``allocated_bbw`` is a running sum
+        (the reference's per-round recomputation yields the same
+        left-to-right partial sums), and with the stock Equation 1 the
+        per-round candidate scan is one elementwise numpy pass whose
+        ``argmax`` matches the reference's first-strict-maximum scan.
+        """
+        chosen_ids: list[int] = []
+        abbw_trace: list[float] = []
+        free = n_cpus
+        ests = [self._cached_estimate(job.app_id) for job in jobs]
+        allocated_bbw = 0.0
+        # Step 1: head of the list runs by default (no starvation).
+        head_idx: int | None = None
+        for i, job in enumerate(jobs):
+            if job.width <= free:
+                head_idx = i
+                chosen_ids.append(job.app_id)
+                free -= job.width
+                allocated_bbw += ests[i] * job.width
+                break
+        # The numpy scan implements Equation 1 only; a custom fitness_fn
+        # or an overridden _candidate_score (RandomGangPolicy consumes the
+        # rng stream per candidate) falls back to the scalar scan.
+        vector_scan = (
+            self._fitness_fn is None
+            and type(self)._candidate_score is BandwidthPolicy._candidate_score
+        )
+        if vector_scan:
+            est_arr = np.array(ests)
+            width_arr = np.array([job.width for job in jobs])
+            id_arr = np.array([job.app_id for job in jobs])
+            avail = np.ones(len(jobs), dtype=bool)
+            if head_idx is not None:
+                # Mask by app_id, like the reference's chosen-id set (a
+                # duplicated id excludes every entry carrying it).
+                avail[id_arr == jobs[head_idx].app_id] = False
+            scale = self._fitness_scale
+        else:
+            taken = set(chosen_ids)
+        # Step 2: fitness-driven traversals.
+        while free > 0:
+            abbw_per_proc = (self.bus_capacity_txus - allocated_bbw) / free
+            best_idx: int | None = None
+            if vector_scan:
+                mask = avail & (width_arr <= free)
+                if mask.any():
+                    scores = np.where(
+                        mask, scale / (1.0 + np.abs(abbw_per_proc - est_arr)), -np.inf
+                    )
+                    best_idx = int(np.argmax(scores))
+            else:
+                best_score = -float("inf")
+                for i, job in enumerate(jobs):
+                    if job.app_id in taken or job.width > free:
+                        continue
+                    score = self._candidate_score(job, abbw_per_proc)
+                    if score > best_score:
+                        best_score = score
+                        best_idx = i
+            if best_idx is None:
+                break
+            best = jobs[best_idx]
+            abbw_trace.append(abbw_per_proc)
+            chosen_ids.append(best.app_id)
+            free -= best.width
+            allocated_bbw += ests[best_idx] * best.width
+            if vector_scan:
+                avail[id_arr == best.app_id] = False
+            else:
+                taken.add(best.app_id)
+        return Selection(app_ids=tuple(chosen_ids), abbw_trace=tuple(abbw_trace))
+
 
 class LatestQuantumPolicy(BandwidthPolicy):
     """BBW/thread = the rate over the latest quantum the job ran (Eq. 1)."""
@@ -301,6 +432,7 @@ class LatestQuantumPolicy(BandwidthPolicy):
         if saturated and current is not None and rate_per_thread < current:
             return  # lower bound only: keep the higher previous estimate
         self._last[app_id] = rate_per_thread
+        self._invalidate_estimate(app_id)
 
     def estimate(self, app_id: int) -> float | None:
         return self._last.get(app_id)
@@ -311,6 +443,7 @@ class LatestQuantumPolicy(BandwidthPolicy):
     def forget(self, app_id: int) -> None:
         self._last.pop(app_id, None)
         self._updated.pop(app_id, None)
+        self._invalidate_estimate(app_id)
 
 
 class QuantaWindowPolicy(BandwidthPolicy):
@@ -339,6 +472,7 @@ class QuantaWindowPolicy(BandwidthPolicy):
         time_us: float | None = None,
     ) -> None:
         window = self._windows.setdefault(app_id, MovingWindow(self.window_length))
+        self._invalidate_estimate(app_id)
         current = window.average()
         if saturated and current is not None and rate_per_thread < current:
             # Lower bound only: re-push the current average so the window
@@ -362,6 +496,7 @@ class QuantaWindowPolicy(BandwidthPolicy):
 
     def forget(self, app_id: int) -> None:
         self._windows.pop(app_id, None)
+        self._invalidate_estimate(app_id)
 
 
 class EwmaPolicy(BandwidthPolicy):
@@ -389,6 +524,7 @@ class EwmaPolicy(BandwidthPolicy):
         time_us: float | None = None,
     ) -> None:
         est = self._estimates.setdefault(app_id, EwmaEstimator(self.alpha))
+        self._invalidate_estimate(app_id)
         current = est.average()
         if saturated and current is not None and rate_per_thread < current:
             if time_us is not None and current is not None:
@@ -406,6 +542,7 @@ class EwmaPolicy(BandwidthPolicy):
 
     def forget(self, app_id: int) -> None:
         self._estimates.pop(app_id, None)
+        self._invalidate_estimate(app_id)
 
 
 class OraclePolicy(BandwidthPolicy):
@@ -430,7 +567,9 @@ class OraclePolicy(BandwidthPolicy):
 
     def select(self, jobs, n_cpus):
         for job in jobs:
-            self._names[job.app_id] = job.name
+            if self._names.get(job.app_id) != job.name:
+                self._names[job.app_id] = job.name
+                self._invalidate_estimate(job.app_id)
         return super().select(jobs, n_cpus)
 
 

@@ -385,6 +385,8 @@ def run_simulation_with_handle(
         result = dataclasses.replace(result, audit=handle.auditor.finalize())
     if spec.profile or profiling.enabled():
         snapshot = handle.machine.profile_snapshot()
+        if handle.manager is not None:
+            snapshot.update(handle.manager.policy.selection_profile())
         result = dataclasses.replace(result, profile=snapshot)
         profiling.record(snapshot)
     return result, handle

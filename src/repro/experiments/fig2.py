@@ -192,6 +192,7 @@ def _fresh_policy(template: BandwidthPolicy) -> BandwidthPolicy:
         bus_capacity_txus=template.bus_capacity_txus,
         fitness_fn=template._fitness_fn,
         fitness_scale=template._fitness_scale,
+        incremental=template.incremental,
     )
     if isinstance(template, ModelDrivenPolicy):  # before its QuantaWindow base
         return ModelDrivenPolicy(

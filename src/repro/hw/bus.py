@@ -53,6 +53,17 @@ latency is determined by two regimes:
     iterate a lower bound on the root, so the iteration converges
     monotonically; any step that leaves the known bracket falls back to a
     bisection step. Both modes agree within ``fixed_point_tol``.
+  * ``"vector"`` — the newton iteration with all per-lane arithmetic
+    batched into numpy array kernels: one elementwise evaluation per
+    Newton step instead of a Python loop over lanes. The kernels compute
+    the *identical* IEEE-754 expression sequence (elementwise ``+ - × ÷``
+    round once, exactly like CPython floats) and reduce with ``cumsum``
+    (a strictly left-to-right scan, unlike ``np.sum``'s pairwise tree),
+    so every vector solve is **bitwise identical** to the newton solve it
+    replaces; below :data:`_VECTOR_MIN_LANES` lanes the scalar newton
+    loop runs instead (array-kernel launch overhead beats the loop there,
+    and the results are bit-equal either way). Lanes processed through
+    the batched kernels are counted on :attr:`BusModel.batched_lanes`.
 
 Consequences (all matching Section 3 of the paper by construction):
 
@@ -98,8 +109,10 @@ from __future__ import annotations
 import math
 import time
 from collections import OrderedDict
-from dataclasses import dataclass, replace
-from typing import Sequence
+from dataclasses import dataclass, field, replace
+from typing import Callable, Sequence
+
+import numpy as np
 
 from ..config import BusConfig
 from ..errors import WorkloadError
@@ -121,6 +134,11 @@ __all__ = [
 #: produces (they differ by far more than 1e-12 unless truly equal), while
 #: still collapsing bit-level noise from request-order permutations.
 _CACHE_DECIMALS = 12
+
+#: Minimum lane count for the ``"vector"`` solver's numpy kernels. Below
+#: this, per-call array construction costs more than the scalar loop it
+#: replaces; the scalar newton path runs instead (bit-equal either way).
+_VECTOR_MIN_LANES = 4
 
 
 class SharedSolveCache:
@@ -263,6 +281,13 @@ class BusSolution:
     latency_us: float
     total_txus: float
     saturated: bool = False
+    #: Vector mode only: the grants' speed / actual columns as float64
+    #: arrays (same bit patterns as the ``grants`` fields, request order).
+    #: ``None`` whenever the order guarantee cannot hold (scalar solves,
+    #: reordered memo hits). Observability of the batched kernel, excluded
+    #: from equality like the counters on ``RunResult``.
+    speeds_arr: "np.ndarray | None" = field(default=None, compare=False, repr=False)
+    actuals_arr: "np.ndarray | None" = field(default=None, compare=False, repr=False)
 
 
 class BusModel:
@@ -301,7 +326,12 @@ class BusModel:
         self._c = config.contention_coeff
         self._alpha = config.mem_exponent
         self._tol = config.fixed_point_tol
-        self._newton = config.solver_mode == "newton"
+        # "vector" is the newton iteration with batched lane evaluation:
+        # it shares the warm-start slot, the shared-cache exclusion and the
+        # saturation search; only the per-lane arithmetic differs (numpy
+        # kernels, bitwise identical — see module docstring).
+        self._newton = config.solver_mode in ("newton", "vector")
+        self._vector = config.solver_mode == "vector"
         # Warm-start slot: the previous *saturated* equilibrium latency of
         # this model (per machine, distinct from the LRU memo below). The
         # running set drifts little between adjacent quanta, so it seeds
@@ -312,6 +342,7 @@ class BusModel:
         self._shared_hits = 0
         self._warm_starts = 0
         self._bisection_steps = 0
+        self._batched_lanes = 0
         self._solve_time_s = 0.0
         self._profiling = False
         # Only the bisect mode may use the cross-run shared cache: its
@@ -375,6 +406,16 @@ class BusModel:
         it is the work the memo caches and the newton path exist to cut.
         """
         return self._bisection_steps
+
+    @property
+    def batched_lanes(self) -> int:
+        """Lanes evaluated through the vector mode's numpy kernels.
+
+        Incremented by the lane count of every shared-latency solve that
+        took the batched path (``solver_mode="vector"`` and at least
+        :data:`_VECTOR_MIN_LANES` requests); zero in the scalar modes.
+        """
+        return self._batched_lanes
 
     @property
     def solve_time_s(self) -> float:
@@ -461,8 +502,15 @@ class BusModel:
                 if stored_seq == key_seq:
                     return solution
                 # Same multiset, different request order: rebuild the
-                # grants tuple in the caller's order by value match.
-                return replace(solution, grants=tuple(grant_map[q] for q in key_seq))
+                # grants tuple in the caller's order by value match. The
+                # lane arrays are stored in the *original* order, so they
+                # must not ride along.
+                return replace(
+                    solution,
+                    grants=tuple(grant_map[q] for q in key_seq),
+                    speeds_arr=None,
+                    actuals_arr=None,
+                )
         shared = _SHARED_CACHE if (self._shared_ok and key is not None) else None
         if shared is not None:
             skey = (self._cfg, key_seq)
@@ -554,7 +602,11 @@ class BusModel:
         return total, grad
 
     def _saturation_root_newton(
-        self, params: list[tuple[float, float, float, float]], lam_c: float, cap: float
+        self,
+        params: list[tuple[float, float, float, float]],
+        lam_c: float,
+        cap: float,
+        grad_eval: "Callable[[float], tuple[float, float]] | None" = None,
     ) -> tuple[float, int]:
         """Solve ``throughput(lam) = cap`` by warm-started guarded Newton.
 
@@ -567,6 +619,10 @@ class BusModel:
         bisection stops at. A guard keeps every iterate inside the known
         ``(lo, hi)`` bracket, falling back to a bisection step (or bracket
         doubling while ``hi`` is unknown) whenever Newton would leave it.
+
+        ``grad_eval`` substitutes the throughput/derivative evaluation —
+        the vector mode passes its batched numpy kernel, which returns the
+        bitwise-identical values, so the iterate sequence is unchanged.
 
         Returns ``(root, evaluations)``.
         """
@@ -581,7 +637,10 @@ class BusModel:
         steps = 0
         for _ in range(200):
             steps += 1
-            g, dg = self._throughput_grad_hoisted(params, x)
+            if grad_eval is not None:
+                g, dg = grad_eval(x)
+            else:
+                g, dg = self._throughput_grad_hoisted(params, x)
             g -= cap
             if g > 0.0:
                 lo = max(lo, x)
@@ -636,7 +695,95 @@ class BusModel:
             total += a
         return tuple(grants), total
 
+    # ---------------------------------------------------- vector lane batch
+
+    def _vector_lanes(
+        self, requests: Sequence[BusRequest]
+    ) -> tuple["np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray", "np.ndarray"]:
+        """Hoist per-request constants into lane arrays (vector mode).
+
+        Array analogue of :meth:`_speed_params`: one float64 slot per lane
+        for ``r``, ``m``, ``1-m`` and ``1 + beta·(1-m)``, built with the
+        same expressions, plus the pre-collapsed gradient coefficient
+        ``r·((m·unfair)/lam0)`` (the lam-independent prefix of the grad
+        term — the same product sequence the scalar loop evaluates).
+        """
+        n = len(requests)
+        r = np.empty(n)
+        m = np.empty(n)
+        for i, req in enumerate(requests):
+            r[i] = req.rate_txus
+            m[i] = req.mem_fraction
+        one_minus_m = 1.0 - m
+        unfair = 1.0 + self._cfg.unfairness * one_minus_m
+        gcoef = r * ((m * unfair) / self._lam0)
+        return r, m, one_minus_m, unfair, gcoef
+
+    def _solve_shared_latency_vector(self, requests: Sequence[BusRequest]) -> BusSolution:
+        """Shared-latency equilibrium with numpy-batched lane evaluation.
+
+        Control flow is the newton solve verbatim — sub-saturation check,
+        guarded-Newton saturation search, grant fold — with every per-lane
+        Python loop replaced by one elementwise kernel over the lane
+        arrays. Reductions use ``cumsum`` (strictly left-to-right, the
+        accumulation order of the scalar loops; ``np.sum``'s pairwise tree
+        would round differently), and ``tolist()`` hands back the exact
+        float64 bit patterns, so the returned :class:`BusSolution` is
+        bitwise identical to the scalar newton mode's.
+        """
+        self._batched_lanes += len(requests)
+        cap = self._capacity
+        lam0 = self._lam0
+        r, m, one_minus_m, unfair, gcoef = self._vector_lanes(requests)
+
+        def speeds_at(lam: float) -> "np.ndarray":
+            # speed_at_latency, elementwise: lanes with m == 0 fall out
+            # exactly (denominator (1-0) + 0·x == 1.0 → s == 1.0), so no
+            # branch is needed to match the scalar shortcut bitwise.
+            lam_eff = lam0 + (lam - lam0) * unfair
+            d = one_minus_m + m * (lam_eff / lam0)
+            return 1.0 / d
+
+        def thr_grad(lam: float) -> tuple[float, float]:
+            s = speeds_at(lam)
+            total = float((r * s).cumsum()[-1])
+            # Scalar loop: grad -= term, term >= 0 — a running negation,
+            # and IEEE rounding is sign-symmetric, so negating the
+            # positive cumsum reproduces it bitwise. `0.0 - x` (not `-x`)
+            # keeps the all-zero-demand case at +0.0 like the scalar loop.
+            grad = 0.0 - float(((gcoef * s) * s).cumsum()[-1])
+            return total, grad
+
+        def solution_at(lam: float, saturated: bool) -> BusSolution:
+            s = speeds_at(lam)
+            a = r * s
+            total = float(a.cumsum()[-1])
+            grants = tuple(
+                ThreadGrant(speed=sv, actual_txus=av)
+                for sv, av in zip(s.tolist(), a.tolist())
+            )
+            util = 1.0 if saturated else total / cap
+            return BusSolution(
+                grants, util, lam, total, saturated=saturated,
+                speeds_arr=s, actuals_arr=a,
+            )
+
+        offered = float(r.cumsum()[-1])
+        rho = offered / cap
+        lam_c = self.contention_latency(rho)
+        throughput_c, _ = thr_grad(lam_c)
+        if throughput_c <= cap:
+            return solution_at(lam_c, saturated=False)
+        lam, steps = self._saturation_root_newton([], lam_c, cap, grad_eval=thr_grad)
+        self._bisection_steps += steps
+        self._last_lam = lam
+        return solution_at(lam, saturated=True)
+
+    # ------------------------------------------------------------------
+
     def _solve_shared_latency(self, requests: Sequence[BusRequest]) -> BusSolution:
+        if self._vector and len(requests) >= _VECTOR_MIN_LANES:
+            return self._solve_shared_latency_vector(requests)
         cap = self._capacity
         offered = 0.0
         for req in requests:

@@ -49,6 +49,10 @@ class CacheL2:
         self._cfg = config
         self._total = float(config.total_lines)
         self._resident: dict[int, float] = {}
+        # Steady-state memo for account_run_fast: (tid, mine, occ, others,
+        # free) captured after a call that mutated nothing. Any mutation
+        # path clears it.
+        self._fast: tuple[int, float, float, float, float] | None = None
 
     @property
     def total_lines(self) -> float:
@@ -84,6 +88,7 @@ class CacheL2:
         """
         if inflow_lines <= 0.0:
             return
+        self._fast = None
         cap = min(float(footprint_lines), self._total)
         mine = self._resident.get(tid, 0.0)
         grow = min(inflow_lines, max(0.0, cap - mine))
@@ -97,6 +102,64 @@ class CacheL2:
         self._evict_others(tid, min(displacing, self._others_total(tid)))
         if grow > 0.0:
             self._resident[tid] = mine + grow
+
+    def account_run_fast(self, tid: int, footprint_lines: float, inflow_lines: float) -> None:
+        """Unchecked single-pass variant of :meth:`account_run`.
+
+        Byte-equal to :meth:`account_run`: the occupancy and others sums
+        are accumulated in the same dict-iteration order as the two
+        separate passes of the reference path, so eviction fractions (and
+        everything downstream — warmth, rebuild debt) round identically.
+        Used by the machine's vector-mode advance loop where the call
+        count makes the redundant dict walks show up in profiles.
+
+        A steady-state memo makes the common no-op case O(1): once a
+        thread's residency has converged (no growth possible) and its
+        inflow displaces nothing (either it owns the whole cache or there
+        is enough free space), :meth:`account_run` mutates nothing — so
+        the sums from the previous call stay valid and the decision needs
+        only a few comparisons. Any mutation clears the memo.
+        """
+        if inflow_lines <= 0.0:
+            return
+        res = self._resident
+        cap = min(float(footprint_lines), self._total)
+        fast = self._fast
+        if fast is not None and fast[0] == tid:
+            _, mine, occ, others, free = fast
+            grow = min(inflow_lines, max(0.0, cap - mine))
+            if grow <= 0.0 and (others <= 0.0 or inflow_lines <= free):
+                return  # provably the same no-op as the full computation
+        mine = res.get(tid, 0.0)
+        grow = min(inflow_lines, max(0.0, cap - mine))
+        occ = 0.0
+        others = 0.0
+        for k, v in res.items():
+            occ += v
+            if k != tid:
+                others += v
+        free = max(0.0, self._total - occ)
+        displacing = max(0.0, inflow_lines - max(free - 0.0, 0.0))
+        lines = min(displacing, others)
+        mutated = False
+        if lines > 0.0 and others > 0.0:
+            mutated = True
+            frac = min(1.0, lines / others)
+            for k in list(res):
+                if k == tid:
+                    continue
+                kept = res[k] * (1.0 - frac)
+                if kept < 1.0:  # less than one line: gone
+                    del res[k]
+                else:
+                    res[k] = kept
+        if grow > 0.0:
+            res[tid] = mine + grow
+            mutated = True
+        if mutated:
+            self._fast = None
+        else:
+            self._fast = (tid, mine, occ, others, free)
 
     def _others_total(self, tid: int) -> float:
         return sum(v for k, v in self._resident.items() if k != tid)
@@ -120,4 +183,5 @@ class CacheL2:
 
     def forget(self, tid: int) -> None:
         """Drop all residency bookkeeping for a departed thread."""
+        self._fast = None
         self._resident.pop(tid, None)

@@ -119,6 +119,24 @@ class CounterBank:
         self._cycles[tid] += cycles_us
         self._work[tid] += work_us
 
+    def credit_run(
+        self,
+        tid: int,
+        bus_transactions: float,
+        cycles_us: float,
+        work_us: float,
+    ) -> None:
+        """Unchecked :meth:`credit` for the machine's settle loop.
+
+        Skips the registration and negativity checks: the machine only
+        credits lanes it built from registered, dispatched threads, and
+        the increments are products of non-negative rates and a positive
+        ``dt``. A ``KeyError`` here indicates a machine bug, not misuse.
+        """
+        self._tx[tid] += bus_transactions
+        self._cycles[tid] += cycles_us
+        self._work[tid] += work_us
+
     def read(self, tid: int) -> CounterSnapshot:
         """Snapshot one thread's counters.
 

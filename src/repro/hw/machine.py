@@ -36,6 +36,8 @@ import math
 import time
 from typing import Callable, Protocol
 
+import numpy as np
+
 from ..config import MachineConfig
 from ..errors import SchedulingError, SimulationError, WorkloadError
 from ..sim.engine import Engine
@@ -216,6 +218,25 @@ class Machine:
         self._dirty = True
         self._lanes: list[_Lane] = []
         self._lane_sig: tuple | None = None
+        # Vector mode ("vector" bus solver) arms the machine's batched hot
+        # path: per-tid dirty tracking feeds a per-CPU entry cache in
+        # _ensure_solution, and _advance_to integrates lanes through
+        # structure-of-arrays numpy products. Both are bitwise identical
+        # to the scalar path (the A/B reference kept for "newton"/
+        # "bisect"); SMT couples cores through the sibling factor, so the
+        # per-tid mask degrades to full recomputation there.
+        self._vector = config.bus.solver_mode == "vector"
+        self._use_dirty_mask = self._vector and config.smt_ways == 1
+        self._dirty_all = True
+        self._dirty_tids: set[int] = set()
+        self._entry_cache: dict[int, tuple] = {}
+        # Vector mode: memoized runnable list (see runnable_threads).
+        self._use_runnable_cache = self._vector
+        self._runnable_cache: list[ThreadState] | None = None
+        self._dirty_mask_hits = 0
+        self._adv_pr = None  # SoA lane arrays (vector advance path)
+        self._adv_tx = None
+        self._adv_caches: list[CacheL2] = []
         # Cached absolute horizon. While the configuration is unchanged,
         # every internal transition time is a *constant* absolute instant
         # (work, debt and I/O positions all advance linearly), so the
@@ -284,6 +305,16 @@ class Machine:
         """Dirty settles that skipped the bus solve (signature unchanged)."""
         return self._solve_skips
 
+    @property
+    def dirty_mask_hits(self) -> int:
+        """Lane entries reused from the per-CPU cache (vector mode only).
+
+        Counts occupied CPUs whose entry survived a reconfiguration
+        because their thread was not in the dirty set — the per-lane
+        recomputation the dirty mask avoided.
+        """
+        return self._dirty_mask_hits
+
     def enable_profiling(self) -> None:
         """Turn on wall-clock phase timers (per-machine and bus solver)."""
         self._profiling = True
@@ -296,6 +327,7 @@ class Machine:
             "settle_calls": float(self._settle_calls),
             "lane_rebuilds": float(self._lane_rebuilds),
             "solve_skips": float(self._solve_skips),
+            "dirty_mask_hits": float(self._dirty_mask_hits),
             "settle_time_s": self._settle_time_s,
             "dispatch_time_s": self._dispatch_time_s,
             "solve_calls": float(bus.solve_calls),
@@ -303,6 +335,7 @@ class Machine:
             "solve_shared_hits": float(bus.shared_hits),
             "solve_warm_starts": float(bus.warm_starts),
             "solve_steps": float(bus.bisection_steps),
+            "batched_lanes": float(bus.batched_lanes),
             "solve_time_s": bus.solve_time_s,
         }
 
@@ -352,6 +385,7 @@ class Machine:
             state.next_io_at_work = float(io_interval_work_us)
         self._threads[tid] = state
         self.counters.register(tid)
+        self._runnable_cache = None
         return state
 
     def add_exit_listener(self, callback: Callable[[ThreadState], None]) -> None:
@@ -379,12 +413,31 @@ class Machine:
             raise SchedulingError(f"unknown thread id {tid}") from None
 
     def threads(self) -> list[ThreadState]:
-        """All threads, ordered by tid."""
-        return [self._threads[t] for t in sorted(self._threads)]
+        """All threads, ordered by tid.
+
+        Tids are assigned monotonically and threads are never removed
+        from the registry (finish/kill only flag them), so dict insertion
+        order *is* tid order — no sort needed on this hot path (the O(n)
+        baseline scheduler scans it every tick).
+        """
+        return list(self._threads.values())
 
     def runnable_threads(self) -> list[ThreadState]:
-        """Threads eligible for dispatch (unfinished, unblocked), by tid."""
-        return [t for t in self.threads() if t.runnable]
+        """Threads eligible for dispatch (unfinished, unblocked), by tid.
+
+        Vector mode memoizes the list: membership only changes when a
+        thread is added, finishes, blocks/unblocks, or enters/leaves I/O —
+        each of those paths drops the memo, so a hit returns the same
+        threads (same tid order) the scan would. The baseline scheduler
+        calls this once per CPU per tick, making the scan O(cpus·threads)
+        without the memo.
+        """
+        if self._runnable_cache is not None:
+            return self._runnable_cache
+        out = [t for t in self._threads.values() if t.runnable]
+        if self._use_runnable_cache:
+            self._runnable_cache = out
+        return out
 
     def running_tids(self) -> list[int]:
         """Tids currently dispatched, in CPU order (idle CPUs skipped)."""
@@ -455,7 +508,7 @@ class Machine:
             prev = cpu.set_thread(None, now)
             if prev is not None:
                 self._threads[prev].cpu = None
-            self._mark_dirty()
+            self._mark_dirty(prev)
             return
         state = self.thread(tid)
         if state.finished:
@@ -483,7 +536,9 @@ class Machine:
             tid=tid,
             preempted=prev,
         )
-        self._mark_dirty()
+        self._mark_dirty(tid)
+        if prev is not None:
+            self._mark_dirty(prev)
 
     def preempt_thread(self, tid: int) -> None:
         """Remove a thread from whichever CPU it runs on (no-op if not running)."""
@@ -505,10 +560,11 @@ class Machine:
             return
         self._require_settled()
         state.blocked = blocked
+        self._runnable_cache = None
         if blocked and state.cpu is not None:
             self.dispatch(state.cpu, None)
         self.trace.record(self._time, "sched.block" if blocked else "sched.unblock", tid=tid)
-        self._mark_dirty()
+        self._mark_dirty(tid)
 
     def set_stalled(self, tid: int, stalled: bool) -> None:
         """Set a thread's stalled flag (fault injection's hang semantics).
@@ -529,7 +585,7 @@ class Machine:
             self._time, "thread.stall" if stalled else "thread.resume", tid=tid
         )
         if state.cpu is not None:
-            self._mark_dirty()
+            self._mark_dirty(tid)
 
     def kill_thread(self, tid: int) -> None:
         """Terminate a thread mid-flight (fault injection's crash semantics).
@@ -547,11 +603,12 @@ class Machine:
         self._require_settled()
         state.stalled = False
         state.finished = True
+        self._runnable_cache = None
         state.finished_at = self._time
         if state.cpu is not None:
             self.cpus[state.cpu].set_thread(None, self._time)
             state.cpu = None
-        self._mark_dirty()
+        self._mark_dirty(tid)
         self.trace.record(self._time, "thread.kill", tid=state.tid, name=state.name)
         for cb in self._exit_listeners:
             cb(state)
@@ -571,7 +628,7 @@ class Machine:
             return
         state.rebuild_debt += lines
         if state.cpu is not None:
-            self._mark_dirty()
+            self._mark_dirty(tid)
 
     def _charge_rebuild(self, state: ThreadState, cpu_id: int, migrated: bool) -> None:
         """Compute the rebuild debt a dispatch incurs."""
@@ -585,10 +642,21 @@ class Machine:
 
     # ----------------------------------------------------------- integration
 
-    def _mark_dirty(self) -> None:
-        """Flag a reconfiguration: lanes and the cached horizon are stale."""
+    def _mark_dirty(self, tid: int | None = None) -> None:
+        """Flag a reconfiguration: lanes and the cached horizon are stale.
+
+        ``tid`` scopes the invalidation to one thread: only that thread's
+        lane entry must be recomputed at the next ``_ensure_solution``
+        (the dirty mask; vector mode reuses the rest from the per-CPU
+        entry cache). Call sites that cannot name a single affected
+        thread pass ``None``, which invalidates every entry.
+        """
         self._dirty = True
         self._horizon_abs = None
+        if tid is None:
+            self._dirty_all = True
+        else:
+            self._dirty_tids.add(tid)
 
     def _require_settled(self) -> None:
         # The machine may be momentarily *ahead* of the engine clock (exit
@@ -605,16 +673,33 @@ class Machine:
         if not self._dirty:
             return
         cfg_cache = self.config.cache
+        # Vector mode: reuse lane entries of threads outside the dirty
+        # set. An entry (st, r_eff, fill, pf, seg_end) is a function of
+        # the occupant's segment, debt>snap state and stall flag — all of
+        # which mark their tid dirty when they change — so a clean reuse
+        # is byte-for-byte the tuple the loop below would rebuild.
+        use_mask = self._use_dirty_mask and not self._dirty_all
+        dirty_tids = self._dirty_tids
+        ecache = self._entry_cache
         entries: list[tuple[ThreadState, float, float, float, float]] = []
         for cpu in self.cpus:
             if cpu.tid is None:
                 continue
             st = self._threads[cpu.tid]
+            if use_mask and st.tid not in dirty_tids:
+                cached = ecache.get(cpu.cpu_id)
+                if cached is not None and cached[0] is st:
+                    entries.append(cached)
+                    self._dirty_mask_hits += 1
+                    continue
             if st.stalled:
                 # Hung/stalled: the thread pins its CPU but consumes
                 # nothing — zero demand, zero fill, zero progress, and no
                 # segment boundary can arrive while it isn't progressing.
-                entries.append((st, 0.0, 0.0, 0.0, math.inf))
+                entry = (st, 0.0, 0.0, 0.0, math.inf)
+                entries.append(entry)
+                if self._use_dirty_mask:
+                    ecache[cpu.cpu_id] = entry
                 continue
             rate, seg_end = st.demand.segment(st.work_done)
             if rate < 0:
@@ -632,7 +717,13 @@ class Machine:
             r_eff *= smt
             fill *= smt
             pf *= smt
-            entries.append((st, r_eff, fill, pf, seg_end))
+            entry = (st, r_eff, fill, pf, seg_end)
+            entries.append(entry)
+            if self._use_dirty_mask:
+                ecache[cpu.cpu_id] = entry
+        if self._use_dirty_mask:
+            dirty_tids.clear()
+            self._dirty_all = False
         # A reconfiguration that lands on the exact same running set with
         # the same effective rates (e.g. a re-dispatch cycle, a blocked
         # thread that never ran) leaves the cached lanes and bus solution
@@ -640,21 +731,81 @@ class Machine:
         sig = tuple((st.tid, r_eff, fill, pf, seg_end) for st, r_eff, fill, pf, seg_end in entries)
         if sig == self._lane_sig:
             self._solve_skips += 1
+            if self._vector:
+                # The signature does not encode CPU ids, so a migration can
+                # leave it unchanged (e.g. a lone running thread moving
+                # cores). The scalar advance reads ``st.cpu`` live; the
+                # vectorized advance uses the cache handles captured here,
+                # so refresh them before reusing the lanes.
+                self._adv_caches = [
+                    self.cache_of(lane.state.cpu) for lane in self._lanes
+                ]
             self._dirty = False
             return
         self._lane_rebuilds += 1
         lanes: list[_Lane] = []
         requests: list[BusRequest] = []
-        for st, r_eff, fill, pf, seg_end in entries:
-            requests.append(self.bus.request_for_rate(r_eff))
-            lanes.append(_Lane(st, 0.0, pf, 0.0, fill, seg_end))
+        n = len(entries)
+        if self._vector:
+            reff_arr = np.empty(n)
+            fill_arr = np.empty(n)
+            pf_arr = np.empty(n)
+            for i, (st, r_eff, fill, pf, seg_end) in enumerate(entries):
+                requests.append(self.bus.request_for_rate(r_eff))
+                lanes.append(_Lane(st, 0.0, pf, 0.0, fill, seg_end))
+                reff_arr[i] = r_eff
+                fill_arr[i] = fill
+                pf_arr[i] = pf
+        else:
+            for st, r_eff, fill, pf, seg_end in entries:
+                requests.append(self.bus.request_for_rate(r_eff))
+                lanes.append(_Lane(st, 0.0, pf, 0.0, fill, seg_end))
         solution = self.bus.solve(requests)
-        for lane, grant, req in zip(lanes, solution.grants, requests):
-            lane.speed = grant.speed
-            lane.progress_rate = grant.speed * lane.progress_rate  # pf folded in
-            lane.tx_rate = grant.actual_txus
-            if req.rate_txus > 0.0 and lane.fill_rate > 0.0:
-                lane.fill_rate = grant.actual_txus * (lane.fill_rate / req.rate_txus)
+        sp_arr = solution.speeds_arr
+        if self._vector and sp_arr is not None and len(sp_arr) == n:
+            # Batched grant fold: the solution's lane arrays carry the
+            # exact grant bit patterns in request order, so the fold is
+            # elementwise — speed·pf for progress, actual·(fill/r_eff)
+            # for the refill stream (divide masked to the lanes the
+            # scalar fold would touch). One pass writes the lane fields
+            # and the structure-of-arrays advance mirror together.
+            ac_arr = solution.actuals_arr
+            pr_arr = sp_arr * pf_arr
+            mask = (reff_arr > 0.0) & (fill_arr > 0.0)
+            ratio = np.divide(
+                fill_arr, reff_arr, out=np.zeros(n), where=mask
+            )
+            fill_new = np.where(mask, ac_arr * ratio, fill_arr)
+            sp_l = sp_arr.tolist()
+            pr_l = pr_arr.tolist()
+            tx_l = ac_arr.tolist()
+            fl_l = fill_new.tolist()
+            for i, lane in enumerate(lanes):
+                lane.speed = sp_l[i]
+                lane.progress_rate = pr_l[i]
+                lane.tx_rate = tx_l[i]
+                lane.fill_rate = fl_l[i]
+            self._adv_pr = pr_arr
+            self._adv_tx = ac_arr
+            self._adv_caches = [self.cache_of(lane.state.cpu) for lane in lanes]
+        else:
+            for lane, grant, req in zip(lanes, solution.grants, requests):
+                lane.speed = grant.speed
+                lane.progress_rate = grant.speed * lane.progress_rate  # pf folded in
+                lane.tx_rate = grant.actual_txus
+                if req.rate_txus > 0.0 and lane.fill_rate > 0.0:
+                    lane.fill_rate = grant.actual_txus * (lane.fill_rate / req.rate_txus)
+            if self._vector:
+                # Scalar fold (few lanes, or a reordered memo hit dropped
+                # the arrays): build the advance mirror from the lanes.
+                pr = np.empty(n)
+                tx = np.empty(n)
+                for i, lane in enumerate(lanes):
+                    pr[i] = lane.progress_rate
+                    tx[i] = lane.tx_rate
+                self._adv_pr = pr
+                self._adv_tx = tx
+                self._adv_caches = [self.cache_of(lane.state.cpu) for lane in lanes]
         self._lanes = lanes
         self._lane_sig = sig
         self._bus_utilisation = solution.utilisation
@@ -711,23 +862,52 @@ class Machine:
         self._ensure_solution()
         dt = t - self._time
         if dt > 0.0 and self._lanes:
-            for lane in self._lanes:
-                st = lane.state
-                st.work_done += lane.progress_rate * dt
-                st.run_time_us += dt
-                tx = lane.tx_rate * dt
-                self.counters.credit(
-                    lane.tid,
-                    bus_transactions=tx,
-                    cycles_us=dt,
-                    work_us=lane.progress_rate * dt,
-                )
-                assert st.cpu is not None
-                self.cache_of(st.cpu).account_run(st.tid, st.footprint_lines, tx)
-                if lane.fill_rate > 0.0:
-                    st.rebuild_debt = max(0.0, st.rebuild_debt - lane.fill_rate * dt)
+            if self._vector:
+                self._advance_lanes_vector(dt)
+            else:
+                for lane in self._lanes:
+                    st = lane.state
+                    st.work_done += lane.progress_rate * dt
+                    st.run_time_us += dt
+                    tx = lane.tx_rate * dt
+                    self.counters.credit(
+                        lane.tid,
+                        bus_transactions=tx,
+                        cycles_us=dt,
+                        work_us=lane.progress_rate * dt,
+                    )
+                    assert st.cpu is not None
+                    self.cache_of(st.cpu).account_run(st.tid, st.footprint_lines, tx)
+                    if lane.fill_rate > 0.0:
+                        st.rebuild_debt = max(0.0, st.rebuild_debt - lane.fill_rate * dt)
         self._time = t
         self._process_transitions()
+
+    def _advance_lanes_vector(self, dt: float) -> None:
+        """Batched lane integration (vector mode): same bits, fewer ops.
+
+        The per-lane work/transaction increments come from one elementwise
+        numpy product each (``rate × dt`` rounds identically to the scalar
+        multiply), counters are credited through the bank's unchecked
+        fast path, and cache accounting goes through
+        :meth:`repro.hw.cache.CacheL2.account_run_fast` with the L2
+        references hoisted at lane-rebuild time. Every mutation is
+        byte-equal to the scalar loop in ``_advance_to``.
+        """
+        dwork = (self._adv_pr * dt).tolist()
+        dtx = (self._adv_tx * dt).tolist()
+        credit = self.counters.credit_run
+        caches = self._adv_caches
+        for i, lane in enumerate(self._lanes):
+            st = lane.state
+            dw = dwork[i]
+            tx = dtx[i]
+            st.work_done += dw
+            st.run_time_us += dt
+            credit(st.tid, tx, dt, dw)
+            caches[i].account_run_fast(st.tid, st.footprint_lines, tx)
+            if lane.fill_rate > 0.0:
+                st.rebuild_debt = max(0.0, st.rebuild_debt - lane.fill_rate * dt)
 
     def _process_transitions(self) -> None:
         """Handle completions, segment boundaries and debt drains at `now`."""
@@ -743,21 +923,22 @@ class Machine:
                 continue
             if math.isfinite(lane.seg_end) and st.work_done >= lane.seg_end - _SNAP:
                 st.work_done = max(st.work_done, lane.seg_end)
-                self._mark_dirty()  # demand rate changes at the boundary
+                self._mark_dirty(st.tid)  # demand rate changes at the boundary
             if lane.fill_rate > 0.0 and st.rebuild_debt <= _SNAP:
                 st.rebuild_debt = 0.0
-                self._mark_dirty()
+                self._mark_dirty(st.tid)
 
     def _start_io(self, st: ThreadState) -> None:
         """Put a thread to sleep on I/O: free its CPU, arm the wakeup."""
         st.in_io = True
+        self._runnable_cache = None
         st.io_count += 1
         assert st.io_interval_work_us is not None
         st.next_io_at_work = st.work_done + st.io_interval_work_us
         if st.cpu is not None:
             self.cpus[st.cpu].set_thread(None, self._time)
             st.cpu = None
-        self._mark_dirty()
+        self._mark_dirty(st.tid)
         self.trace.record(self._time, "thread.iosleep", tid=st.tid)
         for cb in self._io_listeners:
             cb(st, True)
@@ -772,7 +953,8 @@ class Machine:
         if st.finished or not st.in_io:
             return
         st.in_io = False
-        self._mark_dirty()
+        self._runnable_cache = None
+        self._mark_dirty(st.tid)
         self.trace.record(self._time, "thread.iowake", tid=st.tid)
         for cb in self._io_listeners:
             cb(st, False)
@@ -780,11 +962,12 @@ class Machine:
     def _finish_thread(self, st: ThreadState) -> None:
         st.work_done = st.work_total
         st.finished = True
+        self._runnable_cache = None
         st.finished_at = self._time
         if st.cpu is not None:
             self.cpus[st.cpu].set_thread(None, self._time)
             st.cpu = None
-        self._mark_dirty()
+        self._mark_dirty(st.tid)
         self.trace.record(self._time, "thread.exit", tid=st.tid, name=st.name)
         for cb in self._exit_listeners:
             cb(st)

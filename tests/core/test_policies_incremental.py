@@ -1,0 +1,170 @@
+"""Incremental selection: identical to the reference full-re-rank pass.
+
+``BandwidthPolicy(incremental=True)`` (the default) caches per-app
+effective estimates behind the estimator-invalidation hooks, keeps the
+allocated-BBW sum as a running accumulator, and — for the stock
+Equation 1 fitness — scores each traversal's candidates in one numpy
+pass. None of that may change a single selection: this module drives
+matched incremental/reference policy pairs through random estimator
+histories and job mixes and requires equal ``Selection``s (app ids *and*
+the bitwise ABBW trace), plus pins the cache-reuse counters and the
+scalar fallbacks (custom fitness, RandomGangPolicy's rng-consuming
+score).
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.policies import (
+    EwmaPolicy,
+    JobView,
+    LatestQuantumPolicy,
+    QuantaWindowPolicy,
+    RandomGangPolicy,
+)
+
+_rates = st.floats(min_value=0.0, max_value=40.0, allow_nan=False, allow_infinity=False)
+_widths = st.lists(st.integers(min_value=1, max_value=4), min_size=1, max_size=8)
+
+# One estimator event: (app_index, rate, saturated, via_quantum-or-sample)
+_events = st.lists(
+    st.tuples(
+        st.integers(min_value=0, max_value=7),
+        _rates,
+        st.booleans(),
+        st.booleans(),
+    ),
+    max_size=24,
+)
+
+
+def _jobs(widths):
+    return [JobView(app_id=i + 1, width=w, name=f"app{i}") for i, w in enumerate(widths)]
+
+
+def _pair(factory):
+    return factory(incremental=True), factory(incremental=False)
+
+
+def _feed(policy, jobs, events):
+    for idx, rate, saturated, quantum in events:
+        app_id = jobs[idx % len(jobs)].app_id
+        if quantum:
+            policy.on_quantum(app_id, rate, saturated=saturated)
+        else:
+            policy.on_sample(app_id, rate, saturated=saturated)
+
+
+@given(_widths, _events, st.integers(min_value=4, max_value=16))
+@settings(max_examples=200, deadline=None)
+def test_latest_quantum_selects_identically(widths, events, n_cpus):
+    jobs = _jobs([min(w, n_cpus) for w in widths])
+    inc, ref = _pair(LatestQuantumPolicy)
+    for pol in (inc, ref):
+        _feed(pol, jobs, events)
+    sel_inc = inc.select(jobs, n_cpus)
+    sel_ref = ref.select(jobs, n_cpus)
+    assert sel_inc.app_ids == sel_ref.app_ids
+    assert sel_inc.abbw_trace == sel_ref.abbw_trace  # bitwise, not approx
+
+
+@given(_widths, _events, st.integers(min_value=4, max_value=16))
+@settings(max_examples=150, deadline=None)
+def test_quanta_window_selects_identically_across_interleaving(widths, events, n_cpus):
+    # Interleave selection rounds with estimator updates: the cache must
+    # serve stale-free values after every invalidation.
+    jobs = _jobs([min(w, n_cpus) for w in widths])
+    inc, ref = _pair(QuantaWindowPolicy)
+    half = len(events) // 2
+    for chunk in (events[:half], events[half:]):
+        for pol in (inc, ref):
+            _feed(pol, jobs, chunk)
+        sel_inc = inc.select(jobs, n_cpus)
+        sel_ref = ref.select(jobs, n_cpus)
+        assert sel_inc.app_ids == sel_ref.app_ids
+        assert sel_inc.abbw_trace == sel_ref.abbw_trace
+
+
+@given(_widths, _events, st.integers(min_value=4, max_value=12))
+@settings(max_examples=100, deadline=None)
+def test_ewma_with_forget_selects_identically(widths, events, n_cpus):
+    jobs = _jobs([min(w, n_cpus) for w in widths])
+    inc, ref = _pair(EwmaPolicy)
+    for pol in (inc, ref):
+        _feed(pol, jobs, events)
+        pol.forget(jobs[0].app_id)  # disconnect must invalidate too
+    sel_inc = inc.select(jobs, n_cpus)
+    sel_ref = ref.select(jobs, n_cpus)
+    assert sel_inc.app_ids == sel_ref.app_ids
+    assert sel_inc.abbw_trace == sel_ref.abbw_trace
+
+
+@given(_widths, st.integers(min_value=4, max_value=12), st.integers(min_value=0, max_value=2**32 - 1))
+@settings(max_examples=100, deadline=None)
+def test_random_gang_preserves_rng_stream(widths, n_cpus, seed):
+    # RandomGangPolicy overrides _candidate_score to consume the rng per
+    # candidate; the incremental path must fall back to the scalar scan
+    # so the stream advances exactly like the reference.
+    jobs = _jobs([min(w, n_cpus) for w in widths])
+    inc, ref = _pair(RandomGangPolicy)
+    inc.bind_rng(np.random.default_rng(seed))
+    ref.bind_rng(np.random.default_rng(seed))
+    for _ in range(3):
+        sel_inc = inc.select(jobs, n_cpus)
+        sel_ref = ref.select(jobs, n_cpus)
+        assert sel_inc.app_ids == sel_ref.app_ids
+
+
+@given(_widths, _events, st.integers(min_value=4, max_value=12))
+@settings(max_examples=100, deadline=None)
+def test_custom_fitness_falls_back_and_matches(widths, events, n_cpus):
+    def inverted(abbw_per_proc, bbw_per_thread):
+        return -abs(abbw_per_proc - 2.0 * bbw_per_thread)
+
+    jobs = _jobs([min(w, n_cpus) for w in widths])
+    inc = LatestQuantumPolicy(fitness_fn=inverted, incremental=True)
+    ref = LatestQuantumPolicy(fitness_fn=inverted, incremental=False)
+    for pol in (inc, ref):
+        _feed(pol, jobs, events)
+    sel_inc = inc.select(jobs, n_cpus)
+    sel_ref = ref.select(jobs, n_cpus)
+    assert sel_inc.app_ids == sel_ref.app_ids
+    assert sel_inc.abbw_trace == sel_ref.abbw_trace
+
+
+class TestSelectionCounters:
+    def test_second_select_reuses_cached_estimates(self):
+        pol = LatestQuantumPolicy()
+        jobs = _jobs([1, 1, 2, 2])
+        for job in jobs:
+            pol.on_quantum(job.app_id, 5.0)
+        pol.select(jobs, 4)
+        first = pol.selection_profile()
+        assert first["sel_est_rescored"] == len(jobs)
+        assert first["sel_est_reused"] == 0.0
+        pol.select(jobs, 4)  # no estimator traffic in between
+        second = pol.selection_profile()
+        assert second["sel_est_rescored"] == len(jobs)
+        assert second["sel_est_reused"] == len(jobs)
+        assert second["selection_calls"] == 2.0
+
+    def test_update_invalidates_only_touched_app(self):
+        pol = LatestQuantumPolicy()
+        jobs = _jobs([1, 1, 1, 1])
+        pol.select(jobs, 4)
+        pol.on_quantum(jobs[0].app_id, 9.0)
+        pol.select(jobs, 4)
+        profile = pol.selection_profile()
+        # Second pass re-scores only the updated app.
+        assert profile["sel_est_rescored"] == len(jobs) + 1
+        assert profile["sel_est_reused"] == len(jobs) - 1
+
+    def test_reference_mode_never_touches_cache_counters(self):
+        pol = LatestQuantumPolicy(incremental=False)
+        jobs = _jobs([1, 2, 1])
+        pol.select(jobs, 4)
+        profile = pol.selection_profile()
+        assert profile["sel_est_rescored"] == 0.0
+        assert profile["sel_est_reused"] == 0.0
+        assert profile["selection_calls"] == 1.0

@@ -1,0 +1,90 @@
+"""Vectorized hot path: full-run bit-identity gates.
+
+The ``solver_mode="vector"`` machine (numpy-batched bus solves, the
+dirty-mask lane cache, the batched settle loop) and the incremental
+selection pass are pure evaluation-order-preserving optimizations: an
+entire simulation — every turnaround, every counter that carries physics
+— must be byte-equal to the ``newton`` reference, under both kernels,
+with the audit on, and through the chunked-parallel dispatcher. These
+are the end-to-end gates behind ``benchmarks/bench_perf.py``'s
+``vectorized`` section.
+"""
+
+from repro.config import BusConfig, MachineConfig
+from repro.core.policies import LatestQuantumPolicy, QuantaWindowPolicy
+from repro.experiments.base import SimulationSpec, run_simulation
+from repro.parallel import run_many
+from repro.workloads.microbench import bbma_spec, nbbma_spec
+from repro.workloads.suites import PAPER_APPS
+
+_SCALE = 0.05
+
+
+def _machine(mode: str, n_cpus: int = 8) -> MachineConfig:
+    return MachineConfig(
+        n_cpus=n_cpus,
+        bus=BusConfig(
+            solver_mode=mode,
+            capacity_txus=BusConfig().capacity_txus * (n_cpus / 4.0),
+        ),
+    )
+
+
+def _spec(mode: str, scheduler, **kwargs) -> SimulationSpec:
+    apps = [PAPER_APPS[name].scaled(_SCALE) for name in ("CG", "Barnes")]
+    return SimulationSpec(
+        targets=[apps[0], apps[0], apps[1]],
+        background=[bbma_spec(), bbma_spec(), nbbma_spec()],
+        scheduler=scheduler,
+        machine=_machine(mode),
+        seed=11,
+        **kwargs,
+    )
+
+
+class TestVectorRunIdentity:
+    def test_linux_run_bit_identical_to_newton(self):
+        ref = run_simulation(_spec("newton", "linux"))
+        vec = run_simulation(_spec("vector", "linux"))
+        assert vec == ref  # compare=False excludes observability counters
+        assert vec.apps == ref.apps
+
+    def test_policy_run_bit_identical_to_newton(self):
+        for policy_cls in (LatestQuantumPolicy, QuantaWindowPolicy):
+            ref = run_simulation(_spec("newton", policy_cls()))
+            vec = run_simulation(_spec("vector", policy_cls()))
+            assert vec == ref
+
+    def test_incremental_selection_matches_full_rerank(self):
+        # Same solver on both sides: this isolates the selection rewrite.
+        full = run_simulation(_spec("vector", QuantaWindowPolicy(incremental=False)))
+        inc = run_simulation(_spec("vector", QuantaWindowPolicy(incremental=True)))
+        assert inc == full
+
+    def test_vector_identity_survives_audit(self):
+        # The audit replays selections through the differential oracle;
+        # it must neither fire nor perturb the vectorized run.
+        audited = run_simulation(_spec("vector", QuantaWindowPolicy(), audit=True))
+        plain = run_simulation(_spec("vector", QuantaWindowPolicy()))
+        ref = run_simulation(_spec("newton", QuantaWindowPolicy()))
+        assert audited.audit is not None and audited.audit.violations == ()
+        assert audited == plain == ref
+
+    def test_vector_survives_chunked_parallel_dispatch(self):
+        def grid():
+            # Fresh policy instances per call: policies are stateful.
+            return [_spec("vector", "linux"), _spec("vector", QuantaWindowPolicy())]
+
+        serial = run_many(grid(), jobs=1)
+        parallel = run_many(grid(), jobs=2)
+        assert serial == parallel
+
+    def test_profile_counters_prove_vector_path_ran(self):
+        result = run_simulation(_spec("vector", QuantaWindowPolicy(), profile=True))
+        prof = result.profile
+        assert prof is not None
+        assert prof["batched_lanes"] > 0
+        assert prof["dirty_mask_hits"] >= 0
+        assert prof["selection_calls"] >= 1
+        newton = run_simulation(_spec("newton", QuantaWindowPolicy(), profile=True))
+        assert newton.profile["batched_lanes"] == 0

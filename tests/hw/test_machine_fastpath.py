@@ -10,7 +10,7 @@ two settle paths apart.
 
 import math
 
-from repro.config import MachineConfig
+from repro.config import BusConfig, MachineConfig
 from repro.hw.machine import Machine
 from repro.sim.engine import Engine
 
@@ -103,3 +103,120 @@ class TestSettleCounters:
         machine.advance_to(1.0)
         machine.advance_to(2.0)
         assert machine.settle_calls == before + 2
+
+
+def _mode_pair(n_cpus: int = 8) -> tuple[Machine, Machine]:
+    newton = Machine(
+        MachineConfig(n_cpus=n_cpus, bus=BusConfig(solver_mode="newton")), Engine()
+    )
+    vector = Machine(
+        MachineConfig(n_cpus=n_cpus, bus=BusConfig(solver_mode="vector")), Engine()
+    )
+    return newton, vector
+
+
+def _mirror(machines, op):
+    """Apply the same operation to both machines, return both results."""
+    return [op(m) for m in machines]
+
+
+class TestVectorSettleParity:
+    """Vector-mode settle path: same bits as the scalar reference."""
+
+    def _populate(self, machine: Machine, n: int = 6) -> list[int]:
+        tids = []
+        for i in range(n):
+            st = machine.add_thread(
+                f"t{i}", _FlatDemand(8.0 + 3.0 * i), work_total=5_000.0,
+                footprint_lines=500.0 * (i + 1),
+            )
+            machine.dispatch(i, st.tid)
+            tids.append(st.tid)
+        return tids
+
+    def _assert_same_state(self, newton: Machine, vector: Machine, tids):
+        for tid in tids:
+            a, b = newton.thread(tid), vector.thread(tid)
+            assert b.work_done == a.work_done
+            assert b.run_time_us == a.run_time_us
+            assert b.rebuild_debt == a.rebuild_debt
+        for cpu in range(len(newton.cpus)):
+            ca, cb = newton.cache_of(cpu), vector.cache_of(cpu)
+            for tid in tids:
+                assert cb.resident(tid) == ca.resident(tid)
+        assert vector.horizon() == newton.horizon()
+
+    def test_advance_is_bit_identical(self):
+        pair = _mode_pair()
+        tids_n, tids_v = _mirror(pair, self._populate)
+        assert tids_n == tids_v
+        for t in (1.0, 7.5, 40.0, 41.25):
+            _mirror(pair, lambda m: m.advance_to(t))
+        self._assert_same_state(*pair, tids_n)
+
+    def test_reconfiguration_sequence_is_bit_identical(self):
+        pair = _mode_pair()
+        tids, _ = _mirror(pair, self._populate)
+        _mirror(pair, lambda m: m.advance_to(5.0))
+        _mirror(pair, lambda m: m.set_blocked(tids[2], True))
+        _mirror(pair, lambda m: m.advance_to(9.0))
+        _mirror(pair, lambda m: m.set_blocked(tids[2], False))
+        _mirror(pair, lambda m: m.dispatch(2, tids[2]))
+        _mirror(pair, lambda m: m.advance_to(30.0))
+        self._assert_same_state(*pair, tids)
+
+    def test_dirty_mask_reuses_clean_entries(self):
+        newton, vector = _mode_pair()
+        self._populate(newton)
+        tids = self._populate(vector)
+        for m in (newton, vector):
+            m.advance_to(2.0)
+            # Touch a single thread; the other five lane entries are clean.
+            m.add_rebuild_debt(tids[0], 100.0)
+            m.advance_to(3.0)
+        assert vector.dirty_mask_hits >= 5
+        assert newton.dirty_mask_hits == 0
+
+    def test_migration_on_solve_skip_path_accounts_correct_cache(self):
+        # Regression: a lone thread's migration leaves the lane signature
+        # unchanged (it encodes tids and rates, not CPU ids), so
+        # _ensure_solution takes the solve-skip path. The vectorized
+        # advance must still charge the *new* CPU's cache, like the
+        # scalar path's live ``st.cpu`` read does.
+        pair = _mode_pair(n_cpus=2)
+        bg_n, bg_v = _mirror(
+            pair,
+            lambda m: m.add_thread(
+                "warm", _FlatDemand(20.0), work_total=10_000.0,
+                footprint_lines=4_000.0,
+            ).tid,
+        )
+        assert bg_n == bg_v
+        # Fill cache 1 with the warm thread's working set, then idle it.
+        _mirror(pair, lambda m: m.dispatch(1, bg_n))
+        _mirror(pair, lambda m: m.advance_to(150.0))
+        _mirror(pair, lambda m: m.dispatch(1, None))
+        # A zero-footprint streamer (no rebuild debt anywhere, so its
+        # lane entry is identical on any CPU) starts on CPU 0 ...
+        mover_n, mover_v = _mirror(
+            pair,
+            lambda m: m.add_thread(
+                "stream", _FlatDemand(25.0), work_total=20_000.0,
+                footprint_lines=0.0,
+            ).tid,
+        )
+        _mirror(pair, lambda m: m.dispatch(0, mover_n))
+        _mirror(pair, lambda m: m.advance_to(200.0))
+        # ... then migrates to CPU 1 and keeps streaming: its inflow must
+        # now evict the warm thread's lines from cache 1.
+        _mirror(pair, lambda m: m.dispatch(1, mover_n))
+        _mirror(pair, lambda m: m.advance_to(400.0))
+        newton, vector = pair
+        assert vector.solve_skips >= 1
+        ref = newton.cache_of(1).resident(bg_n)
+        assert ref < newton.cache_of(0).total_lines  # eviction happened
+        assert vector.cache_of(1).resident(bg_v) == ref
+        for tid in (bg_n, mover_n):
+            assert (
+                vector.thread(tid).work_done == newton.thread(tid).work_done
+            )
