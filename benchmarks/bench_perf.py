@@ -30,12 +30,22 @@ pure evaluation-order-preserving batching — and the report carries the
 hot-path counters (``batched_lanes``, ``dirty_mask_hits``, the fraction
 of per-job estimates actually re-scored) that prove where the time went.
 
+The **entry_build** section micro-benchmarks the ``_ensure_solution``
+entry build alone — every lane dirtied, solve memoized away — and
+reports µs per 1k dirty lanes for the scalar loop vs the SoA array
+pass, plus the ratio. The **vectorized** section additionally carries
+the previously committed walls (``prior_walls``) and the cumulative
+speedups against them, so the report shows both this run's ratio and
+the across-PR trend.
+
 Parallel timing is only reported as a speedup where it can be one: the
-script records both ``os.cpu_count()`` and the scheduler affinity mask,
-and on boxes where fewer than two CPUs are actually usable the
-``run_many`` entries are annotated as skipped (with the reason) rather
-than reporting a misleading sub-1x "speedup" from oversubscribing a
-single core. The bit-identity gate still runs with 2 workers either way.
+script records ``os.cpu_count()``, the scheduler affinity mask *and*
+the cgroup CPU quota (containers often show many CPUs while throttled
+to a fraction of one), and on boxes where fewer than two CPUs are
+actually usable the ``run_many`` entries are annotated as skipped (with
+the reason) rather than reporting a misleading sub-1x "speedup" from
+oversubscribing a single core. The bit-identity gate still runs with 2
+workers either way.
 
 Usage::
 
@@ -59,6 +69,16 @@ from repro.parallel import fork_available, resolve_jobs
 #: mixed (Raytrace), mirroring the fig2 "set A vs set C" spread.
 SCALED_APPS = ["Barnes", "SP", "CG", "Raytrace"]
 
+#: Wall-clock seconds from the previously committed BENCH_fig2.json
+#: (same box, same scaled workload: 256 CPUs, 32 instances, scale 0.05,
+#: seed 42). Carried forward so each refresh also reports the cumulative
+#: hot-path speedup across PRs, not just this run's newton-vs-vector
+#: ratio. Update these when re-baselining on new hardware.
+PRIOR_WALLS = {
+    "serial_newton_warm_s": 1.8512,
+    "vectorized_s": 0.4482,
+}
+
 
 def usable_cpus() -> int:
     """CPUs this process may actually run on (affinity-aware)."""
@@ -66,6 +86,35 @@ def usable_cpus() -> int:
         return len(os.sched_getaffinity(0))
     except (AttributeError, OSError):  # pragma: no cover - non-Linux
         return os.cpu_count() or 1
+
+
+def cgroup_cpu_quota() -> float | None:
+    """Effective CPU quota from the cgroup (v2 then v1), in cores.
+
+    Containers often present many CPUs in the affinity mask while the
+    cgroup throttles the process to a fraction of one — a ``run_many``
+    "speedup" measured there is fiction. Returns ``None`` when no quota
+    applies (or no cgroup files exist, e.g. non-Linux).
+    """
+    try:  # cgroup v2: "max 100000" or "<quota_us> <period_us>"
+        with open("/sys/fs/cgroup/cpu.max", encoding="ascii") as fh:
+            quota, period = fh.read().split()
+            if quota != "max" and float(period) > 0:
+                return float(quota) / float(period)
+            return None
+    except (OSError, ValueError):
+        pass
+    try:  # cgroup v1
+        base = "/sys/fs/cgroup/cpu"
+        with open(f"{base}/cpu.cfs_quota_us", encoding="ascii") as fh:
+            quota = float(fh.read())
+        with open(f"{base}/cpu.cfs_period_us", encoding="ascii") as fh:
+            period = float(fh.read())
+        if quota > 0 and period > 0:
+            return quota / period
+    except (OSError, ValueError):
+        pass
+    return None
 
 
 def _machine(cache: bool, solver: str = "bisect") -> MachineConfig:
@@ -239,8 +288,81 @@ def _vector_benchmark(n_cpus: int, inst: int, scale: float, seed: int,
             ),
         },
         "speedup_vs_newton": round(t_newton / t_vector, 2),
+        "prior_walls": dict(PRIOR_WALLS),
+        "speedup_vs_prior_vector": round(
+            PRIOR_WALLS["vectorized_s"] / t_vector, 2
+        ),
+        "total_speedup_vs_prior_newton": round(
+            PRIOR_WALLS["serial_newton_warm_s"] / t_vector, 2
+        ),
         "bit_identical_newton_vector": identical,
     }
+    return section
+
+
+def _entry_build_benchmark(n_lanes: int, reps: int = 3) -> dict:
+    """Micro-benchmark: ``_ensure_solution`` entry build, µs per 1k dirty lanes.
+
+    Builds a fully-occupied ``n_lanes``-CPU machine in each solver mode,
+    then repeatedly invalidates the lane signature (so every lane is
+    dirty and the skip path cannot fire) and rebuilds. The bus solve
+    itself is memoized after the first iteration — identical rates hit
+    the solve cache — so the loop isolates exactly the per-lane entry
+    construction the SoA store batches: demand-segment lookup, debt/fill
+    classification, request building and the grant fold.
+    """
+    from repro.hw.machine import Machine
+    from repro.sim.engine import Engine
+
+    class _Stepped:
+        def __init__(self, rate: float, step: float):
+            self._rate = rate
+            self._step = step
+
+        def segment(self, work: float) -> tuple[float, float]:
+            k = int(work // self._step)
+            return self._rate * (1.0 + 0.1 * (k % 3)), (k + 1) * self._step
+
+    def build(mode: str) -> Machine:
+        machine = Machine(
+            MachineConfig(
+                n_cpus=n_lanes,
+                bus=BusConfig(
+                    solver_mode=mode,
+                    capacity_txus=BusConfig().capacity_txus * (n_lanes / 4.0),
+                ),
+            ),
+            Engine(),
+        )
+        for i in range(n_lanes):
+            st = machine.add_thread(
+                f"t{i}", _Stepped(4.0 + (i % 13), 1_000.0),
+                work_total=1e9, footprint_lines=200.0 * (i % 5),
+            )
+            machine.dispatch(i, st.tid)
+        machine.advance_to(1.0)  # settle once: prime lanes and seg caches
+        return machine
+
+    iters = max(1, 20_000 // n_lanes)  # ~20k lane entry-builds per rep
+    section = {"n_lanes": n_lanes, "iterations": iters, "best_of": reps}
+    for mode, key in (
+        ("newton", "scalar_us_per_1k_lanes"),
+        ("vector", "soa_us_per_1k_lanes"),
+    ):
+        machine = build(mode)
+        best = float("inf")
+        for _ in range(reps):
+            start = time.perf_counter()
+            for _ in range(iters):
+                machine._soa_sig = None  # defeat the solve-skip path:
+                machine._lane_sig = None  # every lane rebuilds
+                machine._dirty = True
+                machine._ensure_solution()
+            best = min(best, time.perf_counter() - start)
+        section[key] = round(best / (iters * n_lanes) * 1e9, 2)
+    section["soa_speedup"] = round(
+        section["scalar_us_per_1k_lanes"] / section["soa_us_per_1k_lanes"], 2
+    )
     return section
 
 
@@ -255,20 +377,26 @@ def _multicore_benchmark(n_cpus: int, inst: int, scale: float, seed: int,
     """
     from repro.parallel import run_many
 
+    quota = cgroup_cpu_quota()
     section = {
         "cpu_count": cpu_count,
         "affinity_cpus": affinity,
+        "cgroup_cpu_quota": quota,
         "fork_available": fork_available(),
         "jobs": jobs,
     }
-    meaningful = affinity >= 2 and jobs > 1 and fork_available()
+    quota_ok = quota is None or quota >= 2.0
+    meaningful = affinity >= 2 and quota_ok and jobs > 1 and fork_available()
     if not meaningful:
         section["skipped"] = True
+        quota_str = "none" if quota is None else f"{quota:.2f} cores"
         section["note"] = (
             f"cpu_count={cpu_count}, usable (affinity) CPUs={affinity}, "
-            f"jobs={jobs}, fork={fork_available()}: a run_many speedup "
-            "needs >=2 usable CPUs and fork workers; timing parallel "
-            "dispatch here would measure oversubscription, not speedup"
+            f"cgroup quota={quota_str}, jobs={jobs}, "
+            f"fork={fork_available()}: a run_many speedup needs >=2 "
+            "usable CPUs (affinity AND cgroup quota) and fork workers; "
+            "timing parallel dispatch here would measure "
+            "oversubscription, not speedup"
         )
         return section
 
@@ -378,11 +506,13 @@ def main(argv: list[str] | None = None) -> int:
     _assert_within_tolerance(cached_results, newton_results, "newton solver")
 
     vector_section = None
+    entry_build_section = None
     if not args.skip_vector:
         vector_section = _vector_benchmark(
             args.vector_cpus, args.vector_inst, args.vector_scale,
             args.seed, args.best_of,
         )
+        entry_build_section = _entry_build_benchmark(args.vector_cpus)
     multicore_section = _multicore_benchmark(
         args.vector_cpus, args.vector_inst, args.vector_scale, args.seed,
         jobs, cpu_count, affinity,
@@ -400,8 +530,10 @@ def main(argv: list[str] | None = None) -> int:
         "jobs": jobs,
         "cpu_count": cpu_count,
         "affinity_cpus": affinity,
+        "cgroup_cpu_quota": cgroup_cpu_quota(),
         "variants": variants,
         "vectorized": vector_section,
+        "entry_build": entry_build_section,
         "multicore": multicore_section,
         "vector_speedup_vs_newton": (
             vector_section["speedup_vs_newton"] if vector_section else None

@@ -60,6 +60,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import TYPE_CHECKING
 
+import numpy as np
+
 from ..errors import AuditViolation
 from ..sim.events import EventPriority
 from .oracle import reference_selection
@@ -236,15 +238,20 @@ class InvariantAuditor:
         )
 
     def _check_running(self) -> None:
-        """Structural CPU-allocation invariants (cheap, race-free)."""
+        """Structural CPU-allocation invariants (cheap, race-free).
+
+        The per-thread flag scan reads the thread store's bool columns
+        directly (``row == tid - 1``): one mask over the running rows
+        instead of a ThreadState lookup per dispatched CPU.
+        """
         machine = self._machine
         running = machine.running_tids()
         ok = len(running) <= machine.n_cpus and len(set(running)) == len(running)
-        for tid in running:
-            t = machine.thread(tid)
-            if t.blocked or t.finished or t.in_io:
-                ok = False
-                break
+        if ok and running:
+            s = machine.store
+            rows = np.asarray(running, dtype=np.int64) - 1
+            bad = s.blocked[rows] | s.finished[rows] | s.in_io[rows]
+            ok = not bool(bad.any())
         self._check(
             "cpu-allocation", ok, running=running, n_cpus=machine.n_cpus
         )

@@ -130,6 +130,14 @@ class CpuManager:
         self.arena = SharedArena(sample_period_us=config.sample_period_us)
         self._signals: SignalDispatcher | None = None
         self._selected: set[int] = set()          # current *intent*
+        # Per-application row caches: app_id -> (thread-store rows,
+        # counter-bank rows) for the descriptor's tids. A descriptor's tid
+        # list is fixed for its connected life, so the manager's per-tick
+        # scans (running check, counter accumulation, finished masks) index
+        # the arrays directly instead of walking tids through dicts.
+        # Released with the rest of the per-app state in _release, so a
+        # reconnecting app id rebuilds from its new descriptor.
+        self._rows_cache: dict[int, tuple[np.ndarray, np.ndarray]] = {}
         self._boundary_samples: dict[int, ArenaSample] = {}
         self._last_sample_seen: dict[int, ArenaSample] = {}
         self._quanta = 0
@@ -327,6 +335,7 @@ class CpuManager:
                         self.kernel.on_block_change(tid, False)
         self.policy.forget(app_id)
         self._selected.discard(app_id)
+        self._rows_cache.pop(app_id, None)
         self._boundary_samples.pop(app_id, None)
         self._last_sample_seen.pop(app_id, None)
         self._stale_count.pop(app_id, None)
@@ -351,7 +360,7 @@ class CpuManager:
         if not desc.connected:
             return
         machine = self.machine
-        if all(machine.thread(t).finished for t in desc.tids):
+        if machine.store.finished[self._app_rows(desc)[0]].all():
             self.disconnect_app(state.app_id)
 
     def register_apps(self, apps: list["Application"]) -> None:
@@ -379,12 +388,24 @@ class CpuManager:
 
     # ----------------------------------------------------------------- sampling
 
+    def _app_rows(self, desc) -> tuple[np.ndarray, np.ndarray]:
+        """(store rows, counter rows) for a descriptor's threads, cached."""
+        rows = self._rows_cache.get(desc.app_id)
+        if rows is None:
+            tids = desc.tids
+            store_rows = np.fromiter(
+                (t - 1 for t in tids), dtype=np.int64, count=len(tids)
+            )
+            rows = (store_rows, self.machine.counters.rows_of(tids))
+            self._rows_cache[desc.app_id] = rows
+        return rows
+
     def _total_transactions(self) -> float:
         """Cumulative bus transactions of every managed thread."""
-        machine = self.machine
+        counters = self.machine.counters
         total = 0.0
         for desc in self.arena.connected():
-            total += machine.counters.read_many(desc.tids).bus_transactions
+            total += counters.read_rows(self._app_rows(desc)[1]).bus_transactions
         return total
 
     def _interval_saturated(self, prev: tuple[float, float]) -> tuple[bool, tuple[float, float]]:
@@ -409,12 +430,14 @@ class CpuManager:
         faults = self._faults
         perturb = faults is not None and faults.plan.any_pmc_faults
         saturated, self._global_sample = self._interval_saturated(self._global_sample)
+        store_cpu = machine.store.cpu
         for desc in self.arena.connected():
             # Only running applications update their pages: a blocked
             # process cannot execute its sampling code.
-            if not any(machine.thread(t).cpu is not None for t in desc.tids):
+            srows, crows = self._app_rows(desc)
+            if not (store_cpu[srows] >= 0).any():
                 continue
-            snap = machine.counters.read_many(desc.tids)
+            snap = machine.counters.read_rows(crows)
             sample = ArenaSample(
                 time_us=machine.now,
                 cum_transactions=snap.bus_transactions,
@@ -459,8 +482,9 @@ class CpuManager:
 
         # 0. Disconnect finished applications (releases their estimator,
         #    checkpoint and signal-counter state too).
+        finished_col = machine.store.finished
         for desc in list(self.arena.connected()):
-            if all(machine.thread(t).finished for t in desc.tids):
+            if finished_col[self._app_rows(desc)[0]].all():
                 self.disconnect_app(desc.app_id)
 
         # 0b. Hung-app watchdog (hardened fault runs only): quarantine
@@ -497,11 +521,13 @@ class CpuManager:
         if ran:
             self.arena.move_to_back(ran)
 
-        # 3. Elect the next quantum's applications.
+        # 3. Elect the next quantum's applications. A job's width is its
+        #    *live* (unfinished) thread count — one mask popcount per app.
+        finished_col = machine.store.finished
         jobs = [
             JobView(
                 app_id=d.app_id,
-                width=sum(1 for t in d.tids if not machine.thread(t).finished),
+                width=int(np.count_nonzero(~finished_col[self._app_rows(d)[0]])),
                 name=d.name.rsplit("#", 1)[0],
             )
             for d in self.arena.connected()
@@ -519,7 +545,8 @@ class CpuManager:
         # 4. Signal the deltas (block losers first so their CPUs free up
         #    by the time the winners' unblocks land).
         for desc in self.arena.connected():
-            live = [t for t in desc.tids if not machine.thread(t).finished]
+            fin = finished_col[self._app_rows(desc)[0]].tolist()
+            live = [t for t, f in zip(desc.tids, fin) if not f]
             if not live:
                 continue
             if self.config.resend_intent:
@@ -535,11 +562,17 @@ class CpuManager:
                 self.signals.send_unblock(live)
 
         self._selected = new_selected
+        # Record the *live* widths the selection packed with (a job's
+        # width shrinks as its threads finish; invariant checks must see
+        # what the packer saw, not the static thread counts).
+        width_of = {j.app_id: j.width for j in jobs}
+        sel_sorted = sorted(new_selected)
         machine.trace.record(
             machine.now,
             "manager.quantum",
             number=self._quanta,
-            selected=sorted(new_selected),
+            selected=sel_sorted,
+            widths=[width_of[a] for a in sel_sorted],
             order=self.arena.list_order(),
         )
         if self._auditor is not None:
@@ -578,11 +611,12 @@ class CpuManager:
         count (they legitimately cannot progress while blocked).
         """
         machine = self.machine
+        finished_col = machine.store.finished
         for desc in list(self.arena.connected()):
-            live = [t for t in desc.tids if not machine.thread(t).finished]
-            if not live:
+            srows, crows = self._app_rows(desc)
+            if finished_col[srows].all():
                 continue
-            work = machine.counters.read_many(desc.tids).work_us
+            work = machine.counters.read_rows(crows).work_us
             prev = self._watchdog_work.get(desc.app_id)
             self._watchdog_work[desc.app_id] = work
             if prev is None or desc.app_id not in self._selected:

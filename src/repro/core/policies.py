@@ -373,6 +373,11 @@ class BandwidthPolicy(ABC):
                 # duplicated id excludes every entry carrying it).
                 avail[id_arr == jobs[head_idx].app_id] = False
             scale = self._fitness_scale
+            # Scratch reused across traversal rounds: the Equation-1 score
+            # is computed in place (same elementwise expressions, same
+            # bits) instead of allocating four temporaries per round.
+            scores = np.empty(len(jobs))
+            tmp = np.empty(len(jobs))
         else:
             taken = set(chosen_ids)
         # Step 2: fitness-driven traversals.
@@ -382,9 +387,12 @@ class BandwidthPolicy(ABC):
             if vector_scan:
                 mask = avail & (width_arr <= free)
                 if mask.any():
-                    scores = np.where(
-                        mask, scale / (1.0 + np.abs(abbw_per_proc - est_arr)), -np.inf
-                    )
+                    np.subtract(abbw_per_proc, est_arr, out=tmp)
+                    np.abs(tmp, out=tmp)
+                    tmp += 1.0
+                    np.divide(scale, tmp, out=tmp)
+                    scores.fill(-np.inf)
+                    np.copyto(scores, tmp, where=mask)
                     best_idx = int(np.argmax(scores))
             else:
                 best_score = -float("inf")

@@ -16,6 +16,9 @@ Subsystems
 * :mod:`repro.hw.machine` — the assembled machine: settles thread progress
   over time intervals using the bus and cache models (the engine's
   :class:`~repro.sim.engine.Advancer`).
+* :mod:`repro.hw.store` — the struct-of-arrays backing store for
+  per-thread scalars; :class:`~repro.hw.machine.ThreadState` is a view
+  over one of its rows.
 """
 
 from .bus import BusModel, BusRequest, BusSolution, ThreadGrant
@@ -23,6 +26,7 @@ from .counters import CounterBank, CounterSnapshot
 from .cpu import Cpu
 from .machine import Machine, ThreadState
 from .perfctr import PerfctrDriver, VPerfCtr
+from .store import ThreadStore
 
 __all__ = [
     "BusModel",
@@ -34,6 +38,7 @@ __all__ = [
     "Cpu",
     "Machine",
     "ThreadState",
+    "ThreadStore",
     "PerfctrDriver",
     "VPerfCtr",
 ]

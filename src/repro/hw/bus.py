@@ -437,6 +437,24 @@ class BusModel:
                 self._request_cache[rate_txus] = req
         return req
 
+    def requests_for_rates(self, rates: list[float]) -> list[BusRequest]:
+        """Batch :meth:`request_for_rate` (the SoA entry build's one call).
+
+        Same memo, same eviction cap, same ``BusRequest`` identity on a
+        hit — just the per-rate lookup inlined so a full lane rebuild is
+        one call instead of one per CPU.
+        """
+        cache = self._request_cache
+        out: list[BusRequest] = []
+        for rate in rates:
+            req = cache.get(rate)
+            if req is None:
+                req = BusRequest(rate, derive_mem_fraction(rate, self._lam0, self._alpha))
+                if len(cache) < 65536:
+                    cache[rate] = req
+            out.append(req)
+        return out
+
     def contention_latency(self, rho: float) -> float:
         """Sub-saturation arbitration latency at offered-demand ratio ``rho``.
 

@@ -97,8 +97,10 @@ class CacheL2:
         # data too, but preferentially hit victims (LRU-ish): model all
         # non-growth inflow as eviction pressure on others, bounded by what
         # others actually hold.
+        # free is already clamped non-negative, so subtracting it directly
+        # is exact (no re-clamp needed — bitwise the same displacement).
         free = max(0.0, self._total - self.occupancy())
-        displacing = max(0.0, inflow_lines - max(free - 0.0, 0.0))
+        displacing = max(0.0, inflow_lines - free)
         self._evict_others(tid, min(displacing, self._others_total(tid)))
         if grow > 0.0:
             self._resident[tid] = mine + grow
@@ -139,7 +141,7 @@ class CacheL2:
             if k != tid:
                 others += v
         free = max(0.0, self._total - occ)
-        displacing = max(0.0, inflow_lines - max(free - 0.0, 0.0))
+        displacing = max(0.0, inflow_lines - free)
         lines = min(displacing, others)
         mutated = False
         if lines > 0.0 and others > 0.0:

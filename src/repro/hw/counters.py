@@ -11,11 +11,22 @@ driver facade, the CPU-manager runtime) take snapshots.
 Counters are monotone non-decreasing by construction; :class:`CounterBank`
 enforces this and raises :class:`repro.errors.CounterError` on misuse, which
 property tests rely on.
+
+Storage is struct-of-arrays: three float64 arrays (transactions, cycles,
+work) indexed by a per-bank row, so the machine's batched advance can
+credit every running lane with three fancy-indexed adds
+(:meth:`CounterBank.credit_rows`) and the manager can accumulate an
+application's counters without a per-thread dict walk
+(:meth:`CounterBank.read_rows`). The aggregate in ``read_rows`` is a
+``cumsum`` tail — bit-identical to the left-to-right scalar fold of
+:meth:`read_many`, which stays as the reference.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+
+import numpy as np
 
 from ..errors import CounterError
 
@@ -58,7 +69,7 @@ class CounterSnapshot:
 
 
 class CounterBank:
-    """Monotone counters for a set of threads.
+    """Monotone counters for a set of threads, stored as float64 arrays.
 
     The machine is the only writer; any number of readers may snapshot.
 
@@ -72,9 +83,20 @@ class CounterBank:
     """
 
     def __init__(self) -> None:
-        self._tx: dict[int, float] = {}
-        self._cycles: dict[int, float] = {}
-        self._work: dict[int, float] = {}
+        self._row: dict[int, int] = {}
+        capacity = 64
+        self._tx = np.zeros(capacity)
+        self._cycles = np.zeros(capacity)
+        self._work = np.zeros(capacity)
+
+    def _grow(self) -> None:
+        n = len(self._row)
+        capacity = self._tx.size * 2
+        for name in ("_tx", "_cycles", "_work"):
+            old = getattr(self, name)
+            fresh = np.zeros(capacity)
+            fresh[:n] = old[:n]
+            setattr(self, name, fresh)
 
     def register(self, tid: int) -> None:
         """Start counting for thread ``tid`` (all counters at zero).
@@ -84,15 +106,39 @@ class CounterBank:
         CounterError
             If ``tid`` is already registered.
         """
-        if tid in self._tx:
+        if tid in self._row:
             raise CounterError(f"thread {tid} already registered")
-        self._tx[tid] = 0.0
-        self._cycles[tid] = 0.0
-        self._work[tid] = 0.0
+        row = len(self._row)
+        if row == self._tx.size:
+            self._grow()
+        self._tx[row] = 0.0
+        self._cycles[row] = 0.0
+        self._work[row] = 0.0
+        self._row[tid] = row
 
     def known(self, tid: int) -> bool:
         """Whether ``tid`` has been registered."""
-        return tid in self._tx
+        return tid in self._row
+
+    def row_of(self, tid: int) -> int:
+        """The array row backing ``tid`` (for batched credit/read paths).
+
+        Raises
+        ------
+        CounterError
+            If ``tid`` is unknown.
+        """
+        try:
+            return self._row[tid]
+        except KeyError:
+            raise CounterError(f"row of unknown thread {tid}") from None
+
+    def rows_of(self, tids: list[int]) -> np.ndarray:
+        """Array rows for several threads, in input order."""
+        try:
+            return np.fromiter((self._row[t] for t in tids), dtype=np.int64, count=len(tids))
+        except KeyError as exc:
+            raise CounterError(f"row of unknown thread {exc.args[0]}") from None
 
     def credit(
         self,
@@ -108,16 +154,17 @@ class CounterBank:
         CounterError
             If ``tid`` is unknown or any increment is negative.
         """
-        if tid not in self._tx:
+        row = self._row.get(tid)
+        if row is None:
             raise CounterError(f"credit for unknown thread {tid}")
         if bus_transactions < 0 or cycles_us < 0 or work_us < 0:
             raise CounterError(
                 f"negative counter increment for thread {tid}: "
                 f"tx={bus_transactions} cycles={cycles_us} work={work_us}"
             )
-        self._tx[tid] += bus_transactions
-        self._cycles[tid] += cycles_us
-        self._work[tid] += work_us
+        self._tx[row] += bus_transactions
+        self._cycles[row] += cycles_us
+        self._work[row] += work_us
 
     def credit_run(
         self,
@@ -133,9 +180,29 @@ class CounterBank:
         the increments are products of non-negative rates and a positive
         ``dt``. A ``KeyError`` here indicates a machine bug, not misuse.
         """
-        self._tx[tid] += bus_transactions
-        self._cycles[tid] += cycles_us
-        self._work[tid] += work_us
+        row = self._row[tid]
+        self._tx[row] += bus_transactions
+        self._cycles[row] += cycles_us
+        self._work[row] += work_us
+
+    def credit_rows(
+        self,
+        rows: np.ndarray,
+        bus_transactions: np.ndarray,
+        cycles_us: float,
+        work_us: np.ndarray,
+    ) -> None:
+        """Batched unchecked credit for the SoA advance (unique ``rows``).
+
+        ``cycles_us`` is the settle interval, common to every lane; the
+        per-row transaction/work increments are elementwise products the
+        caller already formed. Each fancy-indexed add performs exactly the
+        scalar ``+=`` of :meth:`credit_run` per row, so the stored bits
+        match the per-lane reference loop.
+        """
+        self._tx[rows] += bus_transactions
+        self._cycles[rows] += cycles_us
+        self._work[rows] += work_us
 
     def read(self, tid: int) -> CounterSnapshot:
         """Snapshot one thread's counters.
@@ -145,17 +212,20 @@ class CounterBank:
         CounterError
             If ``tid`` is unknown.
         """
-        try:
-            return CounterSnapshot(self._tx[tid], self._cycles[tid], self._work[tid])
-        except KeyError:
-            raise CounterError(f"read of unknown thread {tid}") from None
+        row = self._row.get(tid)
+        if row is None:
+            raise CounterError(f"read of unknown thread {tid}")
+        return CounterSnapshot(
+            float(self._tx[row]), float(self._cycles[row]), float(self._work[row])
+        )
 
     def read_many(self, tids: list[int]) -> CounterSnapshot:
         """Accumulated snapshot over several threads (e.g. one application).
 
         This mirrors the paper's runtime library, which polls the counters
         of all application threads and accumulates the values before writing
-        the result to the shared arena.
+        the result to the shared arena. Reference path for
+        :meth:`read_rows` (same bits, per-thread loop).
         """
         tx = cy = wk = 0.0
         for tid in tids:
@@ -165,6 +235,22 @@ class CounterBank:
             wk += snap.work_us
         return CounterSnapshot(tx, cy, wk)
 
+    def read_rows(self, rows: np.ndarray) -> CounterSnapshot:
+        """Accumulated snapshot over pre-resolved rows (see :meth:`rows_of`).
+
+        The sums are ``cumsum`` tails: numpy's cumulative sum accumulates
+        strictly left to right, which reproduces ``read_many``'s
+        ``0.0 + x0 + x1 + …`` fold bit-for-bit (``0.0 + x == x`` for the
+        non-negative counter values).
+        """
+        if rows.size == 0:
+            return CounterSnapshot(0.0, 0.0, 0.0)
+        return CounterSnapshot(
+            float(self._tx[rows].cumsum()[-1]),
+            float(self._cycles[rows].cumsum()[-1]),
+            float(self._work[rows].cumsum()[-1]),
+        )
+
     def threads(self) -> list[int]:
         """All registered thread ids, sorted."""
-        return sorted(self._tx)
+        return sorted(self._row)

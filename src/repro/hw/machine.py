@@ -28,6 +28,17 @@ actual transaction rate attributable to refills drains the debt. Migrations
 ``1 + migration_sensitivity`` — the knob that reproduces the paper's
 observation that very-high-hit-ratio codes (LU CB, 99.53 %; Water-nsqr) are
 disproportionately hurt by thread migrations.
+
+Struct-of-arrays thread state
+-----------------------------
+Every per-thread scalar the hot loops touch lives in a
+:class:`repro.hw.store.ThreadStore` row (``row == tid - 1``);
+:class:`ThreadState` is an index-backed view over that row, so the object
+API policies/audit/faults/tests use and the arrays the batched loops use
+are the same storage. With ``solver_mode="vector"`` (and no SMT coupling)
+the machine runs fully batched passes over the store — lane entry build,
+advance, horizon scan, transition detection — each bit-identical to the
+scalar reference loops kept for the other solver modes.
 """
 
 from __future__ import annotations
@@ -46,11 +57,15 @@ from .bus import BusModel, BusRequest
 from .cache import CacheL2
 from .counters import CounterBank
 from .cpu import Cpu
+from .store import ThreadStore
 
 __all__ = ["DemandProcess", "Machine", "ThreadState"]
 
 #: Absolute tolerance (in work-µs / lines) for snapping to transitions.
 _SNAP = 1e-6
+
+_EMPTY_ROWS = np.empty(0, dtype=np.int64)
+_EMPTY_F = np.empty(0)
 
 
 class DemandProcess(Protocol):
@@ -69,37 +84,36 @@ class DemandProcess(Protocol):
 
 
 class ThreadState:
-    """Mutable per-thread simulation state. Created via :meth:`Machine.add_thread`."""
+    """Per-thread simulation state: a view over one :class:`ThreadStore` row.
+
+    Created via :meth:`Machine.add_thread`. Scalar fields the hot loops
+    read/write (work, debt, flags, CPU placement) are properties backed by
+    the store arrays — a write through the object is immediately visible to
+    the batched passes and vice versa. Cold metadata (name, demand process,
+    dispatch statistics) stays in ordinary slots.
+    """
 
     __slots__ = (
+        "_store",
+        "_row",
         "tid",
         "app_id",
         "name",
         "demand",
-        "work_total",
-        "work_done",
-        "footprint_lines",
         "migration_sensitivity",
-        "cpu",
-        "last_cpu",
-        "rebuild_debt",
-        "blocked",
-        "stalled",
-        "finished",
-        "finished_at",
         "created_at",
-        "run_time_us",
+        "finished_at",
         "dispatch_count",
         "migration_count",
         "io_interval_work_us",
         "io_duration_us",
-        "next_io_at_work",
-        "in_io",
         "io_count",
     )
 
     def __init__(
         self,
+        store: ThreadStore,
+        row: int,
         tid: int,
         app_id: int,
         name: str,
@@ -109,25 +123,17 @@ class ThreadState:
         migration_sensitivity: float,
         created_at: float,
     ) -> None:
+        self._store = store
+        self._row = row
         self.tid = tid
         self.app_id = app_id
         self.name = name
         self.demand = demand
-        self.work_total = work_total
-        self.work_done = 0.0
-        self.footprint_lines = footprint_lines
+        store.work_total[row] = work_total
+        store.footprint_lines[row] = footprint_lines
         self.migration_sensitivity = migration_sensitivity
-        self.cpu: int | None = None
-        self.last_cpu: int | None = None
-        self.rebuild_debt = 0.0
-        self.blocked = False
-        # A stalled thread occupies its CPU without progressing or issuing
-        # bus traffic (fault injection's "hung application" semantics).
-        self.stalled = False
-        self.finished = False
-        self.finished_at: float | None = None
         self.created_at = created_at
-        self.run_time_us = 0.0
+        self.finished_at: float | None = None
         self.dispatch_count = 0
         self.migration_count = 0
         # I/O behaviour (the paper's future-work workloads): after every
@@ -135,24 +141,140 @@ class ThreadState:
         # ``io_duration_us`` (disk/network wait), releasing its CPU.
         self.io_interval_work_us: float | None = None
         self.io_duration_us = 0.0
-        self.next_io_at_work = math.inf
-        self.in_io = False
         self.io_count = 0
+
+    # -- store-backed scalars -------------------------------------------------
+
+    @property
+    def work_total(self) -> float:
+        """Total work to complete, in standalone-µs."""
+        return float(self._store.work_total[self._row])
+
+    @work_total.setter
+    def work_total(self, value: float) -> None:
+        self._store.work_total[self._row] = value
+
+    @property
+    def work_done(self) -> float:
+        """Completed work, in standalone-µs."""
+        return float(self._store.work_done[self._row])
+
+    @work_done.setter
+    def work_done(self, value: float) -> None:
+        self._store.work_done[self._row] = value
+
+    @property
+    def footprint_lines(self) -> float:
+        """Working-set size in cache lines."""
+        return float(self._store.footprint_lines[self._row])
+
+    @footprint_lines.setter
+    def footprint_lines(self, value: float) -> None:
+        self._store.footprint_lines[self._row] = value
+
+    @property
+    def rebuild_debt(self) -> float:
+        """Outstanding compulsory refill transactions."""
+        return float(self._store.rebuild_debt[self._row])
+
+    @rebuild_debt.setter
+    def rebuild_debt(self, value: float) -> None:
+        self._store.rebuild_debt[self._row] = value
+
+    @property
+    def run_time_us(self) -> float:
+        """Cumulative wall time spent dispatched (µs)."""
+        return float(self._store.run_time_us[self._row])
+
+    @run_time_us.setter
+    def run_time_us(self, value: float) -> None:
+        self._store.run_time_us[self._row] = value
+
+    @property
+    def next_io_at_work(self) -> float:
+        """Completed-work point of the next I/O sleep (inf = never)."""
+        return float(self._store.next_io_at_work[self._row])
+
+    @next_io_at_work.setter
+    def next_io_at_work(self, value: float) -> None:
+        self._store.next_io_at_work[self._row] = value
+
+    @property
+    def cpu(self) -> int | None:
+        """The CPU currently running this thread, or ``None``."""
+        c = self._store.cpu[self._row]
+        return int(c) if c >= 0 else None
+
+    @cpu.setter
+    def cpu(self, value: int | None) -> None:
+        self._store.cpu[self._row] = -1 if value is None else value
+
+    @property
+    def last_cpu(self) -> int | None:
+        """The CPU this thread last ran on, or ``None`` (never dispatched)."""
+        c = self._store.last_cpu[self._row]
+        return int(c) if c >= 0 else None
+
+    @last_cpu.setter
+    def last_cpu(self, value: int | None) -> None:
+        self._store.last_cpu[self._row] = -1 if value is None else value
+
+    @property
+    def blocked(self) -> bool:
+        """Blocked by a CPU-manager signal (cannot be dispatched)."""
+        return bool(self._store.blocked[self._row])
+
+    @blocked.setter
+    def blocked(self, value: bool) -> None:
+        self._store.blocked[self._row] = value
+
+    @property
+    def stalled(self) -> bool:
+        """Hung: occupies its CPU without progressing or issuing traffic."""
+        return bool(self._store.stalled[self._row])
+
+    @stalled.setter
+    def stalled(self, value: bool) -> None:
+        self._store.stalled[self._row] = value
+
+    @property
+    def finished(self) -> bool:
+        """Completed (or killed); never dispatched again."""
+        return bool(self._store.finished[self._row])
+
+    @finished.setter
+    def finished(self, value: bool) -> None:
+        self._store.finished[self._row] = value
+
+    @property
+    def in_io(self) -> bool:
+        """Asleep on I/O (off-CPU, not runnable until the wakeup)."""
+        return bool(self._store.in_io[self._row])
+
+    @in_io.setter
+    def in_io(self, value: bool) -> None:
+        self._store.in_io[self._row] = value
+
+    # -- derived --------------------------------------------------------------
 
     @property
     def running(self) -> bool:
         """Whether the thread is currently dispatched on a CPU."""
-        return self.cpu is not None
+        return self._store.cpu[self._row] >= 0
 
     @property
     def runnable(self) -> bool:
         """Eligible for dispatch: not finished, not blocked, not in I/O."""
-        return not self.finished and not self.blocked and not self.in_io
+        s = self._store
+        r = self._row
+        return not (s.finished[r] or s.blocked[r] or s.in_io[r])
 
     @property
     def remaining_work(self) -> float:
         """Work left to completion, in standalone-µs."""
-        return max(0.0, self.work_total - self.work_done)
+        s = self._store
+        r = self._row
+        return max(0.0, float(s.work_total[r] - s.work_done[r]))
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         where = f"cpu{self.cpu}" if self.cpu is not None else ("blocked" if self.blocked else "ready")
@@ -164,6 +286,7 @@ class _Lane:
 
     Holds the :class:`ThreadState` directly (not just the tid) so the
     integration and horizon loops skip a dict lookup per lane per event.
+    Scalar-path structure; the SoA path keeps lane columns as arrays.
     """
 
     __slots__ = ("state", "speed", "progress_rate", "tx_rate", "fill_rate", "seg_end")
@@ -210,6 +333,11 @@ class Machine:
         self.trace = trace if trace is not None else TraceRecorder(enabled=False)
         self.bus = BusModel(config.bus)
         self.counters = CounterBank()
+        #: Struct-of-arrays backing store for every thread's hot scalars
+        #: (``row == tid - 1``). Maintained in every solver mode — the
+        #: ThreadState views write through to it — so readers (schedulers,
+        #: the manager) may use it regardless of the solve path.
+        self.store = ThreadStore()
         # Schedulers see logical CPUs; SMT siblings share a core and its L2.
         self.cpus = [Cpu(i) for i in range(config.n_logical_cpus)]
         self.caches = [CacheL2(config.cache) for _ in range(config.n_cpus)]
@@ -219,24 +347,42 @@ class Machine:
         self._lanes: list[_Lane] = []
         self._lane_sig: tuple | None = None
         # Vector mode ("vector" bus solver) arms the machine's batched hot
-        # path: per-tid dirty tracking feeds a per-CPU entry cache in
-        # _ensure_solution, and _advance_to integrates lanes through
-        # structure-of-arrays numpy products. Both are bitwise identical
-        # to the scalar path (the A/B reference kept for "newton"/
-        # "bisect"); SMT couples cores through the sibling factor, so the
-        # per-tid mask degrades to full recomputation there.
+        # path. SMT couples cores through the sibling factor, so the fully
+        # batched SoA pipeline requires smt_ways == 1; vector machines with
+        # SMT still get the batched bus solve + advance mirror. All fast
+        # paths are bitwise identical to the scalar reference kept for
+        # "newton"/"bisect".
         self._vector = config.bus.solver_mode == "vector"
-        self._use_dirty_mask = self._vector and config.smt_ways == 1
-        self._dirty_all = True
-        self._dirty_tids: set[int] = set()
-        self._entry_cache: dict[int, tuple] = {}
-        # Vector mode: memoized runnable list (see runnable_threads).
+        self._soa = self._vector and config.smt_ways == 1
+        # CPU occupancy mirror: _cpu_tid[cpu_id] == tid or -1. Updated by
+        # _set_cpu_thread alongside the Cpu objects in every mode.
+        self._cpu_tid = np.full(config.n_logical_cpus, -1, dtype=np.int64)
+        # Ready queue: tids that are runnable and not on any CPU, i.e. the
+        # candidates a scheduler's O(n) pick scan actually considers.
+        # Maintained incrementally at every lifecycle edge (dispatch,
+        # block, I/O, finish); vector-mode schedulers iterate this instead
+        # of rescanning all threads.
+        self._ready: set[int] = set()
+        self._ready_sorted: list[int] | None = None
+        # Vector mode: memoized runnable list/rows (see runnable_threads).
         self._use_runnable_cache = self._vector
         self._runnable_cache: list[ThreadState] | None = None
+        self._runnable_rows: np.ndarray | None = None
         self._dirty_mask_hits = 0
-        self._adv_pr = None  # SoA lane arrays (vector advance path)
-        self._adv_tx = None
+        # SoA lane columns (valid between rebuilds; row-aligned with
+        # _lane_rows, which lists store rows in CPU order).
+        self._lane_rows = _EMPTY_ROWS
+        self._lane_states: list[ThreadState] = []
+        self._lane_speed = _EMPTY_F
+        self._lane_fill = _EMPTY_F
+        self._lane_seg = _EMPTY_F
+        self._lane_fill_pos: tuple[np.ndarray, np.ndarray] | None = None
+        self._soa_sig: tuple | None = None
+        self._adv_pr: np.ndarray | None = None
+        self._adv_tx: np.ndarray | None = None
         self._adv_caches: list[CacheL2] = []
+        self._adv_cacc: list[tuple[CacheL2, int, float]] = []
+        self._adv_crows = _EMPTY_ROWS
         # Cached absolute horizon. While the configuration is unchanged,
         # every internal transition time is a *constant* absolute instant
         # (work, debt and I/O positions all advance linearly), so the
@@ -307,11 +453,12 @@ class Machine:
 
     @property
     def dirty_mask_hits(self) -> int:
-        """Lane entries reused from the per-CPU cache (vector mode only).
+        """Lane entries served from the store's segment cache (SoA mode).
 
-        Counts occupied CPUs whose entry survived a reconfiguration
-        because their thread was not in the dirty set — the per-lane
-        recomputation the dirty mask avoided.
+        Counts occupied CPUs whose demand segment was reused from the
+        per-thread ``seg_rate``/``seg_end`` store columns during an entry
+        rebuild — the ``demand.segment()`` call the SoA pass avoided.
+        Always zero in the scalar solver modes.
         """
         return self._dirty_mask_hits
 
@@ -353,7 +500,7 @@ class Machine:
         """Register a new thread; it starts ready (not dispatched).
 
         Returns the created :class:`ThreadState`; its ``tid`` is unique and
-        monotonically assigned.
+        monotonically assigned (``store row == tid - 1``).
         """
         if work_total <= 0.0:
             raise WorkloadError(f"thread {name!r} must have positive work, got {work_total}")
@@ -365,7 +512,11 @@ class Machine:
             raise WorkloadError(f"negative migration sensitivity for thread {name!r}")
         tid = self._next_tid
         self._next_tid += 1
+        row = self.store.add()
+        assert row == tid - 1
         state = ThreadState(
+            store=self.store,
+            row=row,
             tid=tid,
             app_id=app_id,
             name=name,
@@ -385,7 +536,9 @@ class Machine:
             state.next_io_at_work = float(io_interval_work_us)
         self._threads[tid] = state
         self.counters.register(tid)
-        self._runnable_cache = None
+        self._invalidate_runnable()
+        self._ready.add(tid)
+        self._ready_sorted = None
         return state
 
     def add_exit_listener(self, callback: Callable[[ThreadState], None]) -> None:
@@ -425,27 +578,89 @@ class Machine:
     def runnable_threads(self) -> list[ThreadState]:
         """Threads eligible for dispatch (unfinished, unblocked), by tid.
 
-        Vector mode memoizes the list: membership only changes when a
-        thread is added, finishes, blocks/unblocks, or enters/leaves I/O —
-        each of those paths drops the memo, so a hit returns the same
-        threads (same tid order) the scan would. The baseline scheduler
-        calls this once per CPU per tick, making the scan O(cpus·threads)
-        without the memo.
+        One vectorized mask over the store (finished | blocked | in_io)
+        replaces the per-thread attribute scan. Vector mode memoizes the
+        list: membership only changes when a thread is added, finishes,
+        blocks/unblocks, or enters/leaves I/O — each of those paths drops
+        the memo, so a hit returns the same threads (same tid order) the
+        scan would.
         """
         if self._runnable_cache is not None:
             return self._runnable_cache
-        out = [t for t in self._threads.values() if t.runnable]
+        s = self.store
+        n = len(self._threads)
+        mask = ~(s.finished[:n] | s.blocked[:n] | s.in_io[:n])
+        out = [t for t, ok in zip(self._threads.values(), mask.tolist()) if ok]
         if self._use_runnable_cache:
             self._runnable_cache = out
         return out
 
+    def runnable_rows(self) -> np.ndarray:
+        """Store rows of the runnable threads, ascending (memoized).
+
+        Same membership and order as :meth:`runnable_threads`
+        (``row == tid - 1``); invalidated at the same lifecycle edges.
+        Callers must treat the array as read-only.
+        """
+        rows = self._runnable_rows
+        if rows is None:
+            s = self.store
+            n = len(self._threads)
+            mask = ~(s.finished[:n] | s.blocked[:n] | s.in_io[:n])
+            rows = np.nonzero(mask)[0]
+            self._runnable_rows = rows
+        return rows
+
+    def ready_tids(self) -> list[int]:
+        """Tids that are runnable *and* off-CPU, ascending (incremental).
+
+        The candidate set an O(n) pick scan actually dispatches from
+        (besides the CPU's incumbent): maintained as a set at every
+        lifecycle edge, sorted lazily. Callers must not mutate the list.
+        """
+        out = self._ready_sorted
+        if out is None:
+            out = sorted(self._ready)
+            self._ready_sorted = out
+        return out
+
+    def _invalidate_runnable(self) -> None:
+        self._runnable_cache = None
+        self._runnable_rows = None
+
+    def _ready_add(self, state: ThreadState) -> None:
+        if state.runnable:
+            self._ready.add(state.tid)
+            self._ready_sorted = None
+
+    def _ready_discard(self, tid: int) -> None:
+        if tid in self._ready:
+            self._ready.remove(tid)
+            self._ready_sorted = None
+
     def running_tids(self) -> list[int]:
         """Tids currently dispatched, in CPU order (idle CPUs skipped)."""
-        return [c.tid for c in self.cpus if c.tid is not None]
+        occ = self._cpu_tid
+        return occ[occ >= 0].tolist()
+
+    @property
+    def cpu_tids(self) -> np.ndarray:
+        """Occupancy array: ``cpu_tids[cpu_id]`` is the tid or −1 (read-only)."""
+        return self._cpu_tid
+
+    @property
+    def soa_store(self) -> ThreadStore | None:
+        """The store when the fully batched SoA path is armed, else ``None``.
+
+        Schedulers gate their own vectorized scans on this so the scalar
+        solver modes keep exercising the reference code paths.
+        """
+        return self.store if self._soa else None
 
     def all_finished(self) -> bool:
         """Whether every registered thread has completed."""
-        return all(t.finished for t in self._threads.values())
+        n = len(self._threads)
+        return bool(self.store.finished[:n].all())
 
     @property
     def bus_utilisation(self) -> float:
@@ -465,20 +680,37 @@ class Machine:
 
         Sum of the per-lane granted rates; the bus model guarantees it
         never exceeds the configured capacity (within solver tolerance),
-        which is exactly what the audit layer asserts.
+        which is exactly what the audit layer asserts. The SoA cumsum tail
+        reproduces the scalar left-to-right fold bit-for-bit.
         """
         self._ensure_solution()
+        if self._soa:
+            tx = self._adv_tx
+            if tx is None or len(tx) == 0:
+                return 0.0
+            return float(tx.cumsum()[-1])
         return sum(lane.tx_rate for lane in self._lanes)
 
     def thread_speed(self, tid: int) -> float:
         """Current execution speed of a running thread (0 if not running)."""
         self._ensure_solution()
+        if self._soa:
+            hit = np.nonzero(self._lane_rows == tid - 1)[0]
+            if hit.size:
+                return float(self._lane_speed[hit[0]])
+            return 0.0
         for lane in self._lanes:
             if lane.tid == tid:
                 return lane.speed
         return 0.0
 
     # ------------------------------------------------------------ scheduling
+
+    def _set_cpu_thread(self, cpu_id: int, tid: int | None) -> int | None:
+        """Point a CPU at ``tid`` (or idle), keeping the occupancy mirror."""
+        prev = self.cpus[cpu_id].set_thread(tid, self._time)
+        self._cpu_tid[cpu_id] = -1 if tid is None else tid
+        return prev
 
     def dispatch(self, cpu_id: int, tid: int | None) -> None:
         """Place thread ``tid`` on CPU ``cpu_id`` (or idle it with ``None``).
@@ -505,9 +737,11 @@ class Machine:
         if tid is not None and cpu.tid == tid:
             return  # idempotent re-dispatch
         if tid is None:
-            prev = cpu.set_thread(None, now)
+            prev = self._set_cpu_thread(cpu_id, None)
             if prev is not None:
-                self._threads[prev].cpu = None
+                pstate = self._threads[prev]
+                pstate.cpu = None
+                self._ready_add(pstate)
             self._mark_dirty(prev)
             return
         state = self.thread(tid)
@@ -517,16 +751,19 @@ class Machine:
             raise SchedulingError(f"cannot dispatch blocked thread {tid}")
         if state.cpu is not None:
             # migrating from another CPU: vacate it
-            self.cpus[state.cpu].set_thread(None, now)
+            self._set_cpu_thread(state.cpu, None)
             state.cpu = None
-        prev = cpu.set_thread(tid, now)
+        prev = self._set_cpu_thread(cpu_id, tid)
         if prev is not None:
-            self._threads[prev].cpu = None
+            pstate = self._threads[prev]
+            pstate.cpu = None
+            self._ready_add(pstate)
         migrated = state.last_cpu is not None and state.last_cpu != cpu_id
         self._charge_rebuild(state, cpu_id, migrated)
         state.cpu = cpu_id
         state.last_cpu = cpu_id
         state.dispatch_count += 1
+        self._ready_discard(tid)
         if migrated:
             state.migration_count += 1
         self.trace.record(
@@ -560,9 +797,13 @@ class Machine:
             return
         self._require_settled()
         state.blocked = blocked
-        self._runnable_cache = None
-        if blocked and state.cpu is not None:
-            self.dispatch(state.cpu, None)
+        self._invalidate_runnable()
+        if blocked:
+            self._ready_discard(tid)
+            if state.cpu is not None:
+                self.dispatch(state.cpu, None)
+        else:
+            self._ready_add(state)
         self.trace.record(self._time, "sched.block" if blocked else "sched.unblock", tid=tid)
         self._mark_dirty(tid)
 
@@ -603,10 +844,11 @@ class Machine:
         self._require_settled()
         state.stalled = False
         state.finished = True
-        self._runnable_cache = None
+        self._invalidate_runnable()
+        self._ready_discard(tid)
         state.finished_at = self._time
         if state.cpu is not None:
-            self.cpus[state.cpu].set_thread(None, self._time)
+            self._set_cpu_thread(state.cpu, None)
             state.cpu = None
         self._mark_dirty(tid)
         self.trace.record(self._time, "thread.kill", tid=state.tid, name=state.name)
@@ -645,18 +887,14 @@ class Machine:
     def _mark_dirty(self, tid: int | None = None) -> None:
         """Flag a reconfiguration: lanes and the cached horizon are stale.
 
-        ``tid`` scopes the invalidation to one thread: only that thread's
-        lane entry must be recomputed at the next ``_ensure_solution``
-        (the dirty mask; vector mode reuses the rest from the per-CPU
-        entry cache). Call sites that cannot name a single affected
-        thread pass ``None``, which invalidates every entry.
+        ``tid`` names the affected thread when the call site knows it
+        (kept for trace-friendly call sites and the scalar reference);
+        the SoA entry rebuild is a full-width array pass whose per-thread
+        work is already amortized by the store's demand-segment cache, so
+        no per-tid dirty set is tracked anymore.
         """
         self._dirty = True
         self._horizon_abs = None
-        if tid is None:
-            self._dirty_all = True
-        else:
-            self._dirty_tids.add(tid)
 
     def _require_settled(self) -> None:
         # The machine may be momentarily *ahead* of the engine clock (exit
@@ -672,34 +910,20 @@ class Machine:
     def _ensure_solution(self) -> None:
         if not self._dirty:
             return
+        if self._soa:
+            self._ensure_solution_soa()
+            return
         cfg_cache = self.config.cache
-        # Vector mode: reuse lane entries of threads outside the dirty
-        # set. An entry (st, r_eff, fill, pf, seg_end) is a function of
-        # the occupant's segment, debt>snap state and stall flag — all of
-        # which mark their tid dirty when they change — so a clean reuse
-        # is byte-for-byte the tuple the loop below would rebuild.
-        use_mask = self._use_dirty_mask and not self._dirty_all
-        dirty_tids = self._dirty_tids
-        ecache = self._entry_cache
         entries: list[tuple[ThreadState, float, float, float, float]] = []
         for cpu in self.cpus:
             if cpu.tid is None:
                 continue
             st = self._threads[cpu.tid]
-            if use_mask and st.tid not in dirty_tids:
-                cached = ecache.get(cpu.cpu_id)
-                if cached is not None and cached[0] is st:
-                    entries.append(cached)
-                    self._dirty_mask_hits += 1
-                    continue
             if st.stalled:
                 # Hung/stalled: the thread pins its CPU but consumes
                 # nothing — zero demand, zero fill, zero progress, and no
                 # segment boundary can arrive while it isn't progressing.
-                entry = (st, 0.0, 0.0, 0.0, math.inf)
-                entries.append(entry)
-                if self._use_dirty_mask:
-                    ecache[cpu.cpu_id] = entry
+                entries.append((st, 0.0, 0.0, 0.0, math.inf))
                 continue
             rate, seg_end = st.demand.segment(st.work_done)
             if rate < 0:
@@ -717,13 +941,7 @@ class Machine:
             r_eff *= smt
             fill *= smt
             pf *= smt
-            entry = (st, r_eff, fill, pf, seg_end)
-            entries.append(entry)
-            if self._use_dirty_mask:
-                ecache[cpu.cpu_id] = entry
-        if self._use_dirty_mask:
-            dirty_tids.clear()
-            self._dirty_all = False
+            entries.append((st, r_eff, fill, pf, seg_end))
         # A reconfiguration that lands on the exact same running set with
         # the same effective rates (e.g. a re-dispatch cycle, a blocked
         # thread that never ran) leaves the cached lanes and bus solution
@@ -812,6 +1030,122 @@ class Machine:
         self._bus_latency = solution.latency_us
         self._dirty = False
 
+    def _ensure_solution_soa(self) -> None:
+        """Fully batched lane entry build over the thread store.
+
+        Bit-identity with the scalar entry loop, expression by expression:
+        the cached segment rate/end equal the fresh ``demand.segment()``
+        values (deterministic process, monotone queries), ``rate + 0.0``
+        and the skipped ``× 1.0`` SMT fold are float identities for the
+        non-negative rates involved, and the grant fold reuses the exact
+        arrays/expressions of the scalar vector path.
+        """
+        s = self.store
+        occ = self._cpu_tid
+        rows = occ[occ >= 0] - 1  # store rows in CPU order
+        n = rows.size
+        wd = s.work_done[rows]
+        stalled = s.stalled[rows]
+        # Demand-segment cache: segment(work) is deterministic and
+        # work_done monotone, so a cached (rate, end) row is valid until
+        # work_done reaches end. Only stale rows pay the Python call.
+        seg_end = s.seg_end[rows]
+        fresh = wd < seg_end
+        live = ~stalled
+        self._dirty_mask_hits += int(np.count_nonzero(fresh & live))
+        refresh = live & ~fresh
+        if refresh.any():
+            threads = self._threads
+            seg_rate_col = s.seg_rate
+            seg_end_col = s.seg_end
+            for r, w in zip(rows[refresh].tolist(), wd[refresh].tolist()):
+                st = threads[r + 1]
+                rate, end = st.demand.segment(w)
+                if rate < 0:
+                    raise WorkloadError(
+                        f"demand pattern of thread {r + 1} returned negative rate"
+                    )
+                seg_rate_col[r] = rate
+                seg_end_col[r] = end
+            seg_end = s.seg_end[rows]
+        rate = s.seg_rate[rows]
+        cfg_cache = self.config.cache
+        debt_hot = s.rebuild_debt[rows] > _SNAP
+        fill = np.where(debt_hot, cfg_cache.rebuild_fill_rate_txus, 0.0)
+        pf = np.where(debt_hot, cfg_cache.rebuild_progress_factor, 1.0)
+        r_eff = rate + fill
+        if stalled.any():
+            # Hung/stalled: pins its CPU but consumes nothing; no segment
+            # boundary can arrive while it isn't progressing.
+            fill = np.where(stalled, 0.0, fill)
+            pf = np.where(stalled, 0.0, pf)
+            r_eff = np.where(stalled, 0.0, r_eff)
+            seg_end = np.where(stalled, np.inf, seg_end)
+        sig = self._soa_sig
+        if (
+            sig is not None
+            and np.array_equal(sig[0], rows)
+            and np.array_equal(sig[1], r_eff)
+            and np.array_equal(sig[2], fill)
+            and np.array_equal(sig[3], pf)
+            and np.array_equal(sig[4], seg_end)
+        ):
+            self._solve_skips += 1
+            # CPU ids are not in the signature, so a migration can skip
+            # the solve yet move lanes across caches — refresh the cache
+            # handles from the store's live placement (the SoA port of
+            # the stale-_adv_caches-on-migration fix).
+            self._bind_lane_handles(rows)
+            self._dirty = False
+            return
+        self._lane_rebuilds += 1
+        requests = self.bus.requests_for_rates(r_eff.tolist())
+        solution = self.bus.solve(requests)
+        sp = solution.speeds_arr
+        if sp is not None and len(sp) == n:
+            ac = solution.actuals_arr
+        else:
+            # Scalar solve (few lanes) or a reordered memo hit dropped the
+            # arrays: lift the grant columns; the fold below is then the
+            # same expressions the scalar fold evaluates per lane.
+            sp = np.fromiter((g.speed for g in solution.grants), dtype=np.float64, count=n)
+            ac = np.fromiter(
+                (g.actual_txus for g in solution.grants), dtype=np.float64, count=n
+            )
+        pr = sp * pf
+        mask = (r_eff > 0.0) & (fill > 0.0)
+        ratio = np.divide(fill, r_eff, out=np.zeros(n), where=mask)
+        fill_eff = np.where(mask, ac * ratio, fill)
+        self._adv_pr = pr
+        self._adv_tx = ac
+        self._lane_rows = rows
+        self._lane_speed = sp
+        self._lane_fill = fill_eff
+        self._lane_seg = seg_end
+        threads = self._threads
+        row_list = rows.tolist()
+        self._lane_states = [threads[r + 1] for r in row_list]
+        self._adv_crows = self.counters.rows_of([r + 1 for r in row_list])
+        fmask = fill_eff > 0.0
+        self._lane_fill_pos = (rows[fmask], fill_eff[fmask]) if fmask.any() else None
+        self._bind_lane_handles(rows)
+        self._soa_sig = (rows, r_eff, fill, pf, seg_end)
+        self._lanes = []
+        self._lane_sig = None
+        self._bus_utilisation = solution.utilisation
+        self._bus_latency = solution.latency_us
+        self._dirty = False
+
+    def _bind_lane_handles(self, rows: np.ndarray) -> None:
+        """(Re)capture per-lane cache accounting handles from live placement."""
+        s = self.store
+        cache_of = self.cache_of
+        fps = s.footprint_lines
+        self._adv_cacc = [
+            (cache_of(c), r + 1, float(fps[r]))
+            for c, r in zip(s.cpu[rows].tolist(), rows.tolist())
+        ]
+
     def horizon(self) -> float:
         """Earliest absolute time of the next internal transition.
 
@@ -826,23 +1160,66 @@ class Machine:
         h = self._horizon_abs
         if h is not None:
             return h
-        earliest = math.inf
-        for lane in self._lanes:
-            st = lane.state
-            if lane.progress_rate > 0.0:
-                t_done = st.remaining_work / lane.progress_rate
-                earliest = min(earliest, t_done)
-                if math.isfinite(lane.seg_end):
-                    t_seg = max(0.0, lane.seg_end - st.work_done) / lane.progress_rate
-                    earliest = min(earliest, t_seg)
-                if math.isfinite(st.next_io_at_work):
-                    t_io = max(0.0, st.next_io_at_work - st.work_done) / lane.progress_rate
-                    earliest = min(earliest, t_io)
-            if lane.fill_rate > 0.0 and st.rebuild_debt > 0.0:
-                earliest = min(earliest, st.rebuild_debt / lane.fill_rate)
+        if self._soa:
+            earliest = self._horizon_soa()
+        else:
+            earliest = math.inf
+            for lane in self._lanes:
+                st = lane.state
+                if lane.progress_rate > 0.0:
+                    t_done = st.remaining_work / lane.progress_rate
+                    earliest = min(earliest, t_done)
+                    if math.isfinite(lane.seg_end):
+                        t_seg = max(0.0, lane.seg_end - st.work_done) / lane.progress_rate
+                        earliest = min(earliest, t_seg)
+                    if math.isfinite(st.next_io_at_work):
+                        t_io = max(0.0, st.next_io_at_work - st.work_done) / lane.progress_rate
+                        earliest = min(earliest, t_io)
+                if lane.fill_rate > 0.0 and st.rebuild_debt > 0.0:
+                    earliest = min(earliest, st.rebuild_debt / lane.fill_rate)
         h = self._time + earliest if math.isfinite(earliest) else math.inf
         self._horizon_abs = h
         return h
+
+    def _horizon_soa(self) -> float:
+        """One masked-divide pass per event family + a single ``min``.
+
+        ``min`` over floats is exact and order-independent (no NaNs
+        arise: divides are masked to positive denominators), so the value
+        equals the scalar loop's running-minimum chain bit-for-bit.
+        """
+        rows = self._lane_rows
+        n = rows.size
+        if n == 0:
+            return math.inf
+        s = self.store
+        pr = self._adv_pr
+        done = s.work_done[rows]
+        pos = pr > 0.0
+        t = np.full(n, np.inf)
+        rem = np.maximum(0.0, s.work_total[rows] - done)
+        np.divide(rem, pr, out=t, where=pos)
+        earliest = t.min()
+        seg = self._lane_seg
+        m = pos & np.isfinite(seg)
+        if m.any():
+            t.fill(np.inf)
+            np.divide(np.maximum(0.0, seg - done), pr, out=t, where=m)
+            earliest = min(earliest, t.min())
+        nio = s.next_io_at_work[rows]
+        m = pos & np.isfinite(nio)
+        if m.any():
+            t.fill(np.inf)
+            np.divide(np.maximum(0.0, nio - done), pr, out=t, where=m)
+            earliest = min(earliest, t.min())
+        fill = self._lane_fill
+        debt = s.rebuild_debt[rows]
+        m = (fill > 0.0) & (debt > 0.0)
+        if m.any():
+            t.fill(np.inf)
+            np.divide(debt, fill, out=t, where=m)
+            earliest = min(earliest, t.min())
+        return float(earliest)
 
     def advance_to(self, t: float) -> None:
         """Integrate machine state forward to absolute time ``t``."""
@@ -861,30 +1238,37 @@ class Machine:
         self._settle_calls += 1
         self._ensure_solution()
         dt = t - self._time
-        if dt > 0.0 and self._lanes:
-            if self._vector:
-                self._advance_lanes_vector(dt)
-            else:
-                for lane in self._lanes:
-                    st = lane.state
-                    st.work_done += lane.progress_rate * dt
-                    st.run_time_us += dt
-                    tx = lane.tx_rate * dt
-                    self.counters.credit(
-                        lane.tid,
-                        bus_transactions=tx,
-                        cycles_us=dt,
-                        work_us=lane.progress_rate * dt,
-                    )
-                    assert st.cpu is not None
-                    self.cache_of(st.cpu).account_run(st.tid, st.footprint_lines, tx)
-                    if lane.fill_rate > 0.0:
-                        st.rebuild_debt = max(0.0, st.rebuild_debt - lane.fill_rate * dt)
+        if dt > 0.0:
+            if self._soa:
+                if self._lane_rows.size:
+                    self._advance_lanes_soa(dt)
+            elif self._lanes:
+                if self._vector:
+                    self._advance_lanes_vector(dt)
+                else:
+                    for lane in self._lanes:
+                        st = lane.state
+                        st.work_done += lane.progress_rate * dt
+                        st.run_time_us += dt
+                        tx = lane.tx_rate * dt
+                        self.counters.credit(
+                            lane.tid,
+                            bus_transactions=tx,
+                            cycles_us=dt,
+                            work_us=lane.progress_rate * dt,
+                        )
+                        assert st.cpu is not None
+                        self.cache_of(st.cpu).account_run(st.tid, st.footprint_lines, tx)
+                        if lane.fill_rate > 0.0:
+                            st.rebuild_debt = max(0.0, st.rebuild_debt - lane.fill_rate * dt)
         self._time = t
-        self._process_transitions()
+        if self._soa:
+            self._process_transitions_soa()
+        else:
+            self._process_transitions()
 
     def _advance_lanes_vector(self, dt: float) -> None:
-        """Batched lane integration (vector mode): same bits, fewer ops.
+        """Batched lane integration (vector mode with SMT): same bits.
 
         The per-lane work/transaction increments come from one elementwise
         numpy product each (``rate × dt`` rounds identically to the scalar
@@ -909,6 +1293,31 @@ class Machine:
             if lane.fill_rate > 0.0:
                 st.rebuild_debt = max(0.0, st.rebuild_debt - lane.fill_rate * dt)
 
+    def _advance_lanes_soa(self, dt: float) -> None:
+        """Store-wide lane integration: three fancy-indexed adds + caches.
+
+        ``work_done[rows] += pr·dt`` gathers, adds and scatters exactly
+        the scalar ``st.work_done += dw`` per lane (rows are unique);
+        counters batch through :meth:`CounterBank.credit_rows`; the debt
+        drain is a masked ``maximum`` over the fill-positive lanes. Only
+        the per-core L2 accounting stays a Python loop (each lane owns a
+        distinct cache object with dict state), with its handles hoisted
+        at rebuild time.
+        """
+        s = self.store
+        rows = self._lane_rows
+        dwork = self._adv_pr * dt
+        dtx = self._adv_tx * dt
+        s.work_done[rows] += dwork
+        s.run_time_us[rows] += dt
+        self.counters.credit_rows(self._adv_crows, dtx, dt, dwork)
+        for (cache, tid, fp), tx in zip(self._adv_cacc, dtx.tolist()):
+            cache.account_run_fast(tid, fp, tx)
+        fsel = self._lane_fill_pos
+        if fsel is not None:
+            frows, frate = fsel
+            s.rebuild_debt[frows] = np.maximum(0.0, s.rebuild_debt[frows] - frate * dt)
+
     def _process_transitions(self) -> None:
         """Handle completions, segment boundaries and debt drains at `now`."""
         for lane in list(self._lanes):
@@ -928,15 +1337,59 @@ class Machine:
                 st.rebuild_debt = 0.0
                 self._mark_dirty(st.tid)
 
+    def _process_transitions_soa(self) -> None:
+        """Masked transition detection; scalar commit per flagged lane.
+
+        The candidate mask evaluates the scalar loop's conditions over the
+        lane columns in one pass; the (rare) flagged lanes then replay the
+        original per-lane logic in lane order, so listeners, trace records
+        and engine events fire exactly as the reference loop fires them.
+        A lane's conditions depend only on its own thread's state, so the
+        pre-commit snapshot the mask reads cannot miss a transition that
+        the in-loop mutations of *other* lanes would have created.
+        """
+        rows = self._lane_rows
+        if rows.size == 0:
+            return
+        s = self.store
+        done = s.work_done[rows]
+        cand = done >= s.work_total[rows] - _SNAP
+        cand |= (done >= s.next_io_at_work[rows] - _SNAP) & ~s.in_io[rows]
+        seg = self._lane_seg
+        cand |= np.isfinite(seg) & (done >= seg - _SNAP)
+        cand |= (self._lane_fill > 0.0) & (s.rebuild_debt[rows] <= _SNAP)
+        if not cand.any():
+            return
+        states = self._lane_states
+        fill = self._lane_fill
+        for i in np.nonzero(cand)[0].tolist():
+            st = states[i]
+            if st.finished:
+                continue
+            if st.work_done >= st.work_total - _SNAP:
+                self._finish_thread(st)
+                continue
+            if st.work_done >= st.next_io_at_work - _SNAP and not st.in_io:
+                self._start_io(st)
+                continue
+            seg_end = float(seg[i])
+            if math.isfinite(seg_end) and st.work_done >= seg_end - _SNAP:
+                st.work_done = max(st.work_done, seg_end)
+                self._mark_dirty(st.tid)  # demand rate changes at the boundary
+            if fill[i] > 0.0 and st.rebuild_debt <= _SNAP:
+                st.rebuild_debt = 0.0
+                self._mark_dirty(st.tid)
+
     def _start_io(self, st: ThreadState) -> None:
         """Put a thread to sleep on I/O: free its CPU, arm the wakeup."""
         st.in_io = True
-        self._runnable_cache = None
+        self._invalidate_runnable()
+        self._ready_discard(st.tid)
         st.io_count += 1
         assert st.io_interval_work_us is not None
         st.next_io_at_work = st.work_done + st.io_interval_work_us
         if st.cpu is not None:
-            self.cpus[st.cpu].set_thread(None, self._time)
+            self._set_cpu_thread(st.cpu, None)
             st.cpu = None
         self._mark_dirty(st.tid)
         self.trace.record(self._time, "thread.iosleep", tid=st.tid)
@@ -953,7 +1406,8 @@ class Machine:
         if st.finished or not st.in_io:
             return
         st.in_io = False
-        self._runnable_cache = None
+        self._invalidate_runnable()
+        self._ready_add(st)
         self._mark_dirty(st.tid)
         self.trace.record(self._time, "thread.iowake", tid=st.tid)
         for cb in self._io_listeners:
@@ -962,10 +1416,11 @@ class Machine:
     def _finish_thread(self, st: ThreadState) -> None:
         st.work_done = st.work_total
         st.finished = True
-        self._runnable_cache = None
+        self._invalidate_runnable()
+        self._ready_discard(st.tid)
         st.finished_at = self._time
         if st.cpu is not None:
-            self.cpus[st.cpu].set_thread(None, self._time)
+            self._set_cpu_thread(st.cpu, None)
             st.cpu = None
         self._mark_dirty(st.tid)
         self.trace.record(self._time, "thread.exit", tid=st.tid, name=st.name)

@@ -19,6 +19,16 @@ picklable dict, one entry per counter — see
 worker-side profiles survive the trip back to the parent, where harnesses
 can fold them into one report with :func:`record` / :func:`aggregate`.
 
+Counter semantics under the struct-of-arrays machine (PR 7):
+``dirty_mask_hits`` counts lane entries whose demand segment was served
+from the thread store's per-row ``seg_rate``/``seg_end`` cache during an
+entry rebuild — i.e. the ``demand.segment()`` Python calls the batched
+build avoided. (Before the SoA store it counted whole entries reused from
+a per-CPU dirty-mask cache; the new count measures the same reuse at finer
+grain.) ``batched_lanes``, ``solve_skips``, ``lane_rebuilds`` and the
+``sel_*`` selection counters are unchanged. Scalar solver modes report
+``dirty_mask_hits == 0`` as before.
+
 All profile data is observability, never physics: profiling on or off,
 the simulated trajectories are bit-identical, and profile fields are
 excluded from ``RunResult`` equality.

@@ -31,6 +31,7 @@ otherwise-balanced runs.
 
 from __future__ import annotations
 
+import bisect
 from typing import TYPE_CHECKING
 
 from ..config import LinuxSchedConfig
@@ -166,22 +167,33 @@ class LinuxScheduler(KernelScheduler):
         (exhausted slices) while waiters exist, ``schedule()`` recharges
         every process's counter and rescans — otherwise a CPU could sit
         idle next to a runnable thread whose slice just ran out.
+
+        The candidate set of the O(n) runqueue scan is exactly the
+        off-CPU runnable threads plus this CPU's incumbent — every other
+        runnable thread is running elsewhere and gets skipped. The
+        machine maintains that set incrementally (``ready_tids``), so the
+        scan iterates it directly (same threads, same tid order, same
+        goodness calls and lazy counter initializations as the full
+        scan) instead of touching all n threads per pick.
         """
         machine = self.machine
         current = machine.cpus[cpu_id].tid
+        thread = machine.thread
         for attempt in range(2):
             best_tid: int | None = None
             best_g = 0.0
-            waiters = False
-            for t in machine.runnable_threads():
-                if t.cpu is not None and t.cpu != cpu_id:
-                    continue  # running elsewhere: not stealable mid-run
-                if t.cpu is None:
-                    waiters = True
-                g = self.goodness(t, cpu_id)
+            ready = machine.ready_tids()
+            waiters = bool(ready)
+            if current is not None:
+                candidates = list(ready)
+                bisect.insort(candidates, current)
+            else:
+                candidates = ready
+            for tid in candidates:
+                g = self.goodness(thread(tid), cpu_id)
                 if g > best_g:
                     best_g = g
-                    best_tid = t.tid
+                    best_tid = tid
             if best_tid is not None:
                 if best_tid != current:
                     machine.dispatch(cpu_id, best_tid)

@@ -10,6 +10,8 @@ two settle paths apart.
 
 import math
 
+import pytest
+
 from repro.config import BusConfig, MachineConfig
 from repro.hw.machine import Machine
 from repro.sim.engine import Engine
@@ -105,12 +107,18 @@ class TestSettleCounters:
         assert machine.settle_calls == before + 2
 
 
-def _mode_pair(n_cpus: int = 8) -> tuple[Machine, Machine]:
+def _mode_pair(n_cpus: int = 8, smt_ways: int = 1) -> tuple[Machine, Machine]:
     newton = Machine(
-        MachineConfig(n_cpus=n_cpus, bus=BusConfig(solver_mode="newton")), Engine()
+        MachineConfig(
+            n_cpus=n_cpus, smt_ways=smt_ways, bus=BusConfig(solver_mode="newton")
+        ),
+        Engine(),
     )
     vector = Machine(
-        MachineConfig(n_cpus=n_cpus, bus=BusConfig(solver_mode="vector")), Engine()
+        MachineConfig(
+            n_cpus=n_cpus, smt_ways=smt_ways, bus=BusConfig(solver_mode="vector")
+        ),
+        Engine(),
     )
     return newton, vector
 
@@ -177,13 +185,24 @@ class TestVectorSettleParity:
         assert vector.dirty_mask_hits >= 5
         assert newton.dirty_mask_hits == 0
 
-    def test_migration_on_solve_skip_path_accounts_correct_cache(self):
+    @pytest.mark.parametrize("smt_ways", [1, 2], ids=["soa", "vector-smt"])
+    def test_migration_on_solve_skip_path_accounts_correct_cache(self, smt_ways):
         # Regression: a lone thread's migration leaves the lane signature
         # unchanged (it encodes tids and rates, not CPU ids), so
-        # _ensure_solution takes the solve-skip path. The vectorized
-        # advance must still charge the *new* CPU's cache, like the
-        # scalar path's live ``st.cpu`` read does.
-        pair = _mode_pair(n_cpus=2)
+        # _ensure_solution takes the solve-skip path. The batched advance
+        # must still charge the *new* CPU's cache, like the scalar path's
+        # live ``st.cpu`` read does. Parametrized over SMT because the
+        # two vector skip paths differ: smt_ways=1 runs the SoA store
+        # path (lane handles rebound via _bind_lane_handles), smt_ways=2
+        # runs the lane-object path (_adv_caches refresh) — both must
+        # re-read placement on a solve skip.
+        pair = _mode_pair(n_cpus=2, smt_ways=smt_ways)
+        newton, vector = pair
+        assert (vector.soa_store is not None) == (smt_ways == 1)
+        # With SMT, logical CPUs 0..smt_ways-1 share core 0's cache; use
+        # the first logical CPU of each core so the caches are distinct
+        # (one thread per core also keeps the SMT factor at 1.0).
+        cpu_a, cpu_b = 0, smt_ways
         bg_n, bg_v = _mirror(
             pair,
             lambda m: m.add_thread(
@@ -192,12 +211,12 @@ class TestVectorSettleParity:
             ).tid,
         )
         assert bg_n == bg_v
-        # Fill cache 1 with the warm thread's working set, then idle it.
-        _mirror(pair, lambda m: m.dispatch(1, bg_n))
+        # Fill core B's cache with the warm thread's working set, idle it.
+        _mirror(pair, lambda m: m.dispatch(cpu_b, bg_n))
         _mirror(pair, lambda m: m.advance_to(150.0))
-        _mirror(pair, lambda m: m.dispatch(1, None))
+        _mirror(pair, lambda m: m.dispatch(cpu_b, None))
         # A zero-footprint streamer (no rebuild debt anywhere, so its
-        # lane entry is identical on any CPU) starts on CPU 0 ...
+        # lane entry is identical on any CPU) starts on core A ...
         mover_n, mover_v = _mirror(
             pair,
             lambda m: m.add_thread(
@@ -205,17 +224,16 @@ class TestVectorSettleParity:
                 footprint_lines=0.0,
             ).tid,
         )
-        _mirror(pair, lambda m: m.dispatch(0, mover_n))
+        _mirror(pair, lambda m: m.dispatch(cpu_a, mover_n))
         _mirror(pair, lambda m: m.advance_to(200.0))
-        # ... then migrates to CPU 1 and keeps streaming: its inflow must
-        # now evict the warm thread's lines from cache 1.
-        _mirror(pair, lambda m: m.dispatch(1, mover_n))
+        # ... then migrates to core B and keeps streaming: its inflow
+        # must now evict the warm thread's lines from core B's cache.
+        _mirror(pair, lambda m: m.dispatch(cpu_b, mover_n))
         _mirror(pair, lambda m: m.advance_to(400.0))
-        newton, vector = pair
         assert vector.solve_skips >= 1
-        ref = newton.cache_of(1).resident(bg_n)
-        assert ref < newton.cache_of(0).total_lines  # eviction happened
-        assert vector.cache_of(1).resident(bg_v) == ref
+        ref = newton.cache_of(cpu_b).resident(bg_n)
+        assert ref < newton.cache_of(cpu_a).total_lines  # eviction happened
+        assert vector.cache_of(cpu_b).resident(bg_v) == ref
         for tid in (bg_n, mover_n):
             assert (
                 vector.thread(tid).work_done == newton.thread(tid).work_done

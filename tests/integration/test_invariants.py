@@ -58,14 +58,16 @@ def test_policy_gang_selection_width(seed):
     pol = LatestQuantumPolicy()
     result, handle = _run_random(seed, pol)
     machine = handle.machine
-    # every manager decision fits the machine
+    # Every manager decision fits the machine. The packer sees *live*
+    # widths (a job shrinks as its threads finish), which the quantum
+    # record now carries — summing static app.n_threads here would
+    # false-positive once any selected app has partially finished.
+    size_of = {app.app_id: app.n_threads for app in handle.apps}
     for rec in machine.trace.records("manager.quantum"):
-        selected = rec.data["selected"]
-        widths = []
-        for app in handle.apps:
-            if app.app_id in selected:
-                widths.append(app.n_threads)
+        widths = rec.data["widths"]
         assert sum(widths) <= machine.n_cpus
+        for app_id, width in zip(rec.data["selected"], widths):
+            assert 1 <= width <= size_of[app_id]
 
 
 @given(st.integers(min_value=0, max_value=10_000))
