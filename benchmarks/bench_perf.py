@@ -62,7 +62,7 @@ import sys
 import time
 
 from repro.config import BusConfig, MachineConfig
-from repro.parallel import fork_available, resolve_jobs
+from repro.parallel import cgroup_cpu_quota, fork_available, resolve_jobs, usable_cpus
 
 #: Application subset for the scaled-up vectorized gate: two
 #: bandwidth-hungry codes (SP, CG), one cache-friendly (Barnes) and one
@@ -78,43 +78,6 @@ PRIOR_WALLS = {
     "serial_newton_warm_s": 1.8512,
     "vectorized_s": 0.4482,
 }
-
-
-def usable_cpus() -> int:
-    """CPUs this process may actually run on (affinity-aware)."""
-    try:
-        return len(os.sched_getaffinity(0))
-    except (AttributeError, OSError):  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
-
-
-def cgroup_cpu_quota() -> float | None:
-    """Effective CPU quota from the cgroup (v2 then v1), in cores.
-
-    Containers often present many CPUs in the affinity mask while the
-    cgroup throttles the process to a fraction of one — a ``run_many``
-    "speedup" measured there is fiction. Returns ``None`` when no quota
-    applies (or no cgroup files exist, e.g. non-Linux).
-    """
-    try:  # cgroup v2: "max 100000" or "<quota_us> <period_us>"
-        with open("/sys/fs/cgroup/cpu.max", encoding="ascii") as fh:
-            quota, period = fh.read().split()
-            if quota != "max" and float(period) > 0:
-                return float(quota) / float(period)
-            return None
-    except (OSError, ValueError):
-        pass
-    try:  # cgroup v1
-        base = "/sys/fs/cgroup/cpu"
-        with open(f"{base}/cpu.cfs_quota_us", encoding="ascii") as fh:
-            quota = float(fh.read())
-        with open(f"{base}/cpu.cfs_period_us", encoding="ascii") as fh:
-            period = float(fh.read())
-        if quota > 0 and period > 0:
-            return quota / period
-    except (OSError, ValueError):
-        pass
-    return None
 
 
 def _machine(cache: bool, solver: str = "bisect") -> MachineConfig:

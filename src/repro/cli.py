@@ -9,6 +9,7 @@ Regenerates every table and figure of the paper from the terminal::
     python -m repro ablations            # ABL-W/Q/F/A
     python -m repro dynamic --rate 1.0   # DYN-1 open-system sweep
     python -m repro faults               # FAULT-1 degradation curves
+    python -m repro serve --port 8642    # long-running simulation service
     python -m repro all                  # everything, full scale
 
 ``--scale`` shrinks application work (0.25 runs in seconds and preserves
@@ -37,7 +38,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=["calibration", "fig1", "fig2", "table1", "ablations", "smt", "io", "kernels", "validate", "dynamic", "faults", "all"],
+        choices=["calibration", "fig1", "fig2", "table1", "ablations", "smt", "io", "kernels", "validate", "dynamic", "faults", "serve", "all"],
         help="which artefact to regenerate",
     )
     parser.add_argument("--set", dest="set_name", choices=["A", "B", "C", "all"], default="all")
@@ -109,6 +110,31 @@ def build_parser() -> argparse.ArgumentParser:
             "(on by default there: the degradation curve is only "
             "meaningful if the degraded runs stay invariant-clean)"
         ),
+    )
+    srv = parser.add_argument_group("serve", "options for the 'serve' simulation service")
+    srv.add_argument(
+        "--host", type=str, default="127.0.0.1", metavar="ADDR",
+        help="bind address for the HTTP server (default: 127.0.0.1)",
+    )
+    srv.add_argument(
+        "--port", type=int, default=8642, metavar="PORT",
+        help="bind port (default: 8642; 0 = ephemeral, printed at startup)",
+    )
+    srv.add_argument(
+        "--results-dir", type=str, default="service-results", metavar="DIR",
+        help=(
+            "directory for the persistent run/result store "
+            "(default: service-results; results survive restarts and "
+            "serve identical resubmissions from cache)"
+        ),
+    )
+    srv.add_argument(
+        "--queue-depth", type=int, default=256, metavar="N",
+        help="bounded job-queue capacity; submissions beyond it get HTTP 429",
+    )
+    srv.add_argument(
+        "--no-cache", action="store_true",
+        help="always re-run submissions even when an identical spec already completed",
     )
     parser.add_argument(
         "--solver", choices=["bisect", "newton", "vector"], default=None,
@@ -421,6 +447,33 @@ def _run_validate(args: argparse.Namespace) -> None:
     )
 
 
+def _run_serve(args: argparse.Namespace) -> None:
+    from .service import ResultStore, SimulationService
+    from .service.api import serve
+
+    store = ResultStore(args.results_dir)
+    service = SimulationService(
+        store,
+        queue_depth=args.queue_depth,
+        jobs=args.jobs,
+        cache=not args.no_cache,
+    ).start()
+    server = serve(service, host=args.host, port=args.port)
+    host, port = server.server_address[:2]
+    print(f"[repro serve] listening on http://{host}:{port} "
+          f"(results: {store.path}, queue depth {args.queue_depth})", file=sys.stderr)
+    try:
+        server.serve_forever()
+    except KeyboardInterrupt:
+        print("\n[repro serve] draining...", file=sys.stderr)
+    finally:
+        server.shutdown()
+        server.server_close()
+        service.shutdown(drain=True, timeout=60.0)
+        store.close()
+        print("[repro serve] stopped", file=sys.stderr)
+
+
 def main(argv: list[str] | None = None) -> int:
     """CLI entry point; returns a process exit code."""
     args = build_parser().parse_args(argv)
@@ -445,6 +498,7 @@ def main(argv: list[str] | None = None) -> int:
         "validate": _run_validate,
         "dynamic": _run_dynamic,
         "faults": _run_faults,
+        "serve": _run_serve,
     }
     if args.experiment == "all":
         for name in ("calibration", "fig1", "fig2", "table1", "ablations", "smt", "io", "kernels"):

@@ -15,6 +15,8 @@ The default values model the paper's experimental platform: a dedicated
 from __future__ import annotations
 
 import dataclasses
+import hashlib
+import json
 from dataclasses import dataclass, field
 from typing import Any
 
@@ -27,12 +29,46 @@ __all__ = [
     "MachineConfig",
     "LinuxSchedConfig",
     "ManagerConfig",
+    "canonical_json",
+    "canonical_hash",
 ]
 
 
 def _require(cond: bool, message: str) -> None:
     if not cond:
         raise ConfigError(message)
+
+
+def canonical_json(payload: Any) -> str:
+    """Serialize a JSON-able payload to its canonical text form.
+
+    Canonical means: keys sorted, no whitespace, ``repr``-exact floats
+    (Python's ``json`` emits the shortest round-tripping decimal for a
+    binary64), and non-finite floats rejected. Two payloads produce the
+    same canonical text iff they are the same JSON value, so the text is
+    a stable hashing substrate across processes and interpreter runs —
+    unlike ``pickle`` (protocol-dependent) or ``hash()`` (salted).
+
+    Integers and floats canonicalize distinctly (``1`` vs ``1.0``): a
+    config field changing numeric *type* is a different configuration.
+    """
+    try:
+        return json.dumps(
+            payload, sort_keys=True, separators=(",", ":"), allow_nan=False
+        )
+    except (TypeError, ValueError) as exc:
+        raise ConfigError(f"payload is not canonically serializable: {exc}") from exc
+
+
+def canonical_hash(payload: Any) -> str:
+    """SHA-256 hex digest of :func:`canonical_json` of ``payload``.
+
+    This is the stable identity used by :meth:`repro.experiments.base.
+    SimulationSpec.spec_hash` and the service result cache: equal
+    payloads hash equal in every process; any field change produces a
+    new digest.
+    """
+    return hashlib.sha256(canonical_json(payload).encode("utf-8")).hexdigest()
 
 
 @dataclass(frozen=True)

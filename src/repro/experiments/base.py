@@ -145,6 +145,34 @@ class SimulationSpec:
     audit: bool = False
     faults: FaultPlan | None = None
 
+    def spec_hash(self) -> str:
+        """Stable content hash of everything that determines the result.
+
+        SHA-256 over the canonical JSON form of the spec
+        (:func:`repro.service.schemas.spec_to_dict` +
+        :func:`repro.config.canonical_hash`): the same spec hashes
+        identically in every process and interpreter run, and changing
+        any result-affecting field — an application's demand pattern, a
+        solver knob, the seed — produces a new hash. The service result
+        cache and the exact-replay guarantees both key on it.
+
+        The ``profile`` and ``audit`` flags are *excluded*: both are
+        pure observability with a structural bit-identity guarantee
+        (trajectories are identical with them on or off), so an audited
+        resubmission of a completed run is still a cache hit. Every
+        other field participates — including ``trace`` (switch counting
+        needs it) and ``max_time_us`` (a lower limit can abort a run).
+
+        Raises :class:`repro.errors.ConfigError` for specs without a
+        wire format (a custom policy subclass or ``fitness_fn``).
+        """
+        from ..config import canonical_hash
+        from ..service.schemas import spec_to_dict
+
+        payload = spec_to_dict(self)
+        del payload["profile"], payload["audit"]
+        return canonical_hash(payload)
+
 
 @dataclass
 class SimulationHandle:

@@ -39,8 +39,10 @@ paired with each result.
 from __future__ import annotations
 
 import inspect
+import math
 import multiprocessing
 import os
+import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from typing import Any, Callable, Sequence
 
@@ -58,6 +60,9 @@ __all__ = [
     "fork_available",
     "resolve_jobs",
     "auto_chunk_size",
+    "usable_cpus",
+    "cgroup_cpu_quota",
+    "effective_cpu_budget",
 ]
 
 #: Callback invoked as tasks complete: ``progress(done, total)``. Callbacks
@@ -91,9 +96,65 @@ def default_jobs() -> int:
     return 1
 
 
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except (AttributeError, OSError):  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def cgroup_cpu_quota() -> float | None:
+    """Effective CPU quota from the cgroup (v2 then v1), in cores.
+
+    Containers often present many CPUs in the affinity mask while the
+    cgroup throttles the process to a fraction of one — ``jobs <= 0``
+    ("all cores") sized off the raw count would then oversubscribe a
+    budget of one or two cores with dozens of forked workers. Returns
+    ``None`` when no quota applies (or no cgroup files exist, e.g.
+    non-Linux).
+    """
+    try:  # cgroup v2: "max 100000" or "<quota_us> <period_us>"
+        with open("/sys/fs/cgroup/cpu.max", encoding="ascii") as fh:
+            quota, period = fh.read().split()
+            if quota != "max" and float(period) > 0:
+                return float(quota) / float(period)
+            return None
+    except (OSError, ValueError):
+        pass
+    try:  # cgroup v1
+        base = "/sys/fs/cgroup/cpu"
+        with open(f"{base}/cpu.cfs_quota_us", encoding="ascii") as fh:
+            quota = float(fh.read())
+        with open(f"{base}/cpu.cfs_period_us", encoding="ascii") as fh:
+            period = float(fh.read())
+        if quota > 0 and period > 0:
+            return quota / period
+    except (OSError, ValueError):
+        pass
+    return None
+
+
+def effective_cpu_budget() -> int:
+    """Worker count this process can truly use: affinity ∩ cgroup quota.
+
+    The intersection of the scheduler affinity mask and the cgroup CPU
+    quota (rounded down to whole cores), floored at 1. This is what
+    ``jobs <= 0`` resolves to — never the raw ``os.cpu_count()``, which
+    counts CPUs the container cannot touch.
+    """
+    budget = usable_cpus()
+    quota = cgroup_cpu_quota()
+    if quota is not None:
+        budget = min(budget, int(math.floor(quota)))
+    return max(1, budget)
+
+
 def resolve_jobs(jobs: int | None, n_specs: int | None = None) -> int:
     """Normalize a ``jobs`` request: ``None`` → env default, ``<= 0`` → all cores.
 
+    "All cores" means :func:`effective_cpu_budget` — the affinity mask
+    intersected with the cgroup CPU quota — not the raw ``os.cpu_count()``.
     When ``n_specs`` is given the result is additionally clamped to the
     number of specs — spawning more workers than tasks only pays fork cost
     for processes that will never receive work.
@@ -101,7 +162,7 @@ def resolve_jobs(jobs: int | None, n_specs: int | None = None) -> int:
     if jobs is None:
         resolved = default_jobs()
     elif jobs <= 0:
-        resolved = os.cpu_count() or 1
+        resolved = effective_cpu_budget()
     else:
         resolved = jobs
     if n_specs is not None:
@@ -151,18 +212,29 @@ def _notify(
     progress(done, total)
 
 
-def _execute(task: tuple[int, SimulationSpec, CollectFn | None]) -> tuple[int, RunResult, Any]:
-    """Run one spec (worker side). Shared by the serial and parallel paths."""
+def _execute(
+    task: tuple[int, SimulationSpec, CollectFn | None],
+) -> tuple[int, RunResult, Any, float]:
+    """Run one spec (worker side). Shared by the serial and parallel paths.
+
+    Returns ``(index, result, aux, wall_s)`` with the spec's own execution
+    wall time measured inside the worker — fork/pickle/dispatch overhead
+    excluded, so per-run timings stored by the service reflect simulation
+    cost only.
+    """
     index, spec, collect = task
+    start = time.perf_counter()
     if collect is None:
-        return index, run_simulation(spec), None
-    result, handle = run_simulation_with_handle(spec)
-    return index, result, collect(result, handle)
+        result, aux = run_simulation(spec), None
+    else:
+        result, handle = run_simulation_with_handle(spec)
+        aux = collect(result, handle)
+    return index, result, aux, time.perf_counter() - start
 
 
 def _execute_chunk(
     chunk: Sequence[tuple[int, SimulationSpec, CollectFn | None]],
-) -> list[tuple[int, RunResult, Any]]:
+) -> list[tuple[int, RunResult, Any, float]]:
     """Run a chunk of specs sequentially (worker side).
 
     The worker installs the process-global shared solve cache (bisect-mode
@@ -183,6 +255,8 @@ def run_many(
     progress: ProgressFn | None = None,
     collect: CollectFn | None = None,
     chunk_size: int | None = None,
+    on_result: Callable[[int, RunResult, float], None] | None = None,
+    cancel: Callable[[], bool] | None = None,
 ) -> list:
     """Run every spec and return results in spec order.
 
@@ -211,25 +285,45 @@ def run_many(
         (≈ ``total / (4 · jobs)``). Larger chunks amortise fork/IPC cost
         and let each worker reuse a warm shared solve cache across its
         chunk; chunking never changes results — only dispatch granularity.
+    on_result:
+        Optional ``on_result(index, result, wall_s)`` callback, invoked in
+        the parent as each spec completes (completion order, not spec
+        order) with the spec's position in ``specs`` and its worker-side
+        execution wall time. The service's result store hangs off this:
+        results persist as they land rather than when the whole batch
+        returns.
+    cancel:
+        Optional ``cancel() -> bool`` poll, checked between specs on the
+        serial path and before dispatching each chunk on the parallel
+        path. Once it returns true no further specs are started;
+        already-dispatched chunks finish (their results are still
+        reported). Unstarted specs stay ``None`` in the returned list.
 
     Returns
     -------
     list
         ``RunResult`` per spec — or ``(RunResult, aux)`` pairs with
         ``collect`` — in the exact order of ``specs``, identical between
-        serial and parallel execution (and any chunk size).
+        serial and parallel execution (and any chunk size). Entries for
+        specs skipped by ``cancel`` are ``None``.
     """
     total = len(specs)
     n_jobs = resolve_jobs(jobs, total)
     tasks = [(i, spec, collect) for i, spec in enumerate(specs)]
     out: list[Any] = [None] * total
 
+    def _record(index: int, result: RunResult, aux: Any, wall_s: float) -> None:
+        out[index] = (result, aux) if collect is not None else result
+        if on_result is not None:
+            on_result(index, result, wall_s)
+
     if n_jobs <= 1 or total <= 1 or not fork_available():
         if n_jobs > 1 and total > 1:
             _notify(progress, 0, total, "fork unavailable: falling back to serial execution")
         for done, task in enumerate(tasks, start=1):
-            index, result, aux = _execute(task)
-            out[index] = (result, aux) if collect is not None else result
+            if cancel is not None and cancel():
+                break
+            _record(*_execute(task))
             _notify(progress, done, total)
         return out
 
@@ -240,13 +334,28 @@ def run_many(
 
     ctx = multiprocessing.get_context("fork")
     with ProcessPoolExecutor(max_workers=n_jobs, mp_context=ctx) as pool:
-        pending = {pool.submit(_execute_chunk, c) for c in chunks}
+        # With a cancel hook, keep at most one queued chunk per worker so
+        # cancellation takes effect within roughly a chunk's latency; the
+        # hook-free path submits everything up front as before.
+        backlog = list(reversed(chunks))
+        window = 2 * n_jobs if cancel is not None else len(chunks)
+        pending = set()
+
+        def _refill() -> None:
+            while backlog and len(pending) < window:
+                if cancel is not None and cancel():
+                    backlog.clear()
+                    break
+                pending.add(pool.submit(_execute_chunk, backlog.pop()))
+
+        _refill()
         done_count = 0
         while pending:
             finished, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in finished:
-                for index, result, aux in future.result():  # re-raises worker errors
-                    out[index] = (result, aux) if collect is not None else result
+                for index, result, aux, wall_s in future.result():  # re-raises worker errors
+                    _record(index, result, aux, wall_s)
                     done_count += 1
                 _notify(progress, done_count, total)
+            _refill()
     return out

@@ -1,0 +1,313 @@
+"""HTTP layer over :class:`~repro.service.jobs.SimulationService`.
+
+The core is a plain WSGI application (:func:`create_wsgi_app`) served by
+the stdlib ``wsgiref`` threading server — the tier-1 environment installs
+nothing, so the service must run dependency-free. A FastAPI veneer over
+the *same* service object is available behind the optional ``[service]``
+extra (:func:`create_fastapi_app`); both speak the identical JSON wire
+format because every route delegates straight to the service core.
+
+Routes (all JSON)::
+
+    POST /v1/runs              submit {"spec": {...}, "tenant"?, "label"?,
+                               "no_cache"?} → 202 queued / 200 cached /
+                               400 validation / 429 queue full / 503 draining
+    GET  /v1/runs              list runs (?tenant=&status=&limit=)
+    GET  /v1/runs/<id>         poll one run's lifecycle record
+    GET  /v1/runs/<id>/result  the stored RunResult (409 until terminal)
+    GET  /v1/stats             queue/dispatch/cache/store counters
+    GET  /v1/healthz           liveness (also reports dispatcher state)
+
+Validation failures return the structured
+:meth:`~repro.service.schemas.SpecValidationError.to_dict` body — the
+``path`` field points at the offending spec field, which is the
+"actionable 4xx" contract: a client can fix its payload without reading
+server logs.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from socketserver import ThreadingMixIn
+from typing import Any, Callable, Iterable
+from urllib.parse import parse_qs
+from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
+
+from .jobs import QueueFullError, ServiceClosedError, SimulationService
+from .schemas import SpecValidationError, result_to_dict
+from .store import UnknownRunError
+
+__all__ = ["create_wsgi_app", "create_fastapi_app", "serve", "ServiceServer"]
+
+_STATUS_TEXT = {
+    200: "200 OK",
+    202: "202 Accepted",
+    400: "400 Bad Request",
+    404: "404 Not Found",
+    405: "405 Method Not Allowed",
+    409: "409 Conflict",
+    413: "413 Content Too Large",
+    429: "429 Too Many Requests",
+    500: "500 Internal Server Error",
+    503: "503 Service Unavailable",
+}
+
+#: Submission bodies beyond this are rejected unread (DoS hygiene; a
+#: fully-explicit canonical spec is a few KB, generous headroom above).
+MAX_BODY_BYTES = 8 * 1024 * 1024
+
+
+class _HttpError(Exception):
+    """Internal: carry (status, body) out of a route handler."""
+
+    def __init__(self, status: int, body: dict[str, Any]) -> None:
+        super().__init__(body.get("message", ""))
+        self.status = status
+        self.body = body
+
+
+def _error_body(kind: str, message: str, **extra: Any) -> dict[str, Any]:
+    return {"error": {"type": kind, "message": message, **extra}}
+
+
+def _read_json_body(environ: dict[str, Any]) -> dict[str, Any]:
+    try:
+        length = int(environ.get("CONTENT_LENGTH") or 0)
+    except ValueError:
+        length = 0
+    if length > MAX_BODY_BYTES:
+        raise _HttpError(
+            413, _error_body("too_large", f"body exceeds {MAX_BODY_BYTES} bytes")
+        )
+    raw = environ["wsgi.input"].read(length) if length else b""
+    if not raw:
+        raise _HttpError(400, _error_body("validation", "empty request body"))
+    try:
+        payload = json.loads(raw)
+    except json.JSONDecodeError as exc:
+        raise _HttpError(400, _error_body("validation", f"body is not valid JSON: {exc}"))
+    if not isinstance(payload, dict):
+        raise _HttpError(400, _error_body("validation", "body must be a JSON object"))
+    return payload
+
+
+def _query(environ: dict[str, Any]) -> dict[str, str]:
+    parsed = parse_qs(environ.get("QUERY_STRING", ""), keep_blank_values=False)
+    return {key: values[-1] for key, values in parsed.items()}
+
+
+def create_wsgi_app(service: SimulationService) -> Callable:
+    """A WSGI application exposing ``service`` (stdlib-only)."""
+
+    def handle(method: str, path: str, environ: dict[str, Any]) -> tuple[int, dict]:
+        parts = [p for p in path.split("/") if p]
+        if parts[:1] != ["v1"]:
+            raise _HttpError(404, _error_body("not_found", f"no route {path!r}"))
+        route = parts[1:]
+
+        if route == ["healthz"]:
+            if method != "GET":
+                raise _HttpError(405, _error_body("method", f"{method} not allowed"))
+            return 200, {"ok": True, "dispatcher_running": service.running}
+
+        if route == ["stats"]:
+            if method != "GET":
+                raise _HttpError(405, _error_body("method", f"{method} not allowed"))
+            return 200, service.stats().to_dict()
+
+        if route == ["runs"]:
+            if method == "POST":
+                body = _read_json_body(environ)
+                response = service.submit(body)
+                return (200 if response["cached"] else 202), response
+            if method == "GET":
+                query = _query(environ)
+                try:
+                    limit = int(query.get("limit", "100"))
+                except ValueError:
+                    raise _HttpError(400, _error_body("validation", "limit must be an integer"))
+                runs = service.list_runs(
+                    tenant=query.get("tenant"), status=query.get("status"), limit=limit
+                )
+                return 200, {"runs": runs}
+            raise _HttpError(405, _error_body("method", f"{method} not allowed"))
+
+        if len(route) == 2 and route[0] == "runs":
+            if method != "GET":
+                raise _HttpError(405, _error_body("method", f"{method} not allowed"))
+            return 200, service.poll(route[1])
+
+        if len(route) == 3 and route[0] == "runs" and route[2] == "result":
+            if method != "GET":
+                raise _HttpError(405, _error_body("method", f"{method} not allowed"))
+            run_id = route[1]
+            record = service.store.get(run_id)
+            result = service.result(run_id)
+            if result is None:
+                raise _HttpError(
+                    409,
+                    _error_body(
+                        "not_ready",
+                        f"run {run_id!r} is {record.status!r}; no result stored",
+                        status=record.status,
+                        error=record.error,
+                    ),
+                )
+            return 200, {"run": record.to_dict(), "result": result_to_dict(result)}
+
+        raise _HttpError(404, _error_body("not_found", f"no route {path!r}"))
+
+    def app(environ: dict[str, Any], start_response: Callable) -> Iterable[bytes]:
+        method = environ.get("REQUEST_METHOD", "GET").upper()
+        path = environ.get("PATH_INFO", "/")
+        try:
+            status, body = handle(method, path, environ)
+        except _HttpError as exc:
+            status, body = exc.status, exc.body
+        except SpecValidationError as exc:
+            status, body = 400, {"error": exc.to_dict()}
+        except QueueFullError as exc:
+            status, body = 429, _error_body("queue_full", str(exc))
+        except ServiceClosedError as exc:
+            status, body = 503, _error_body("draining", str(exc))
+        except UnknownRunError as exc:
+            status, body = 404, _error_body("not_found", str(exc))
+        except Exception as exc:  # pragma: no cover - defensive 500
+            status, body = 500, _error_body("internal", f"{type(exc).__name__}: {exc}")
+        payload = json.dumps(body).encode("utf-8")
+        start_response(
+            _STATUS_TEXT.get(status, f"{status} Error"),
+            [
+                ("Content-Type", "application/json"),
+                ("Content-Length", str(len(payload))),
+            ],
+        )
+        return [payload]
+
+    return app
+
+
+class ServiceServer(ThreadingMixIn, WSGIServer):
+    """Threaded WSGI server: polls must not block behind a slow submit."""
+
+    daemon_threads = True
+
+
+class _QuietHandler(WSGIRequestHandler):
+    """Request handler without per-request stderr chatter."""
+
+    def log_message(self, format: str, *args: Any) -> None:  # noqa: A002
+        pass
+
+
+def serve(
+    service: SimulationService,
+    host: str = "127.0.0.1",
+    port: int = 8642,
+    quiet: bool = True,
+) -> ServiceServer:
+    """Bind the WSGI app; the caller drives ``serve_forever``.
+
+    ``port=0`` binds an ephemeral port (tests, the CI smoke job) —
+    read the bound address back from ``server.server_address``.
+    """
+    handler = _QuietHandler if quiet else WSGIRequestHandler
+    server = make_server(
+        host, port, create_wsgi_app(service), server_class=ServiceServer, handler_class=handler
+    )
+    return server
+
+
+def serve_background(
+    service: SimulationService, host: str = "127.0.0.1", port: int = 0
+) -> tuple[ServiceServer, threading.Thread]:
+    """Start serving on a daemon thread (tests/smoke); returns (server, thread)."""
+    server = serve(service, host=host, port=port)
+    thread = threading.Thread(
+        target=server.serve_forever, name="repro-service-http", daemon=True
+    )
+    thread.start()
+    return server, thread
+
+
+def create_fastapi_app(service: SimulationService):  # pragma: no cover - optional extra
+    """The same API as a FastAPI app (requires the ``[service]`` extra).
+
+    The WSGI app above is the canonical implementation; this veneer adds
+    OpenAPI docs and async serving for deployments that installed
+    ``repro[service]``. Every route still delegates to the shared
+    service core, so behaviour and wire format are identical.
+    """
+    try:
+        from fastapi import FastAPI, Request
+        from fastapi.responses import JSONResponse
+    except ImportError as exc:
+        raise RuntimeError(
+            "FastAPI is not installed; install the optional extra "
+            "(pip install 'repro[service]') or use the stdlib WSGI server "
+            "(repro.service.api.serve), which needs no dependencies"
+        ) from exc
+
+    app = FastAPI(title="repro simulation service", version="1")
+
+    def _json(status: int, body: dict) -> JSONResponse:
+        return JSONResponse(status_code=status, content=body)
+
+    @app.post("/v1/runs")
+    async def submit(request: Request) -> JSONResponse:
+        try:
+            body = await request.json()
+        except Exception:
+            return _json(400, _error_body("validation", "body is not valid JSON"))
+        try:
+            response = service.submit(body)
+        except SpecValidationError as exc:
+            return _json(400, {"error": exc.to_dict()})
+        except QueueFullError as exc:
+            return _json(429, _error_body("queue_full", str(exc)))
+        except ServiceClosedError as exc:
+            return _json(503, _error_body("draining", str(exc)))
+        return _json(200 if response["cached"] else 202, response)
+
+    @app.get("/v1/runs")
+    async def list_runs(
+        tenant: str | None = None, status: str | None = None, limit: int = 100
+    ) -> JSONResponse:
+        return _json(200, {"runs": service.list_runs(tenant, status, limit)})
+
+    @app.get("/v1/runs/{run_id}")
+    async def poll(run_id: str) -> JSONResponse:
+        try:
+            return _json(200, service.poll(run_id))
+        except UnknownRunError as exc:
+            return _json(404, _error_body("not_found", str(exc)))
+
+    @app.get("/v1/runs/{run_id}/result")
+    async def result(run_id: str) -> JSONResponse:
+        try:
+            record = service.store.get(run_id)
+            decoded = service.result(run_id)
+        except UnknownRunError as exc:
+            return _json(404, _error_body("not_found", str(exc)))
+        if decoded is None:
+            return _json(
+                409,
+                _error_body(
+                    "not_ready",
+                    f"run {run_id!r} is {record.status!r}; no result stored",
+                    status=record.status,
+                    error=record.error,
+                ),
+            )
+        return _json(200, {"run": record.to_dict(), "result": result_to_dict(decoded)})
+
+    @app.get("/v1/stats")
+    async def stats() -> JSONResponse:
+        return _json(200, service.stats().to_dict())
+
+    @app.get("/v1/healthz")
+    async def healthz() -> JSONResponse:
+        return _json(200, {"ok": True, "dispatcher_running": service.running})
+
+    return app

@@ -1,0 +1,324 @@
+"""Persistent run/result store for the simulation service.
+
+A single sqlite database (``runs.sqlite3`` under the service's results
+directory) holds one row per submitted run: the canonical spec JSON, the
+lifecycle timestamps, the stored :class:`~repro.metrics.accounting.
+RunResult` (exact JSON round-trip — see :func:`repro.service.schemas.
+result_to_dict`) and the run's ``spec_hash``. The hash column is indexed:
+:meth:`ResultStore.lookup_cached` answers "has this exact spec already
+completed?" in one query, which is what lets the service serve identical
+resubmissions from cache without re-running (simulations are
+deterministic functions of the spec, so a stored result *is* the result).
+
+sqlite is the right weight here: stdlib (the tier-1 environment installs
+nothing), a single file under the results dir, safe across service
+restarts, and queryable history for free (``list_runs`` filters). All
+access goes through one connection guarded by a lock — the service's
+HTTP threads and the dispatcher share the store, and sqlite's own
+serialized mode is build-dependent.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import sqlite3
+import threading
+import time
+import uuid
+from dataclasses import dataclass
+from typing import Any
+
+from ..errors import ReproError
+from ..metrics.accounting import RunResult
+from .schemas import result_from_dict, result_to_dict
+
+__all__ = ["ResultStore", "RunRecord", "UnknownRunError", "RUN_STATUSES"]
+
+#: Run lifecycle states. ``cached`` is terminal like ``done`` but records
+#: that the result was copied from a prior run instead of executed.
+RUN_STATUSES = ("queued", "running", "done", "cached", "failed", "cancelled")
+
+_TERMINAL = ("done", "cached", "failed", "cancelled")
+
+
+class UnknownRunError(ReproError):
+    """No run with the requested id exists in the store."""
+
+
+@dataclass(frozen=True)
+class RunRecord:
+    """One run's stored lifecycle (the poll/list API's unit).
+
+    ``wall_time_s`` is the worker's measured execution time for runs that
+    actually ran; ``0.0`` for cache hits (that is the point of the cache).
+    ``cached_from`` names the run whose result a cache hit reused.
+    """
+
+    run_id: str
+    spec_hash: str
+    tenant: str
+    label: str | None
+    status: str
+    submitted_at: float
+    started_at: float | None
+    finished_at: float | None
+    wall_time_s: float | None
+    cached_from: str | None
+    error: str | None
+
+    @property
+    def terminal(self) -> bool:
+        """Whether the run has reached a final state."""
+        return self.status in _TERMINAL
+
+    def to_dict(self) -> dict[str, Any]:
+        """The poll-response body."""
+        return {
+            "run_id": self.run_id,
+            "spec_hash": self.spec_hash,
+            "tenant": self.tenant,
+            "label": self.label,
+            "status": self.status,
+            "submitted_at": self.submitted_at,
+            "started_at": self.started_at,
+            "finished_at": self.finished_at,
+            "wall_time_s": self.wall_time_s,
+            "cached_from": self.cached_from,
+            "error": self.error,
+        }
+
+
+_SCHEMA = """
+CREATE TABLE IF NOT EXISTS runs (
+    run_id       TEXT PRIMARY KEY,
+    spec_hash    TEXT NOT NULL,
+    tenant       TEXT NOT NULL,
+    label        TEXT,
+    status       TEXT NOT NULL,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    wall_time_s  REAL,
+    cached_from  TEXT,
+    error        TEXT,
+    spec_json    TEXT NOT NULL,
+    result_json  TEXT
+);
+CREATE INDEX IF NOT EXISTS idx_runs_spec_hash ON runs(spec_hash, status);
+CREATE INDEX IF NOT EXISTS idx_runs_tenant ON runs(tenant, submitted_at);
+"""
+
+_RECORD_COLS = (
+    "run_id, spec_hash, tenant, label, status, submitted_at, "
+    "started_at, finished_at, wall_time_s, cached_from, error"
+)
+
+
+class ResultStore:
+    """Thread-safe persistent store of runs and their results.
+
+    Parameters
+    ----------
+    results_dir:
+        Directory holding ``runs.sqlite3`` (created if missing).
+        ``":memory:"`` keeps everything in RAM (tests).
+    """
+
+    def __init__(self, results_dir: str = "service-results") -> None:
+        self.results_dir = results_dir
+        if results_dir == ":memory:":
+            path = ":memory:"
+        else:
+            os.makedirs(results_dir, exist_ok=True)
+            path = os.path.join(results_dir, "runs.sqlite3")
+        self.path = path
+        self._lock = threading.Lock()
+        self._conn = sqlite3.connect(path, check_same_thread=False)
+        self._conn.row_factory = sqlite3.Row
+        with self._lock:
+            self._conn.executescript(_SCHEMA)
+            self._conn.commit()
+
+    def close(self) -> None:
+        """Close the underlying connection (idempotent)."""
+        with self._lock:
+            self._conn.close()
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def create(
+        self,
+        spec_hash: str,
+        spec_json: str,
+        tenant: str,
+        label: str | None = None,
+        now: float | None = None,
+    ) -> RunRecord:
+        """Record a newly-accepted submission in state ``queued``."""
+        run_id = uuid.uuid4().hex[:16]
+        submitted = time.time() if now is None else now
+        with self._lock:
+            self._conn.execute(
+                "INSERT INTO runs (run_id, spec_hash, tenant, label, status,"
+                " submitted_at, spec_json) VALUES (?, ?, ?, ?, 'queued', ?, ?)",
+                (run_id, spec_hash, tenant, label, submitted, spec_json),
+            )
+            self._conn.commit()
+        return self.get(run_id)
+
+    def _transition(self, run_id: str, assignments: str, params: tuple) -> None:
+        with self._lock:
+            cur = self._conn.execute(
+                f"UPDATE runs SET {assignments} WHERE run_id = ?", (*params, run_id)
+            )
+            self._conn.commit()
+        if cur.rowcount == 0:
+            raise UnknownRunError(f"no run {run_id!r}")
+
+    def mark_running(self, run_id: str, now: float | None = None) -> None:
+        """queued → running."""
+        self._transition(
+            run_id, "status = 'running', started_at = ?", (time.time() if now is None else now,)
+        )
+
+    def mark_done(
+        self, run_id: str, result: RunResult, wall_time_s: float, now: float | None = None
+    ) -> None:
+        """running → done, with the exact result JSON."""
+        self._transition(
+            run_id,
+            "status = 'done', finished_at = ?, wall_time_s = ?, result_json = ?",
+            (
+                time.time() if now is None else now,
+                wall_time_s,
+                json.dumps(result_to_dict(result)),
+            ),
+        )
+
+    def mark_cached(self, run_id: str, source: RunRecord, now: float | None = None) -> None:
+        """queued → cached: copy the source run's result without executing."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT result_json FROM runs WHERE run_id = ?", (source.run_id,)
+            ).fetchone()
+        if row is None or row["result_json"] is None:
+            raise UnknownRunError(f"cache source {source.run_id!r} has no stored result")
+        self._transition(
+            run_id,
+            "status = 'cached', finished_at = ?, wall_time_s = 0.0,"
+            " cached_from = ?, result_json = ?",
+            (time.time() if now is None else now, source.run_id, row["result_json"]),
+        )
+
+    def mark_failed(self, run_id: str, error: str, now: float | None = None) -> None:
+        """running → failed, recording the error text."""
+        self._transition(
+            run_id,
+            "status = 'failed', finished_at = ?, error = ?",
+            (time.time() if now is None else now, str(error)[:2000]),
+        )
+
+    def mark_cancelled(self, run_id: str, now: float | None = None) -> None:
+        """queued → cancelled (drain-less shutdown)."""
+        self._transition(
+            run_id, "status = 'cancelled', finished_at = ?", (time.time() if now is None else now,)
+        )
+
+    # -- queries -------------------------------------------------------------
+
+    def get(self, run_id: str) -> RunRecord:
+        """The run's lifecycle record, or :class:`UnknownRunError`."""
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {_RECORD_COLS} FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            raise UnknownRunError(f"no run {run_id!r}")
+        return RunRecord(**dict(row))
+
+    def get_result(self, run_id: str) -> RunResult | None:
+        """The stored result, decoded; ``None`` while not terminal-successful."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT result_json FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            raise UnknownRunError(f"no run {run_id!r}")
+        if row["result_json"] is None:
+            return None
+        return result_from_dict(json.loads(row["result_json"]))
+
+    def get_spec_json(self, run_id: str) -> str:
+        """The canonical spec JSON the run was submitted with."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT spec_json FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            raise UnknownRunError(f"no run {run_id!r}")
+        return row["spec_json"]
+
+    def lookup_cached(self, spec_hash: str) -> RunRecord | None:
+        """The most recent completed run of this exact spec, if any.
+
+        Only ``done``/``cached`` rows with a stored result qualify; the
+        returned record is what :meth:`mark_cached` copies from.
+        """
+        with self._lock:
+            row = self._conn.execute(
+                f"SELECT {_RECORD_COLS} FROM runs"
+                " WHERE spec_hash = ? AND status IN ('done', 'cached')"
+                " AND result_json IS NOT NULL"
+                " ORDER BY finished_at DESC LIMIT 1",
+                (spec_hash,),
+            ).fetchone()
+        return None if row is None else RunRecord(**dict(row))
+
+    def list_runs(
+        self,
+        tenant: str | None = None,
+        status: str | None = None,
+        limit: int = 100,
+    ) -> list[RunRecord]:
+        """Run history, newest first, optionally filtered."""
+        clauses, params = [], []
+        if tenant is not None:
+            clauses.append("tenant = ?")
+            params.append(tenant)
+        if status is not None:
+            clauses.append("status = ?")
+            params.append(status)
+        where = f" WHERE {' AND '.join(clauses)}" if clauses else ""
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT {_RECORD_COLS} FROM runs{where}"
+                " ORDER BY submitted_at DESC, run_id DESC LIMIT ?",
+                (*params, max(1, int(limit))),
+            ).fetchall()
+        return [RunRecord(**dict(r)) for r in rows]
+
+    def counts(self) -> dict[str, int]:
+        """Stored runs per status (the stats endpoint's history section)."""
+        with self._lock:
+            rows = self._conn.execute(
+                "SELECT status, COUNT(*) AS n FROM runs GROUP BY status"
+            ).fetchall()
+        return {row["status"]: row["n"] for row in rows}
+
+    def wall_time_stats(self) -> dict[str, float]:
+        """Aggregate executed wall time (cache hits excluded by definition)."""
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT COUNT(*) AS n, COALESCE(SUM(wall_time_s), 0) AS total,"
+                " COALESCE(MAX(wall_time_s), 0) AS max"
+                " FROM runs WHERE status = 'done' AND wall_time_s IS NOT NULL"
+            ).fetchone()
+        n = row["n"] or 0
+        total = float(row["total"] or 0.0)
+        return {
+            "executed_runs": n,
+            "total_wall_s": total,
+            "mean_wall_s": total / n if n else 0.0,
+            "max_wall_s": float(row["max"] or 0.0),
+        }

@@ -1,0 +1,119 @@
+"""FairQueue: per-tenant round-robin fairness, bounded rejection
+accounting, and drain semantics."""
+
+import threading
+
+import pytest
+
+from repro.experiments.base import SimulationSpec
+from repro.service.jobs import FairQueue, Job, QueueFullError
+from repro.workloads.suites import paper_app
+
+
+def _job(tenant: str, n: int) -> Job:
+    spec = SimulationSpec(
+        targets=[paper_app("CG").scaled(0.02)], scheduler="linux", seed=n
+    )
+    return Job(run_id=f"{tenant}-{n}", tenant=tenant, spec=spec, spec_hash=f"h{n}")
+
+
+class TestFairness:
+    def test_round_robin_across_tenants(self):
+        queue = FairQueue(capacity=16)
+        # alice floods five jobs before bob's single job arrives.
+        for i in range(5):
+            queue.offer(_job("alice", i))
+        queue.offer(_job("bob", 0))
+        order = [job.run_id for job in queue.take_batch(6, timeout=0)]
+        # bob is served second, not sixth: one alice job, then bob's.
+        assert order[:2] == ["alice-0", "bob-0"]
+        assert order[2:] == ["alice-1", "alice-2", "alice-3", "alice-4"]
+
+    def test_three_tenants_interleave(self):
+        queue = FairQueue(capacity=16)
+        for tenant in ("a", "b", "c"):
+            for i in range(2):
+                queue.offer(_job(tenant, i))
+        order = [job.tenant for job in queue.take_batch(6, timeout=0)]
+        assert order == ["a", "b", "c", "a", "b", "c"]
+
+    def test_single_tenant_is_fifo(self):
+        queue = FairQueue(capacity=8)
+        for i in range(3):
+            queue.offer(_job("solo", i))
+        order = [job.run_id for job in queue.take_batch(8, timeout=0)]
+        assert order == ["solo-0", "solo-1", "solo-2"]
+
+    def test_by_tenant_snapshot(self):
+        queue = FairQueue(capacity=8)
+        queue.offer(_job("a", 0))
+        queue.offer(_job("a", 1))
+        queue.offer(_job("b", 0))
+        assert queue.by_tenant() == {"a": 2, "b": 1}
+        queue.take_batch(3, timeout=0)
+        assert queue.by_tenant() == {}
+
+
+class TestBoundedDepth:
+    def test_rejects_beyond_capacity_with_accounting(self):
+        queue = FairQueue(capacity=2)
+        queue.offer(_job("t", 0))
+        queue.offer(_job("t", 1))
+        with pytest.raises(QueueFullError):
+            queue.offer(_job("t", 2))
+        assert queue.depth == 2
+        assert (queue.offered, queue.accepted, queue.rejected_full) == (3, 2, 1)
+
+    def test_capacity_frees_after_take(self):
+        queue = FairQueue(capacity=1)
+        queue.offer(_job("t", 0))
+        queue.take_batch(1, timeout=0)
+        queue.offer(_job("t", 1))  # must not raise
+        assert queue.depth == 1
+
+    def test_invalid_capacity(self):
+        with pytest.raises(ValueError):
+            FairQueue(capacity=0)
+
+
+class TestBlockingAndDrain:
+    def test_take_batch_timeout_returns_empty(self):
+        queue = FairQueue(capacity=4)
+        assert queue.take_batch(4, timeout=0.01) == []
+
+    def test_take_batch_wakes_on_offer(self):
+        queue = FairQueue(capacity=4)
+        got: list[str] = []
+
+        def taker():
+            batch = queue.take_batch(1, timeout=5.0)
+            got.extend(job.run_id for job in batch)
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        queue.offer(_job("t", 0))
+        thread.join(timeout=5.0)
+        assert got == ["t-0"]
+
+    def test_drain_all_empties_queue(self):
+        queue = FairQueue(capacity=8)
+        for i in range(3):
+            queue.offer(_job("t", i))
+        drained = queue.drain_all()
+        assert [job.run_id for job in drained] == ["t-0", "t-1", "t-2"]
+        assert queue.depth == 0
+        assert queue.take_batch(1, timeout=0) == []
+
+    def test_wake_unblocks_waiter(self):
+        queue = FairQueue(capacity=4)
+        results: list[list] = []
+
+        def taker():
+            results.append(queue.take_batch(1, timeout=5.0))
+
+        thread = threading.Thread(target=taker)
+        thread.start()
+        # wake() with nothing queued: the waiter returns empty promptly.
+        queue.wake()
+        thread.join(timeout=5.0)
+        assert not thread.is_alive()

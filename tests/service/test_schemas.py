@@ -1,0 +1,195 @@
+"""Request schema validation and the spec/result wire codecs.
+
+Two halves:
+
+* **validation** — malformed payloads fail with
+  :class:`~repro.service.schemas.SpecValidationError` whose ``path``
+  names the offending field (the actionable-4xx contract);
+* **codecs** — ``spec_to_dict``/``spec_from_dict`` and
+  ``result_to_dict``/``result_from_dict`` are exact inverses on real
+  simulation objects, including the nested ``DynamicStats``/
+  ``FaultStats``/``AuditReport`` sections.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.policies import EwmaPolicy, OraclePolicy, QuantaWindowPolicy
+from repro.core.policies_model import ModelDrivenPolicy
+from repro.experiments.base import run_simulation
+from repro.service.schemas import (
+    SpecValidationError,
+    parse_submit_request,
+    result_from_dict,
+    result_to_dict,
+    spec_from_dict,
+    spec_to_dict,
+)
+
+
+def _minimal(**spec_overrides) -> dict:
+    spec = {
+        "targets": [{"app": "CG", "work_scale": 0.02}],
+        "background": [{"microbench": "BBMA"}],
+        "scheduler": "linux",
+        "max_time_us": 200_000,
+    }
+    spec.update(spec_overrides)
+    return {"spec": spec}
+
+
+def _error_path(payload) -> str:
+    with pytest.raises(SpecValidationError) as excinfo:
+        parse_submit_request(payload)
+    return excinfo.value.path
+
+
+class TestRequestValidation:
+    def test_minimal_request_parses(self):
+        request = parse_submit_request(_minimal())
+        assert request.tenant == "default"
+        assert request.label is None
+        assert not request.no_cache
+
+    def test_tenant_label_no_cache(self):
+        payload = _minimal()
+        payload.update(tenant="team-a", label="sweep 1", no_cache=True)
+        request = parse_submit_request(payload)
+        assert (request.tenant, request.label, request.no_cache) == (
+            "team-a", "sweep 1", True
+        )
+
+    def test_missing_spec_names_path(self):
+        with pytest.raises(SpecValidationError, match="spec"):
+            parse_submit_request({})
+
+    def test_non_dict_body(self):
+        assert _error_path([1, 2]) == "request"
+
+    def test_unknown_top_level_field(self):
+        payload = _minimal()
+        payload["bogus"] = 1
+        assert _error_path(payload) == "request"
+
+    def test_unknown_spec_field(self):
+        assert _error_path(_minimal(bogus=1)) == "request.spec"
+
+    def test_bad_app_name_names_element(self):
+        payload = _minimal(targets=[{"app": "NOPE"}])
+        assert _error_path(payload) == "request.spec.targets[0].app"
+
+    def test_bad_scheduler_string(self):
+        assert _error_path(_minimal(scheduler="fifo")) == "request.spec.scheduler"
+
+    def test_bad_policy_name(self):
+        payload = _minimal(scheduler={"policy": "no_such"})
+        assert _error_path(payload) == "request.spec.scheduler.policy"
+
+    def test_bad_policy_parameter_type(self):
+        payload = _minimal(scheduler={"policy": "quanta_window", "window_length": "x"})
+        assert _error_path(payload) == "request.spec.scheduler.window_length"
+
+    def test_negative_seed_rejected_with_path(self):
+        assert _error_path(_minimal(seed=-1)) == "request.spec.seed"
+
+    def test_bool_is_not_an_int(self):
+        assert _error_path(_minimal(seed=True)) == "request.spec.seed"
+
+    def test_nan_rejected(self):
+        assert _error_path(_minimal(max_time_us=float("nan"))) == (
+            "request.spec.max_time_us"
+        )
+
+    def test_empty_workload_rejected(self):
+        payload = {"spec": {"targets": [], "scheduler": "linux"}}
+        assert _error_path(payload) == "request.spec.targets"
+
+    def test_arrivals_under_dedicated_rejected(self):
+        payload = _minimal(
+            scheduler="dedicated",
+            arrivals=[[1_000.0, {"app": "SP", "work_scale": 0.02}]],
+        )
+        assert _error_path(payload) == "request.spec.scheduler"
+
+    def test_bad_tenant_rejected(self):
+        payload = _minimal()
+        payload["tenant"] = ""
+        assert _error_path(payload) == "request.tenant"
+
+    def test_error_body_is_actionable(self):
+        try:
+            parse_submit_request(_minimal(scheduler="fifo"))
+        except SpecValidationError as exc:
+            body = exc.to_dict()
+            assert body["type"] == "validation"
+            assert body["path"] == "request.spec.scheduler"
+            assert "fifo" in body["message"]
+        else:  # pragma: no cover
+            pytest.fail("expected SpecValidationError")
+
+    def test_error_survives_pickling(self):
+        # Errors cross process boundaries (worker -> parent); the path
+        # annotation must survive the trip.
+        err = SpecValidationError("request.spec.seed", "must be >= 0")
+        clone = pickle.loads(pickle.dumps(err))
+        assert clone.path == err.path and clone.message == err.message
+
+
+class TestSchedulerCodec:
+    @pytest.mark.parametrize(
+        "policy",
+        [
+            QuantaWindowPolicy(window_length=5),
+            EwmaPolicy(alpha=0.3),
+            ModelDrivenPolicy(idle_penalty=0.2, fairness_weight=0.1),
+            OraclePolicy(true_rates={"CG": 40.0}),
+        ],
+    )
+    def test_policy_round_trip(self, policy):
+        spec = spec_from_dict(_minimal()["spec"])
+        payload = spec_to_dict(spec)
+        from repro.service.schemas import scheduler_from_json, scheduler_to_json
+
+        decoded = scheduler_from_json(scheduler_to_json(policy), "spec.scheduler")
+        assert type(decoded) is type(policy)
+        assert scheduler_to_json(decoded) == scheduler_to_json(policy)
+        assert payload["scheduler"] == "linux"
+
+
+class TestResultCodec:
+    def test_static_result_round_trips_exactly(self):
+        spec = spec_from_dict(_minimal()["spec"])
+        result = run_simulation(spec)
+        decoded = result_from_dict(result_to_dict(result))
+        assert decoded == result  # dataclass equality: bit-identical
+        # compare=False observability fields round-trip too.
+        assert decoded.bus_solve_calls == result.bus_solve_calls
+        assert decoded.makespan_us == result.makespan_us
+
+    def test_dynamic_result_round_trips_exactly(self):
+        spec = spec_from_dict(
+            {
+                "targets": [],
+                "scheduler": {"policy": "quanta_window"},
+                "dynamic": {
+                    "arrivals": {"kind": "poisson", "rate_per_s": 2.0},
+                    "mix": {"paper": ["CG", "SP"], "work_scale": 0.02},
+                    "n_jobs": 3,
+                },
+                "seed": 11,
+            }
+        )
+        result = run_simulation(spec)
+        assert result.dynamic is not None
+        decoded = result_from_dict(result_to_dict(result))
+        assert decoded == result
+        assert decoded.dynamic == result.dynamic
+
+    def test_result_json_is_canonically_serializable(self):
+        from repro.config import canonical_json
+
+        spec = spec_from_dict(_minimal()["spec"])
+        result = run_simulation(spec)
+        text = canonical_json(result_to_dict(result))
+        assert isinstance(text, str) and text.startswith("{")

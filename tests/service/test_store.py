@@ -1,0 +1,176 @@
+"""ResultStore: lifecycle transitions, exact result round-trip, cache
+lookup by spec hash, and persistence across reopen."""
+
+import os
+
+import pytest
+
+from repro.experiments.base import run_simulation
+from repro.service.schemas import spec_from_dict, spec_to_dict
+from repro.service.store import ResultStore, RunRecord, UnknownRunError
+from repro.config import canonical_hash, canonical_json
+
+SPEC_PAYLOAD = {
+    "targets": [{"app": "CG", "work_scale": 0.02}],
+    "background": [{"microbench": "BBMA"}],
+    "scheduler": "linux",
+    "max_time_us": 200_000,
+}
+
+
+@pytest.fixture
+def store():
+    s = ResultStore(":memory:")
+    yield s
+    s.close()
+
+
+def _spec():
+    return spec_from_dict(SPEC_PAYLOAD)
+
+
+def _create(store, tenant="t1", label=None) -> RunRecord:
+    spec = _spec()
+    return store.create(
+        spec_hash=spec.spec_hash(),
+        spec_json=canonical_json(spec_to_dict(spec)),
+        tenant=tenant,
+        label=label,
+    )
+
+
+class TestLifecycle:
+    def test_create_is_queued(self, store):
+        record = _create(store, label="first")
+        assert record.status == "queued" and not record.terminal
+        assert record.tenant == "t1" and record.label == "first"
+        assert store.get(record.run_id) == record
+
+    def test_done_round_trips_result_exactly(self, store):
+        record = _create(store)
+        store.mark_running(record.run_id)
+        assert store.get(record.run_id).status == "running"
+        result = run_simulation(_spec())
+        store.mark_done(record.run_id, result, wall_time_s=1.25)
+        final = store.get(record.run_id)
+        assert final.status == "done" and final.terminal
+        assert final.wall_time_s == 1.25
+        assert store.get_result(record.run_id) == result
+
+    def test_result_none_until_done(self, store):
+        record = _create(store)
+        assert store.get_result(record.run_id) is None
+
+    def test_failed_records_error(self, store):
+        record = _create(store)
+        store.mark_running(record.run_id)
+        store.mark_failed(record.run_id, "SimulationError: boom")
+        final = store.get(record.run_id)
+        assert final.status == "failed" and "boom" in final.error
+        assert store.get_result(record.run_id) is None
+
+    def test_cancelled(self, store):
+        record = _create(store)
+        store.mark_cancelled(record.run_id)
+        assert store.get(record.run_id).status == "cancelled"
+
+    def test_unknown_run_raises(self, store):
+        with pytest.raises(UnknownRunError):
+            store.get("nope")
+        with pytest.raises(UnknownRunError):
+            store.mark_running("nope")
+
+    def test_spec_json_preserved(self, store):
+        record = _create(store)
+        text = store.get_spec_json(record.run_id)
+        assert canonical_hash(spec_to_dict(spec_from_dict(
+            __import__("json").loads(text)))) != ""  # decodes cleanly
+
+
+class TestCacheLookup:
+    def test_lookup_misses_before_any_done(self, store):
+        record = _create(store)
+        assert store.lookup_cached(record.spec_hash) is None
+        store.mark_running(record.run_id)
+        assert store.lookup_cached(record.spec_hash) is None
+
+    def test_lookup_hits_after_done(self, store):
+        record = _create(store)
+        store.mark_running(record.run_id)
+        result = run_simulation(_spec())
+        store.mark_done(record.run_id, result, wall_time_s=0.5)
+        hit = store.lookup_cached(record.spec_hash)
+        assert hit is not None and hit.run_id == record.run_id
+
+    def test_mark_cached_copies_result(self, store):
+        first = _create(store)
+        store.mark_running(first.run_id)
+        result = run_simulation(_spec())
+        store.mark_done(first.run_id, result, wall_time_s=0.5)
+
+        second = _create(store, tenant="t2")
+        store.mark_cached(second.run_id, store.get(first.run_id))
+        final = store.get(second.run_id)
+        assert final.status == "cached"
+        assert final.cached_from == first.run_id
+        assert final.wall_time_s == 0.0  # the point of the cache
+        assert store.get_result(second.run_id) == result
+
+    def test_cached_row_is_itself_a_cache_source(self, store):
+        first = _create(store)
+        store.mark_running(first.run_id)
+        store.mark_done(first.run_id, run_simulation(_spec()), wall_time_s=0.5)
+        second = _create(store)
+        store.mark_cached(second.run_id, store.get(first.run_id))
+        hit = store.lookup_cached(first.spec_hash)
+        assert hit is not None and hit.status in ("done", "cached")
+
+
+class TestQueriesAndStats:
+    def test_list_runs_filters(self, store):
+        a = _create(store, tenant="alice")
+        b = _create(store, tenant="bob")
+        store.mark_cancelled(b.run_id)
+        assert {r.run_id for r in store.list_runs()} == {a.run_id, b.run_id}
+        assert [r.run_id for r in store.list_runs(tenant="alice")] == [a.run_id]
+        assert [r.run_id for r in store.list_runs(status="cancelled")] == [b.run_id]
+        assert store.counts() == {"queued": 1, "cancelled": 1}
+
+    def test_wall_time_stats(self, store):
+        result = run_simulation(_spec())
+        for wall in (1.0, 3.0):
+            record = _create(store)
+            store.mark_running(record.run_id)
+            store.mark_done(record.run_id, result, wall_time_s=wall)
+        stats = store.wall_time_stats()
+        assert stats == {
+            "executed_runs": 2,
+            "total_wall_s": 4.0,
+            "mean_wall_s": 2.0,
+            "max_wall_s": 3.0,
+        }
+
+    def test_empty_wall_time_stats(self, store):
+        assert store.wall_time_stats()["executed_runs"] == 0
+        assert store.wall_time_stats()["mean_wall_s"] == 0.0
+
+
+class TestPersistence:
+    def test_results_survive_reopen(self, tmp_path):
+        results_dir = str(tmp_path / "results")
+        store = ResultStore(results_dir)
+        record = _create(store)
+        store.mark_running(record.run_id)
+        result = run_simulation(_spec())
+        store.mark_done(record.run_id, result, wall_time_s=0.7)
+        store.close()
+
+        reopened = ResultStore(results_dir)
+        try:
+            assert reopened.get(record.run_id).status == "done"
+            assert reopened.get_result(record.run_id) == result
+            # ...and the reopened store still answers cache lookups.
+            assert reopened.lookup_cached(record.spec_hash) is not None
+        finally:
+            reopened.close()
+        assert os.path.exists(os.path.join(results_dir, "runs.sqlite3"))

@@ -7,10 +7,13 @@ from repro.errors import ConfigError, SimulationError
 from repro.experiments.base import SimulationSpec, solo_spec
 from repro.parallel import (
     auto_chunk_size,
+    cgroup_cpu_quota,
     default_jobs,
+    effective_cpu_budget,
     fork_available,
     resolve_jobs,
     run_many,
+    usable_cpus,
 )
 from repro.workloads.microbench import bbma_spec, nbbma_spec
 
@@ -33,10 +36,40 @@ class TestResolveJobs:
     def test_explicit_positive(self):
         assert resolve_jobs(3) == 3
 
-    def test_zero_means_all_cores(self):
-        import os
+    def test_zero_means_effective_budget(self):
+        # "All cores" is the affinity ∩ cgroup-quota budget, NOT the raw
+        # os.cpu_count() — a container throttled to 2 cores on a 64-CPU
+        # host must resolve to 2, not 64.
+        assert resolve_jobs(0) == effective_cpu_budget()
 
-        assert resolve_jobs(0) == (os.cpu_count() or 1)
+    def test_budget_is_affinity_when_unquotaed(self, monkeypatch):
+        import repro.parallel as par
+
+        monkeypatch.setattr(par, "usable_cpus", lambda: 6)
+        monkeypatch.setattr(par, "cgroup_cpu_quota", lambda: None)
+        assert par.effective_cpu_budget() == 6
+
+    def test_budget_clamped_by_cgroup_quota(self, monkeypatch):
+        import repro.parallel as par
+
+        monkeypatch.setattr(par, "usable_cpus", lambda: 64)
+        monkeypatch.setattr(par, "cgroup_cpu_quota", lambda: 2.5)
+        assert par.effective_cpu_budget() == 2  # floor of fractional quota
+        assert par.resolve_jobs(0) == 2
+        assert par.resolve_jobs(-1) == 2
+
+    def test_budget_floor_is_one(self, monkeypatch):
+        import repro.parallel as par
+
+        monkeypatch.setattr(par, "usable_cpus", lambda: 8)
+        monkeypatch.setattr(par, "cgroup_cpu_quota", lambda: 0.5)
+        assert par.effective_cpu_budget() == 1
+
+    def test_budget_helpers_sane_on_this_host(self):
+        assert usable_cpus() >= 1
+        quota = cgroup_cpu_quota()
+        assert quota is None or quota > 0
+        assert 1 <= effective_cpu_budget() <= usable_cpus()
 
     def test_none_reads_env(self, monkeypatch):
         monkeypatch.setenv("REPRO_JOBS", "5")
@@ -178,8 +211,8 @@ class TestChunkedDispatch:
             chunked = _execute_chunk([(0, spec_a, None), (1, spec_b, None)])
         finally:
             clear_shared_solve_cache()
-        assert [i for i, _, _ in chunked] == [0, 1]
-        for fresh, (_, result, _) in zip((fresh_a, fresh_b), chunked):
+        assert [i for i, _, _, _ in chunked] == [0, 1]
+        for fresh, (_, result, _, _) in zip((fresh_a, fresh_b), chunked):
             assert result == fresh
             # Chunk-invariant counters: identical to an isolated run.
             # (bisection_steps and bus_shared_hits legitimately differ —
@@ -228,3 +261,75 @@ class TestProgressNotes:
         calls: list[tuple[int, int]] = []
         run_many(_specs(2), jobs=4, progress=lambda d, t: calls.append((d, t)))
         assert calls == [(1, 2), (2, 2)]
+
+
+class TestResultAndCancelHooks:
+    @pytest.mark.parametrize("jobs", [1, 2])
+    def test_on_result_sees_every_spec_with_wall_time(self, jobs):
+        if jobs > 1 and not fork_available():
+            pytest.skip("no fork on this platform")
+        specs = _specs(3)
+        seen: dict[int, tuple] = {}
+
+        def on_result(index, result, wall_s):
+            seen[index] = (result, wall_s)
+
+        results = run_many(specs, jobs=jobs, on_result=on_result)
+        assert sorted(seen) == [0, 1, 2]
+        for index, (result, wall_s) in seen.items():
+            assert result == results[index]
+            assert wall_s > 0.0
+
+    def test_on_result_composes_with_collect(self):
+        specs = _specs(2)
+        indices: list[int] = []
+        pairs = run_many(
+            specs, jobs=1, collect=_collect_makespan,
+            on_result=lambda i, r, w: indices.append(i),
+        )
+        # on_result receives the bare RunResult; the return list pairs it.
+        assert sorted(indices) == [0, 1]
+        assert all(isinstance(p, tuple) for p in pairs)
+
+    def test_cancel_serial_stops_between_specs(self):
+        specs = _specs(4)
+        done: list[int] = []
+
+        def cancel():
+            return len(done) >= 2  # stop after two completions
+
+        results = run_many(
+            specs, jobs=1, on_result=lambda i, r, w: done.append(i), cancel=cancel
+        )
+        assert done == [0, 1]
+        assert results[0] is not None and results[1] is not None
+        assert results[2] is None and results[3] is None
+
+    def test_cancel_parallel_skips_unstarted_chunks(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        specs = _specs(6)
+        completed: list[int] = []
+
+        def cancel():
+            return len(completed) >= 1  # cancel once anything lands
+
+        results = run_many(
+            specs, jobs=2, chunk_size=1,
+            on_result=lambda i, r, w: completed.append(i),
+            cancel=cancel,
+        )
+        # Finished chunks report; something must have been skipped but
+        # everything reported as done is a real result.
+        assert completed, "nothing completed before cancel"
+        assert any(r is None for r in results)
+        for index in completed:
+            assert results[index] is not None
+
+    def test_cancel_false_is_inert(self):
+        specs = _specs(3)
+        assert run_many(specs, jobs=1, cancel=lambda: False) == run_many(specs, jobs=1)
+
+    def test_cancel_before_start_runs_nothing(self):
+        results = run_many(_specs(3), jobs=1, cancel=lambda: True)
+        assert results == [None, None, None]
