@@ -1,0 +1,261 @@
+"""Streaming-metrics benchmark: flat metric memory + sketch accuracy, gated.
+
+Three gates, written to ``BENCH_streaming.json`` for the CI smoke job:
+
+1. **Synthetic flat-memory gate** — feed a ``StreamingQueueingStats``
+   accumulator directly at two sizes (default 20k and 400k observations)
+   under ``tracemalloc`` and require that the live memory attributed to
+   ``repro/metrics`` stays flat (bounded ratio and a small absolute cap):
+   the accumulator really is O(1) in the number of jobs.
+2. **Real-run flat-memory gate** — run the open-system simulation with
+   ``record_jobs=False`` at two traced sizes (default 2k and 8k jobs;
+   tracemalloc slows the simulator several-fold, so the traced pair is
+   kept small) and compare the live allocations attributed to
+   ``repro/metrics/streaming.py`` while the driver is still alive — the
+   layer that replaced the O(n) ``JobRecord`` list. An untraced large
+   run (default 100k jobs) must then complete every scheduled job and
+   produce a usable streamed summary: the acceptance path behind
+   ``repro dynamic --no-records`` at scale. (The whole-package filter is
+   deliberately narrow: ``repro/metrics/accounting.py`` keeps per-app
+   ledgers that are O(jobs) by design and predate streaming.)
+3. **Accuracy gate** — from a records-enabled reference run, require the
+   streamed mean to be bit-identical to the exact record-based mean and
+   the P² p50/p95/p99 estimates to sit inside the documented
+   ``P2_RANK_TOLERANCE`` rank envelope of the exact empirical quantiles.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_streaming.py             # defaults
+    PYTHONPATH=src python benchmarks/bench_streaming.py --large-n 100000
+"""
+
+from __future__ import annotations
+
+import argparse
+import dataclasses
+import json
+import sys
+import time
+import tracemalloc
+
+
+def _metrics_live_bytes(pattern: str = "*repro/metrics/streaming.py") -> int:
+    """Live traced allocations attributed to the streaming metric layer."""
+    snapshot = tracemalloc.take_snapshot().filter_traces(
+        [tracemalloc.Filter(True, pattern)]
+    )
+    return sum(stat.size for stat in snapshot.statistics("filename"))
+
+
+def _synthetic_gate(small_n: int, large_n: int) -> dict:
+    from repro.metrics.streaming import StreamingQueueingStats
+
+    def feed(n: int) -> int:
+        stream = StreamingQueueingStats(warmup_jobs=n // 10, tau_us=10_000.0)
+        tracemalloc.start()
+        try:
+            for i in range(n):
+                t = float(i) * 37.0
+                stream.observe(
+                    arrival_us=t,
+                    admit_us=t + (i % 13) * 5.0,
+                    completion_us=t + 100.0 + (i % 97) * 11.0,
+                    nominal_service_us=50.0 + (i % 7) * 20.0,
+                )
+            return _metrics_live_bytes()
+        finally:
+            tracemalloc.stop()
+
+    small = feed(small_n)
+    large = feed(large_n)
+    flat = large <= max(small * 1.25, small + 4096) and large < 64 * 1024
+    return {
+        "small_n": small_n,
+        "large_n": large_n,
+        "small_metric_bytes": small,
+        "large_metric_bytes": large,
+        "flat": flat,
+    }
+
+
+def _run_open_system(n_jobs: int, rate_per_s: float, scale: float, seed: int,
+                     record_jobs: bool):
+    from repro.dynamic import DynamicWorkload, PoissonArrivals, paper_mix
+    from repro.experiments.base import SimulationSpec, run_simulation_with_handle
+
+    workload = DynamicWorkload(
+        arrivals=PoissonArrivals(rate_per_s=rate_per_s),
+        mix=paper_mix(work_scale=scale),
+        n_jobs=n_jobs,
+        record_jobs=record_jobs,
+    )
+    # Size the horizon to the workload: n_jobs Poisson arrivals at
+    # rate_per_s span ~n_jobs/rate seconds of simulated time; 2x slack
+    # covers arrival variance plus queue drain after the last admit.
+    horizon_us = max(600e6, 2.0 * n_jobs / rate_per_s * 1e6)
+    spec = SimulationSpec(targets=[], scheduler="linux", dynamic=workload,
+                          seed=seed, max_time_us=horizon_us)
+    result, handle = run_simulation_with_handle(spec)
+    return workload, result, handle
+
+
+def _real_run_gate(traced_small_n: int, traced_mid_n: int, large_n: int,
+                   rate_per_s: float, scale: float, seed: int) -> dict:
+    from repro.metrics.queueing import summarize_queueing
+
+    def traced(n: int) -> int:
+        tracemalloc.start()
+        try:
+            _, _, handle = _run_open_system(
+                n, rate_per_s, scale, seed, record_jobs=False
+            )
+            live = _metrics_live_bytes()  # driver + stream still alive here
+        finally:
+            tracemalloc.stop()
+        del handle
+        return live
+
+    small_bytes = traced(traced_small_n)
+    mid_bytes = traced(traced_mid_n)
+
+    t0 = time.perf_counter()
+    workload, result, _ = _run_open_system(
+        large_n, rate_per_s, scale, seed, record_jobs=False
+    )
+    large_wall = time.perf_counter() - t0
+
+    d = result.dynamic
+    summary = summarize_queueing(
+        d, warmup_jobs=workload.warmup_jobs(), tau_us=workload.slowdown_tau_us
+    )
+    flat = mid_bytes <= max(small_bytes * 1.25, small_bytes + 16 * 1024)
+    return {
+        "traced_small_n": traced_small_n,
+        "traced_mid_n": traced_mid_n,
+        "large_n": large_n,
+        "rate_per_s": rate_per_s,
+        "scale": scale,
+        "small_metric_bytes": small_bytes,
+        "mid_metric_bytes": mid_bytes,
+        "large_wall_s": round(large_wall, 3),
+        "flat": flat,
+        "records_dropped": d.jobs == (),
+        # With records off, the streamed counters are the source of truth.
+        "all_completed": d.streaming.n_observed == large_n and d.dropped == 0,
+        "streamed_mean_response_us": summary.mean_response_us,
+        "streamed_p50_us": summary.response_p50_us,
+        "streamed_p95_us": summary.response_p95_us,
+        "streamed_p99_us": summary.response_p99_us,
+        "quantiles_present": all(
+            v is not None
+            for v in (
+                summary.response_p50_us,
+                summary.response_p95_us,
+                summary.response_p99_us,
+            )
+        ),
+    }
+
+
+def _accuracy_gate(n_jobs: int, rate_per_s: float, scale: float, seed: int) -> dict:
+    from repro.metrics.queueing import summarize_queueing
+    from repro.metrics.streaming import P2_RANK_TOLERANCE, exact_quantile
+
+    workload, result, _ = _run_open_system(
+        n_jobs, rate_per_s, scale, seed, record_jobs=True
+    )
+    d = result.dynamic
+    kw = dict(warmup_jobs=workload.warmup_jobs(), tau_us=workload.slowdown_tau_us)
+    exact = summarize_queueing(d, **kw)
+    streamed = summarize_queueing(dataclasses.replace(d, jobs=()), **kw)
+
+    done = sorted(
+        (j for j in d.jobs if j.completion_us is not None),
+        key=lambda j: (j.completion_us, j.index),
+    )[workload.warmup_jobs():]
+    responses = sorted(j.completion_us - j.arrival_us for j in done)
+
+    quantiles = {}
+    in_envelope = True
+    for q, attr in [(0.5, "response_p50_us"), (0.95, "response_p95_us"),
+                    (0.99, "response_p99_us")]:
+        estimate = getattr(streamed, attr)
+        lo = exact_quantile(responses, max(0.0, q - P2_RANK_TOLERANCE))
+        hi = exact_quantile(responses, min(1.0, q + P2_RANK_TOLERANCE))
+        ok = lo <= estimate <= hi
+        in_envelope = in_envelope and ok
+        quantiles[attr] = {
+            "exact": getattr(exact, attr),
+            "sketch": estimate,
+            "envelope": [lo, hi],
+            "within_envelope": ok,
+        }
+
+    return {
+        "n_jobs": n_jobs,
+        "mean_bit_identical": streamed.mean_response_us == exact.mean_response_us,
+        "throughput_bit_identical": (
+            streamed.throughput_jobs_per_s == exact.throughput_jobs_per_s
+        ),
+        "ci_present": streamed.response_ci_us is not None,
+        "quantiles": quantiles,
+        "quantiles_within_envelope": in_envelope,
+    }
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--small-n", type=int, default=10_000,
+                        help="jobs in the records-on accuracy reference run")
+    parser.add_argument("--large-n", type=int, default=100_000,
+                        help="jobs in the large records-off run")
+    parser.add_argument("--traced-small-n", type=int, default=2_000,
+                        help="jobs in the small tracemalloc-instrumented run")
+    parser.add_argument("--traced-mid-n", type=int, default=8_000,
+                        help="jobs in the larger tracemalloc-instrumented run")
+    parser.add_argument("--synthetic-factor", type=int, default=4,
+                        help="synthetic sizes are small-n*2 and large-n*factor")
+    parser.add_argument("--rate", type=float, default=100.0, help="arrival rate (jobs/s)")
+    parser.add_argument("--scale", type=float, default=0.002, help="application work scale")
+    parser.add_argument("--seed", type=int, default=7, help="root random seed")
+    parser.add_argument("--out", type=str, default="BENCH_streaming.json", help="report path")
+    args = parser.parse_args(argv)
+
+    synthetic = _synthetic_gate(args.small_n * 2, args.large_n * args.synthetic_factor)
+    print(f"synthetic accumulator: {synthetic['small_metric_bytes']}B at "
+          f"n={synthetic['small_n']}, {synthetic['large_metric_bytes']}B at "
+          f"n={synthetic['large_n']} (flat={synthetic['flat']})")
+
+    real = _real_run_gate(args.traced_small_n, args.traced_mid_n, args.large_n,
+                          args.rate, args.scale, args.seed)
+    print(f"records-off run: {real['large_n']} jobs in {real['large_wall_s']}s; "
+          f"streaming-layer memory {real['small_metric_bytes']}B at "
+          f"n={real['traced_small_n']} -> {real['mid_metric_bytes']}B at "
+          f"n={real['traced_mid_n']} (flat={real['flat']})")
+
+    accuracy = _accuracy_gate(args.small_n, args.rate, args.scale, args.seed)
+    print(f"accuracy: mean bit-identical={accuracy['mean_bit_identical']}, "
+          f"quantiles within envelope={accuracy['quantiles_within_envelope']}")
+
+    report = {
+        "synthetic": synthetic,
+        "real_run": real,
+        "accuracy": accuracy,
+        "gates_ok": bool(
+            synthetic["flat"]
+            and real["flat"]
+            and real["all_completed"]
+            and real["records_dropped"]
+            and real["quantiles_present"]
+            and accuracy["mean_bit_identical"]
+            and accuracy["quantiles_within_envelope"]
+        ),
+    }
+    with open(args.out, "w", encoding="utf-8") as fh:
+        json.dump(report, fh, indent=2)
+    print(f"report written to {args.out}; gates_ok={report['gates_ok']}")
+    return 0 if report["gates_ok"] else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -91,6 +91,34 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace-file", type=str, default=None, metavar="PATH",
         help="arrival trace to replay (.json or .csv, see TraceArrivals)",
     )
+    dyn.add_argument(
+        "--quantiles", action="store_true",
+        help="add p50/p95/p99 response-time columns to the sweep table",
+    )
+    dyn.add_argument(
+        "--no-records", action="store_true",
+        help=(
+            "drop the per-job record list and report from the O(1)-memory "
+            "streamed accumulators (quantiles become P2 sketch estimates); "
+            "use for very large --num-jobs"
+        ),
+    )
+    dyn.add_argument(
+        "--shape", action="append", default=None, metavar="KIND:K=V,...",
+        help=(
+            "rate envelope over the arrival process, e.g. "
+            "'diurnal:period_s=60,amplitude=0.5' or "
+            "'flash:at_s=10,duration_s=5,magnitude=3'; repeat to nest"
+        ),
+    )
+    dyn.add_argument(
+        "--mix", type=str, default=None, metavar="KIND:K=V,...",
+        help=(
+            "job-mix family over the paper palette: weighted (default), "
+            "'zipfian:exponent=1.0', 'hotspot:hot_fraction=0.8,hot_index=0', "
+            "'sequential:run_length=4' or 'bursty:mean_run_length=4'"
+        ),
+    )
     flt = parser.add_argument_group("faults", "options for the 'faults' degradation sweep")
     flt.add_argument(
         "--intensities", type=str, default=None, metavar="I1,I2,...",
@@ -356,10 +384,38 @@ def _run_kernels(args: argparse.Namespace) -> None:
     print(format_kernel_experiment(rows))
 
 
+def _parse_kv_spec(text: str, flag: str) -> tuple[str, dict[str, float]]:
+    """Parse a ``kind:key=value,key=value`` CLI argument."""
+    from .errors import ConfigError
+
+    kind, _, rest = text.partition(":")
+    kind = kind.strip()
+    if not kind:
+        raise ConfigError(f"{flag} needs a kind, got {text!r}")
+    params: dict[str, float] = {}
+    for item in rest.split(","):
+        item = item.strip()
+        if not item:
+            continue
+        key, sep, value = item.partition("=")
+        if not sep:
+            raise ConfigError(f"{flag}: expected key=value, got {item!r}")
+        try:
+            params[key.strip()] = float(value)
+        except ValueError:
+            raise ConfigError(f"{flag}: bad numeric value in {item!r}") from None
+    return kind, params
+
+
 def _run_dynamic(args: argparse.Namespace) -> None:
     from .dynamic import TraceArrivals
     from .errors import ConfigError
-    from .experiments.dynamic import format_dynamic, run_dynamic_sweep
+    from .experiments.dynamic import (
+        format_dynamic,
+        make_mix,
+        make_shape,
+        run_dynamic_sweep,
+    )
 
     arrivals = None
     if args.arrival == "trace" or args.trace_file is not None:
@@ -381,6 +437,16 @@ def _run_dynamic(args: argparse.Namespace) -> None:
     policies = None
     if args.policy is not None:
         policies = [p.strip() for p in args.policy.split(",") if p.strip()]
+    shapes = None
+    if args.shape:
+        shapes = [
+            make_shape(kind, **params)
+            for kind, params in (_parse_kv_spec(s, "--shape") for s in args.shape)
+        ]
+    mix = None
+    if args.mix is not None:
+        kind, params = _parse_kv_spec(args.mix, "--mix")
+        mix = make_mix(kind, apps=_apps_arg(args), work_scale=args.scale, **params)
     rows = run_dynamic_sweep(
         policies=policies,
         rates_per_s=rates,
@@ -394,8 +460,11 @@ def _run_dynamic(args: argparse.Namespace) -> None:
         apps=_apps_arg(args),
         jobs=args.jobs,
         progress=_progress(args),
+        shapes=shapes,
+        mix=mix,
+        record_jobs=not args.no_records,
     )
-    print(format_dynamic(rows))
+    print(format_dynamic(rows, quantiles=args.quantiles))
 
 
 def _run_faults(args: argparse.Namespace) -> None:

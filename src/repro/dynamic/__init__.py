@@ -12,11 +12,23 @@ to drive one through the standard harness.
 
 from .arrivals import (
     ArrivalProcess,
+    DiurnalShape,
+    FlashCrowdShape,
     MMPPBurstyArrivals,
     PoissonArrivals,
+    RateShape,
+    ShapedArrivals,
     TraceArrivals,
 )
-from .config import DynamicWorkload, JobMix, paper_mix
+from .config import (
+    BurstyMix,
+    DynamicWorkload,
+    HotspotMix,
+    JobMix,
+    SequentialMix,
+    ZipfianMix,
+    paper_mix,
+)
 from .driver import OpenSystemDriver
 
 __all__ = [
@@ -24,7 +36,15 @@ __all__ = [
     "PoissonArrivals",
     "MMPPBurstyArrivals",
     "TraceArrivals",
+    "RateShape",
+    "DiurnalShape",
+    "FlashCrowdShape",
+    "ShapedArrivals",
     "JobMix",
+    "ZipfianMix",
+    "HotspotMix",
+    "SequentialMix",
+    "BurstyMix",
     "paper_mix",
     "DynamicWorkload",
     "OpenSystemDriver",

@@ -13,6 +13,11 @@ processes here generate *arrival schedules* for the open-system driver
   bursty submission patterns real schedulers face.
 * :class:`TraceArrivals` — replay of an explicit schedule, round-trippable
   through JSON and CSV files so measured traces can be fed in.
+* :class:`ShapedArrivals` — any base process warped by a :class:`RateShape`
+  envelope (:class:`DiurnalShape` sinusoidal day/night cycles,
+  :class:`FlashCrowdShape` step surges). Shapes compose by nesting
+  wrappers: a diurnal cycle with a flash crowd on top is
+  ``ShapedArrivals(ShapedArrivals(base, diurnal), flash)``.
 
 Determinism: ``sample_times`` draws only from the generator it is handed
 (a named :mod:`repro.rng` stream), so a fixed seed yields a bit-identical
@@ -24,6 +29,7 @@ from __future__ import annotations
 
 import csv
 import json
+import math
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
 
@@ -36,6 +42,10 @@ __all__ = [
     "PoissonArrivals",
     "MMPPBurstyArrivals",
     "TraceArrivals",
+    "RateShape",
+    "DiurnalShape",
+    "FlashCrowdShape",
+    "ShapedArrivals",
 ]
 
 
@@ -160,7 +170,12 @@ class TraceArrivals(ArrivalProcess):
         if not self.times_us:
             raise ConfigError("an arrival trace needs at least one time")
         prev = -1.0
-        for t in self.times_us:
+        for i, t in enumerate(self.times_us):
+            # NaN compares false against everything, so it would sail past
+            # both ordering checks below and poison the engine's event
+            # clock; inf would pass them legitimately. Reject both by index.
+            if not math.isfinite(t):
+                raise ConfigError(f"arrival times must be finite, got {t} at index {i}")
             if t < 0:
                 raise ConfigError(f"arrival times must be non-negative, got {t}")
             if t <= prev:
@@ -234,3 +249,216 @@ class TraceArrivals(ArrivalProcess):
                 except ValueError:
                     raise ConfigError(f"{path}: bad arrival time {row[0]!r}") from None
         return cls(times_us=tuple(times))
+
+
+# -- rate envelopes -----------------------------------------------------------
+
+
+class RateShape(ABC):
+    """A time-varying multiplicative envelope over an arrival rate.
+
+    A shape is a positive factor ``f(t)`` applied to the base process's
+    instantaneous rate. :class:`ShapedArrivals` realizes it by inhomogeneous
+    time-warping: base arrival times are interpreted as *operational* time
+    and mapped back through the inverse of the cumulative rate integral
+    ``Λ(t) = ∫₀ᵗ f(u) du``, so arrivals bunch where the factor is high and
+    thin out where it is low, while the base process's distributional
+    character (and its RNG draws) are preserved exactly.
+    """
+
+    @abstractmethod
+    def factor(self, t_us: float) -> float:
+        """Instantaneous rate multiplier at wall time ``t_us``."""
+
+    @abstractmethod
+    def integral_us(self, t_us: float) -> float:
+        """Exact cumulative integral ``∫₀ᵗ factor`` (µs of operational time)."""
+
+    @property
+    @abstractmethod
+    def mean_factor(self) -> float:
+        """Long-run average of the factor (scales the mean arrival rate)."""
+
+    @property
+    @abstractmethod
+    def min_factor(self) -> float:
+        """Infimum of the factor over time (must be > 0)."""
+
+    @property
+    @abstractmethod
+    def max_factor(self) -> float:
+        """Supremum of the factor over time."""
+
+
+@dataclass(frozen=True)
+class DiurnalShape(RateShape):
+    """Sinusoidal day/night load cycle.
+
+    ``factor(t) = 1 + amplitude * sin(2π (t / period + phase))`` — the
+    classic diurnal envelope. ``amplitude`` must stay below 1 so the rate
+    never reaches zero (a zero-rate interval would make the time warp
+    non-invertible).
+
+    Attributes
+    ----------
+    period_s:
+        Cycle length in simulated seconds.
+    amplitude:
+        Peak-to-mean swing, in ``[0, 1)``.
+    phase:
+        Fraction of a cycle to shift the peak by (0 starts at the mean,
+        rising).
+    """
+
+    period_s: float = 60.0
+    amplitude: float = 0.5
+    phase: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.period_s <= 0:
+            raise ConfigError(f"diurnal period must be positive, got {self.period_s}")
+        if not 0.0 <= self.amplitude < 1.0:
+            raise ConfigError(
+                f"diurnal amplitude must be in [0, 1), got {self.amplitude}"
+            )
+        if not math.isfinite(self.phase):
+            raise ConfigError(f"diurnal phase must be finite, got {self.phase}")
+
+    @property
+    def _period_us(self) -> float:
+        return self.period_s * 1e6
+
+    def factor(self, t_us: float) -> float:
+        return 1.0 + self.amplitude * math.sin(
+            2.0 * math.pi * (t_us / self._period_us + self.phase)
+        )
+
+    def integral_us(self, t_us: float) -> float:
+        two_pi = 2.0 * math.pi
+        scale = self.amplitude * self._period_us / two_pi
+        return t_us + scale * (
+            math.cos(two_pi * self.phase)
+            - math.cos(two_pi * (t_us / self._period_us + self.phase))
+        )
+
+    @property
+    def mean_factor(self) -> float:
+        return 1.0
+
+    @property
+    def min_factor(self) -> float:
+        return 1.0 - self.amplitude
+
+    @property
+    def max_factor(self) -> float:
+        return 1.0 + self.amplitude
+
+
+@dataclass(frozen=True)
+class FlashCrowdShape(RateShape):
+    """A step surge: rate multiplied by ``1 + magnitude`` during a window.
+
+    >>> shape = FlashCrowdShape(at_s=1.0, duration_s=1.0, magnitude=3.0)
+    >>> shape.factor(0.5e6), shape.factor(1.5e6), shape.factor(2.5e6)
+    (1.0, 4.0, 1.0)
+
+    Attributes
+    ----------
+    at_s:
+        Surge onset, simulated seconds.
+    duration_s:
+        Surge length, seconds.
+    magnitude:
+        Extra load during the surge (3.0 = 4x the base rate), > 0.
+    """
+
+    at_s: float
+    duration_s: float
+    magnitude: float
+
+    def __post_init__(self) -> None:
+        if self.at_s < 0 or not math.isfinite(self.at_s):
+            raise ConfigError(f"flash-crowd onset must be >= 0, got {self.at_s}")
+        if self.duration_s <= 0 or not math.isfinite(self.duration_s):
+            raise ConfigError(
+                f"flash-crowd duration must be positive, got {self.duration_s}"
+            )
+        if self.magnitude <= 0 or not math.isfinite(self.magnitude):
+            raise ConfigError(
+                f"flash-crowd magnitude must be positive, got {self.magnitude}"
+            )
+
+    def factor(self, t_us: float) -> float:
+        start = self.at_s * 1e6
+        if start <= t_us < start + self.duration_s * 1e6:
+            return 1.0 + self.magnitude
+        return 1.0
+
+    def integral_us(self, t_us: float) -> float:
+        start = self.at_s * 1e6
+        in_surge = min(max(t_us - start, 0.0), self.duration_s * 1e6)
+        return t_us + self.magnitude * in_surge
+
+    @property
+    def mean_factor(self) -> float:
+        # A finite bump vanishes in the long-run average.
+        return 1.0
+
+    @property
+    def min_factor(self) -> float:
+        return 1.0
+
+    @property
+    def max_factor(self) -> float:
+        return 1.0 + self.magnitude
+
+
+@dataclass(frozen=True)
+class ShapedArrivals(ArrivalProcess):
+    """A base arrival process warped by a :class:`RateShape` envelope.
+
+    Arrival ``i`` lands at the wall time ``t_i`` solving
+    ``Λ(t_i) = s_i`` where ``s_i`` is the base process's i-th arrival and
+    ``Λ`` the shape's cumulative rate integral; ``Λ`` is strictly
+    increasing (shapes guarantee ``min_factor > 0``) so ``t_i`` is unique
+    and the warped schedule stays strictly ordered. The RNG is consumed
+    only by the base process, so a shaped schedule is a deterministic
+    function of the base schedule.
+    """
+
+    base: ArrivalProcess
+    shape: RateShape
+
+    @property
+    def mean_rate_per_s(self) -> float:
+        return self.base.mean_rate_per_s * self.shape.mean_factor
+
+    def _invert(self, s_us: float) -> float:
+        """Solve ``integral_us(t) == s_us`` for ``t`` by bisection."""
+        lo = s_us / self.shape.max_factor
+        hi = s_us / self.shape.min_factor
+        if lo > hi:  # pragma: no cover - factors are validated positive
+            lo, hi = hi, lo
+        for _ in range(200):
+            if hi - lo <= 1e-9 * max(1.0, hi):
+                break
+            mid = 0.5 * (lo + hi)
+            if self.shape.integral_us(mid) < s_us:
+                lo = mid
+            else:
+                hi = mid
+        return 0.5 * (lo + hi)
+
+    def sample_times(self, rng: np.random.Generator, n_jobs: int) -> list[float]:
+        self._check_n(n_jobs)
+        warped: list[float] = []
+        prev = 0.0
+        for s in self.base.sample_times(rng, n_jobs):
+            t = self._invert(s)
+            # Bisection resolves to ~1e-9 relative; keep strict ordering
+            # even if two warped times round to the same float.
+            if warped and t <= prev:
+                t = math.nextafter(prev, math.inf)
+            warped.append(t)
+            prev = t
+        return warped

@@ -10,6 +10,7 @@ starts, never deep inside a run. They are plain picklable data so a
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -18,12 +19,27 @@ from ..errors import ConfigError
 from ..workloads.base import ApplicationSpec
 from .arrivals import ArrivalProcess
 
-__all__ = ["JobMix", "DynamicWorkload", "paper_mix"]
+__all__ = [
+    "JobMix",
+    "ZipfianMix",
+    "HotspotMix",
+    "SequentialMix",
+    "BurstyMix",
+    "DynamicWorkload",
+    "paper_mix",
+]
 
 
 @dataclass(frozen=True)
 class JobMix:
     """A weighted palette of job templates the driver samples from.
+
+    Subclasses skew or correlate the draws (:class:`ZipfianMix`,
+    :class:`HotspotMix`, :class:`SequentialMix`, :class:`BurstyMix`) by
+    overriding :meth:`_effective_entries` (static reweighting) or
+    :meth:`sample_many` (sequence-level structure). The driver samples
+    whole schedules through :meth:`sample_many`, so both hooks compose
+    with the named-RNG-stream determinism contract.
 
     Attributes
     ----------
@@ -43,25 +59,144 @@ class JobMix:
             if weight <= 0:
                 raise ConfigError(f"job mix weight for {spec.name!r} must be positive, got {weight}")
 
+    def _effective_entries(self) -> tuple[tuple[ApplicationSpec, float], ...]:
+        """The ``(spec, weight)`` pairs sampling actually uses."""
+        return self.entries
+
     @property
     def total_weight(self) -> float:
-        """Sum of the relative weights."""
-        return sum(w for _, w in self.entries)
+        """Sum of the (effective) relative weights."""
+        return sum(w for _, w in self._effective_entries())
 
     def sample(self, rng: np.random.Generator) -> ApplicationSpec:
         """Draw one template, weight-proportionally."""
+        entries = self._effective_entries()
         u = float(rng.random()) * self.total_weight
         acc = 0.0
-        for spec, weight in self.entries:
+        for spec, weight in entries:
             acc += weight
             if u < acc:
                 return spec
-        return self.entries[-1][0]  # floating-point edge: u == total
+        return entries[-1][0]  # floating-point edge: u == total
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> list[ApplicationSpec]:
+        """Draw a whole schedule; the base mix is n independent draws."""
+        return [self.sample(rng) for _ in range(n)]
 
     def mean_nominal_service_us(self) -> float:
-        """Weight-averaged solo execution time of the mix."""
+        """(Effective-)weight-averaged solo execution time of the mix."""
         total = self.total_weight
-        return sum(s.work_per_thread_us * w for s, w in self.entries) / total
+        return sum(s.work_per_thread_us * w for s, w in self._effective_entries()) / total
+
+
+@dataclass(frozen=True)
+class ZipfianMix(JobMix):
+    """Zipf-skewed draws: entry ``i`` (0-based) reweighted by ``(i+1)^-s``.
+
+    With ``exponent=0`` this reduces to the base mix; larger exponents
+    concentrate load on the head of the palette — the classic popularity
+    skew of real job streams.
+    """
+
+    exponent: float = 1.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.exponent < 0 or not math.isfinite(self.exponent):
+            raise ConfigError(f"zipf exponent must be >= 0, got {self.exponent}")
+
+    def _effective_entries(self) -> tuple[tuple[ApplicationSpec, float], ...]:
+        return tuple(
+            (spec, w * (i + 1) ** -self.exponent)
+            for i, (spec, w) in enumerate(self.entries)
+        )
+
+
+@dataclass(frozen=True)
+class HotspotMix(JobMix):
+    """One template absorbs a fixed fraction of all draws.
+
+    The entry at ``hot_index`` is drawn with probability ``hot_fraction``;
+    the rest of the palette splits the remainder in proportion to its
+    original weights (single-entry mixes are trivially all-hot).
+    """
+
+    hot_fraction: float = 0.8
+    hot_index: int = 0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if not 0.0 < self.hot_fraction < 1.0:
+            raise ConfigError(
+                f"hot_fraction must be in (0, 1), got {self.hot_fraction}"
+            )
+        if not 0 <= self.hot_index < len(self.entries):
+            raise ConfigError(
+                f"hot_index must be in [0, {len(self.entries)}), got {self.hot_index}"
+            )
+
+    def _effective_entries(self) -> tuple[tuple[ApplicationSpec, float], ...]:
+        if len(self.entries) == 1:
+            return self.entries
+        cold_total = sum(w for i, (_, w) in enumerate(self.entries) if i != self.hot_index)
+        scale = (1.0 - self.hot_fraction) / cold_total
+        return tuple(
+            (spec, self.hot_fraction if i == self.hot_index else w * scale)
+            for i, (spec, w) in enumerate(self.entries)
+        )
+
+
+@dataclass(frozen=True)
+class SequentialMix(JobMix):
+    """Deterministic phases: each template runs ``run_length`` jobs in turn.
+
+    ``sample_many`` cycles the palette in order (consuming no RNG draws);
+    a single :meth:`~JobMix.sample` still draws weight-proportionally, so
+    the sequential structure only manifests at the schedule level — which
+    is how the driver consumes mixes.
+    """
+
+    run_length: int = 4
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.run_length < 1:
+            raise ConfigError(f"run_length must be >= 1, got {self.run_length}")
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> list[ApplicationSpec]:
+        return [
+            self.entries[(i // self.run_length) % len(self.entries)][0]
+            for i in range(n)
+        ]
+
+
+@dataclass(frozen=True)
+class BurstyMix(JobMix):
+    """Correlated phases: each weighted draw persists for a geometric run.
+
+    A template is drawn weight-proportionally, then repeated for a
+    geometric number of consecutive jobs with mean ``mean_run_length`` —
+    back-to-back submissions of the same code, the temporal-locality
+    pattern sequential independent draws cannot produce.
+    """
+
+    mean_run_length: float = 4.0
+
+    def __post_init__(self) -> None:
+        super().__post_init__()
+        if self.mean_run_length < 1.0:
+            raise ConfigError(
+                f"mean_run_length must be >= 1, got {self.mean_run_length}"
+            )
+
+    def sample_many(self, rng: np.random.Generator, n: int) -> list[ApplicationSpec]:
+        out: list[ApplicationSpec] = []
+        p = 1.0 / self.mean_run_length
+        while len(out) < n:
+            spec = self.sample(rng)
+            run = int(rng.geometric(p))
+            out.extend([spec] * min(run, n - len(out)))
+        return out
 
 
 def paper_mix(
@@ -124,6 +259,12 @@ class DynamicWorkload:
     saturation_threshold:
         Bus-utilisation level above which a poll sample counts as
         saturated (the regulation-quality metric).
+    record_jobs:
+        Keep the per-job :class:`~repro.metrics.queueing.JobRecord` list
+        (default). Disable for large-n sweeps: the driver then reports
+        only the O(1)-memory streamed summary
+        (:class:`repro.metrics.streaming.StreamingSummary`), so metric
+        memory stays flat no matter how many jobs the schedule holds.
     """
 
     arrivals: ArrivalProcess
@@ -137,6 +278,7 @@ class DynamicWorkload:
     warmup_frac: float = 0.1
     slowdown_tau_us: float = 10_000.0
     saturation_threshold: float = 0.9
+    record_jobs: bool = True
 
     def __post_init__(self) -> None:
         if not isinstance(self.arrivals, ArrivalProcess):

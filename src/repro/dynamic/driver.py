@@ -36,6 +36,7 @@ from typing import TYPE_CHECKING, Iterator
 
 from ..errors import ConfigError, SchedulingError
 from ..metrics.queueing import DynamicStats, JobRecord
+from ..metrics.streaming import StreamingQueueingStats
 from ..sim.events import EventPriority
 from ..workloads.base import Application
 from .config import DynamicWorkload
@@ -150,9 +151,17 @@ class OpenSystemDriver:
         arr_rng = registry.stream("dynamic.arrivals")
         times = workload.arrivals.sample_times(arr_rng, workload.n_jobs)
         mix_rng = registry.stream("dynamic.mix")
+        specs = workload.mix.sample_many(mix_rng, len(times))
         self._jobs = [
-            _LiveJob(i, workload.mix.sample(mix_rng), t) for i, t in enumerate(times)
+            _LiveJob(i, spec, t) for i, (spec, t) in enumerate(zip(specs, times))
         ]
+        # Streamed metrics are always accumulated (they consume no RNG and
+        # cost O(1) memory); with record_jobs=False they are the only
+        # measurement that survives into DynamicStats.
+        self._stream = StreamingQueueingStats(
+            warmup_jobs=workload.warmup_jobs(),
+            tau_us=workload.slowdown_tau_us,
+        )
         self._arrived = 0
         self._queue: deque[int] = deque()  # job indices, FIFO
         self._in_service: dict[int, _LiveJob] = {}  # app_id → job
@@ -268,6 +277,12 @@ class OpenSystemDriver:
         # side effects to a same-instant engine event (the scheduler-base
         # deferral idiom).
         job.completion_us = max(self._machine.thread(t).finished_at for t in job.tids)
+        self._stream.observe(
+            arrival_us=job.arrival_us,
+            admit_us=job.admit_us,
+            completion_us=job.completion_us,
+            nominal_service_us=job.spec.work_per_thread_us,
+        )
         self._engine.schedule_at(
             self._machine.now, lambda: self._reap(job), priority=EventPriority.DEFAULT
         )
@@ -335,8 +350,9 @@ class OpenSystemDriver:
         now = self._machine.now
         self._touch_queue(now)
         horizon = max(now, 1e-12)
+        record_jobs = self.workload.record_jobs
         return DynamicStats(
-            jobs=tuple(job.record() for job in self._jobs),
+            jobs=tuple(job.record() for job in self._jobs) if record_jobs else (),
             queue_len_time_avg=self._queue_integral / horizon,
             max_queue_len=self._max_queue_len,
             dropped=self._dropped,
@@ -350,4 +366,7 @@ class OpenSystemDriver:
                 self._saturated_samples / self._util_samples if self._util_samples else 0.0
             ),
             horizon_us=now,
+            streaming=self._stream.snapshot(
+                n_scheduled=len(self._jobs), n_dropped=self._dropped
+            ),
         )

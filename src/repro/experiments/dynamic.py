@@ -27,9 +27,18 @@ from ..config import LinuxSchedConfig, MachineConfig, ManagerConfig
 from ..core.policies import LatestQuantumPolicy, QuantaWindowPolicy
 from ..dynamic import (
     ArrivalProcess,
+    BurstyMix,
+    DiurnalShape,
     DynamicWorkload,
+    FlashCrowdShape,
+    HotspotMix,
+    JobMix,
     MMPPBurstyArrivals,
     PoissonArrivals,
+    RateShape,
+    SequentialMix,
+    ShapedArrivals,
+    ZipfianMix,
     paper_mix,
 )
 from ..errors import ConfigError
@@ -43,6 +52,8 @@ __all__ = [
     "DYNAMIC_POLICIES",
     "DynamicRow",
     "make_arrivals",
+    "make_mix",
+    "make_shape",
     "run_dynamic_sweep",
     "format_dynamic",
 ]
@@ -87,6 +98,68 @@ def make_arrivals(kind: str, rate_per_s: float, burstiness: float = 4.0) -> Arri
     raise ConfigError(f"unknown arrival kind {kind!r}; known: poisson, mmpp, trace")
 
 
+def make_shape(kind: str, **params: float) -> RateShape:
+    """A rate envelope by CLI name: ``diurnal`` or ``flash``.
+
+    Parameters are the shape dataclass fields (``period_s``, ``amplitude``,
+    ``phase`` / ``at_s``, ``duration_s``, ``magnitude``); unknown ones
+    raise :class:`~repro.errors.ConfigError` via the dataclass validation.
+    """
+    factories: dict[str, type[RateShape]] = {
+        "diurnal": DiurnalShape,
+        "flash": FlashCrowdShape,
+    }
+    if kind not in factories:
+        raise ConfigError(
+            f"unknown shape kind {kind!r}; known: {', '.join(sorted(factories))}"
+        )
+    try:
+        return factories[kind](**params)
+    except TypeError as exc:
+        raise ConfigError(f"bad {kind} shape parameters: {exc}") from None
+
+
+def make_mix(
+    kind: str,
+    apps: list[str] | None = None,
+    work_scale: float = 1.0,
+    **params: float,
+) -> JobMix:
+    """A (possibly skewed/correlated) paper-palette job mix by CLI name.
+
+    ``weighted`` is the plain equal-weight palette; ``zipfian``,
+    ``hotspot``, ``sequential`` and ``bursty`` wrap the same palette in
+    the corresponding :mod:`repro.dynamic.config` family. Integer-valued
+    parameters (``hot_index``, ``run_length``) accept floats from the CLI
+    parser and are coerced.
+    """
+    base = paper_mix(names=apps, work_scale=work_scale)
+    if kind == "weighted":
+        if params:
+            raise ConfigError(f"weighted mix takes no parameters, got {sorted(params)}")
+        return base
+    factories: dict[str, tuple[type[JobMix], set[str]]] = {
+        "zipfian": (ZipfianMix, {"exponent"}),
+        "hotspot": (HotspotMix, {"hot_fraction", "hot_index"}),
+        "sequential": (SequentialMix, {"run_length"}),
+        "bursty": (BurstyMix, {"mean_run_length"}),
+    }
+    if kind not in factories:
+        raise ConfigError(
+            f"unknown mix kind {kind!r}; known: weighted, {', '.join(sorted(factories))}"
+        )
+    factory, allowed = factories[kind]
+    unknown = set(params) - allowed
+    if unknown:
+        raise ConfigError(
+            f"unknown {kind} mix parameters {sorted(unknown)}; known: {sorted(allowed)}"
+        )
+    coerced: dict[str, float | int] = {
+        k: int(v) if k in ("hot_index", "run_length") else v for k, v in params.items()
+    }
+    return factory(entries=base.entries, **coerced)
+
+
 def _scheduler_for(policy: str, manager: ManagerConfig):
     """Map a sweep policy name to a SimulationSpec scheduler."""
     if policy == "linux":
@@ -128,6 +201,10 @@ class DynamicRow:
         Worst observed progress-age and the (largest) configured bound.
     starvation_ok:
         Whether the no-starvation guarantee held in every replication.
+    response_p50_us / response_p95_us / response_p99_us:
+        Replication means of the per-run response-time quantiles (exact
+        with records, P² sketch estimates with ``record_jobs=False``);
+        ``None`` when no replication reported them.
     """
 
     policy: str
@@ -145,6 +222,9 @@ class DynamicRow:
     max_starvation_age_us: float
     starvation_bound_us: float
     starvation_ok: bool
+    response_p50_us: float | None = None
+    response_p95_us: float | None = None
+    response_p99_us: float | None = None
 
 
 def _across_seeds(values: list[float]) -> tuple[float, float | None]:
@@ -159,6 +239,14 @@ def _across_seeds(values: list[float]) -> tuple[float, float | None]:
     if len(finite) < 2:
         return (finite[0], None)
     return batch_means_ci(finite, n_batches=len(finite))
+
+
+def _mean_or_none(values: list[float | None]) -> float | None:
+    """Replication mean of an optional metric (None when never reported)."""
+    present = [v for v in values if v is not None and math.isfinite(v)]
+    if not present:
+        return None
+    return sum(present) / len(present)
 
 
 def run_dynamic_sweep(
@@ -178,12 +266,19 @@ def run_dynamic_sweep(
     apps: list[str] | None = None,
     jobs: int | None = 1,
     progress=None,
+    shapes: list[RateShape] | None = None,
+    mix: JobMix | None = None,
+    record_jobs: bool = True,
 ) -> list[DynamicRow]:
     """Sweep arrival rate × policy, replicated across seeds.
 
     ``arrivals`` overrides the generated process (e.g. a
     :class:`~repro.dynamic.TraceArrivals` replay); the sweep then has a
     single rate axis entry labelled with the trace's mean rate.
+    ``shapes`` wraps every arrival process in the given rate envelopes
+    (innermost first); ``mix`` overrides the plain paper palette (see
+    :func:`make_mix`); ``record_jobs=False`` drops the per-job record
+    list so arbitrarily large ``n_jobs`` run in O(1) metric memory.
     Replication ``r`` uses root seed ``seed + r``, so every replication is
     an independent but reproducible sample. The flattened grid runs
     through :func:`repro.parallel.run_many`.
@@ -194,7 +289,8 @@ def run_dynamic_sweep(
     chosen_policies = policies if policies is not None else list(DYNAMIC_POLICIES)
     if replications < 1:
         raise ConfigError(f"need at least one replication, got {replications}")
-    mix = paper_mix(names=apps, work_scale=work_scale)
+    if mix is None:
+        mix = paper_mix(names=apps, work_scale=work_scale)
 
     if arrivals is not None:
         rate_axis: list[tuple[float, ArrivalProcess]] = [
@@ -203,6 +299,11 @@ def run_dynamic_sweep(
     else:
         rates = rates_per_s if rates_per_s is not None else [0.5, 1.0, 2.0]
         rate_axis = [(r, make_arrivals(arrival_kind, r)) for r in rates]
+    for shape in shapes or []:
+        rate_axis = [
+            (shaped.mean_rate_per_s, shaped)
+            for shaped in (ShapedArrivals(base=p, shape=shape) for _, p in rate_axis)
+        ]
 
     specs: list[SimulationSpec] = []
     points: list[tuple[str, float, DynamicWorkload]] = []
@@ -214,6 +315,7 @@ def run_dynamic_sweep(
                 n_jobs=n_jobs,
                 max_in_service=max_in_service,
                 queue_capacity=queue_capacity,
+                record_jobs=record_jobs,
             )
             points.append((policy, rate, workload))
             base_spec = SimulationSpec(
@@ -269,6 +371,9 @@ def run_dynamic_sweep(
                 max_starvation_age_us=max(s.max_starvation_age_us for s in summaries),
                 starvation_bound_us=max(s.starvation_bound_us for s in summaries),
                 starvation_ok=all(s.starvation_ok for s in summaries),
+                response_p50_us=_mean_or_none([s.response_p50_us for s in summaries]),
+                response_p95_us=_mean_or_none([s.response_p95_us for s in summaries]),
+                response_p99_us=_mean_or_none([s.response_p99_us for s in summaries]),
             )
         )
     return rows
@@ -282,37 +387,55 @@ def _fmt_ci(mean: float, half: float | None, scale: float = 1.0, unit: str = "")
     return f"{mean * scale:.2f}{unit}"
 
 
-def format_dynamic(rows: list[DynamicRow]) -> str:
-    """Render the sweep as a policy × rate table."""
+def _fmt_quantile(value: float | None) -> str:
+    if value is None or not math.isfinite(value):
+        return "n/a"
+    return f"{value * 1e-6:.2f}s"
+
+
+def format_dynamic(rows: list[DynamicRow], quantiles: bool = False) -> str:
+    """Render the sweep as a policy × rate table.
+
+    With ``quantiles=True`` the table adds p50/p95/p99 response-time
+    columns (the ``repro dynamic --quantiles`` view).
+    """
     if not rows:
         raise ConfigError("no rows to format")
     table_rows = []
     for r in rows:
-        table_rows.append(
-            [
-                r.policy,
-                f"{r.rate_per_s:.2f}",
-                _fmt_ci(r.mean_response_us, r.response_ci_us, scale=1e-6, unit="s"),
-                _fmt_ci(r.mean_slowdown, r.slowdown_ci),
-                f"{r.queue_len_time_avg:.2f}",
-                f"{r.throughput_jobs_per_s:.2f}",
-                f"{r.drop_fraction * 100:.1f}%",
-                f"{r.saturated_fraction * 100:.1f}%",
-                "ok" if r.starvation_ok else "VIOLATED",
+        row = [
+            r.policy,
+            f"{r.rate_per_s:.2f}",
+            _fmt_ci(r.mean_response_us, r.response_ci_us, scale=1e-6, unit="s"),
+            _fmt_ci(r.mean_slowdown, r.slowdown_ci),
+            f"{r.queue_len_time_avg:.2f}",
+            f"{r.throughput_jobs_per_s:.2f}",
+            f"{r.drop_fraction * 100:.1f}%",
+            f"{r.saturated_fraction * 100:.1f}%",
+            "ok" if r.starvation_ok else "VIOLATED",
+        ]
+        if quantiles:
+            row[4:4] = [
+                _fmt_quantile(r.response_p50_us),
+                _fmt_quantile(r.response_p95_us),
+                _fmt_quantile(r.response_p99_us),
             ]
-        )
+        table_rows.append(row)
+    headers = [
+        "policy",
+        "rate/s",
+        "response",
+        "slowdown",
+        "avg queue",
+        "thruput/s",
+        "drops",
+        "bus sat",
+        "starvation",
+    ]
+    if quantiles:
+        headers[4:4] = ["p50", "p95", "p99"]
     return format_table(
-        [
-            "policy",
-            "rate/s",
-            "response",
-            "slowdown",
-            "avg queue",
-            "thruput/s",
-            "drops",
-            "bus sat",
-            "starvation",
-        ],
+        headers,
         table_rows,
         title="DYN-1: open-system sweep — arrival rate × policy",
     )

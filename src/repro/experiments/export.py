@@ -147,6 +147,9 @@ def export_dynamic(rows: list[DynamicRow], directory: str) -> str:
             r.saturated_fraction,
             r.max_starvation_age_us,
             r.starvation_bound_us,
+            "" if r.response_p50_us is None else r.response_p50_us,
+            "" if r.response_p95_us is None else r.response_p95_us,
+            "" if r.response_p99_us is None else r.response_p99_us,
             int(r.starvation_ok),
         ]
         for r in rows
@@ -168,6 +171,9 @@ def export_dynamic(rows: list[DynamicRow], directory: str) -> str:
                 "saturated_fraction",
                 "max_starvation_age_us",
                 "starvation_bound_us",
+                "response_p50_us",
+                "response_p95_us",
+                "response_p99_us",
                 "starvation_ok",
             ],
             out_rows,

@@ -1158,7 +1158,16 @@ class Machine:
         """
         self._ensure_solution()
         h = self._horizon_abs
-        if h is not None:
+        if h is not None and h > self._time:
+            # Only trust a cached horizon that is strictly in the future.
+            # A cached value equal to `now` means the engine already
+            # advanced to it and the transition pass left a residual that
+            # didn't snap (sub-ulp drain at large absolute times) — serving
+            # it again would pin the engine. Recomputing routes such states
+            # through the nextafter nudge below, which guarantees forward
+            # progress. In healthy runs a cached `h == now` is never
+            # re-consulted (a settle fires transitions and marks dirty
+            # first), so this costs nothing on the fast path.
             return h
         if self._soa:
             earliest = self._horizon_soa()
@@ -1178,6 +1187,15 @@ class Machine:
                 if lane.fill_rate > 0.0 and st.rebuild_debt > 0.0:
                     earliest = min(earliest, st.rebuild_debt / lane.fill_rate)
         h = self._time + earliest if math.isfinite(earliest) else math.inf
+        if earliest > 0.0 and h <= self._time:
+            # Sub-ulp transition at a large absolute time: the residual is
+            # real (above the snap tolerance, or transitions would already
+            # have cleared it) but its drain time rounds to zero against
+            # `now`, which would pin the engine at the current instant.
+            # Quantize up to the next representable time so a positive dt
+            # integrates and the residual drains. earliest == 0.0 keeps
+            # returning `now` exactly: zero-time settles rely on it.
+            h = math.nextafter(self._time, math.inf)
         self._horizon_abs = h
         return h
 

@@ -9,6 +9,8 @@
 * :mod:`repro.metrics.queueing` — steady-state open-system metrics
   (response time, bounded slowdown, batch-means confidence intervals) for
   dynamic-arrival runs driven by :mod:`repro.dynamic`.
+* :mod:`repro.metrics.streaming` — O(1)-memory accumulators (P² quantile
+  sketch, Welford, collapsing batch means) behind ``record_jobs=False``.
 """
 
 from .accounting import AppResult, RunResult, collect_run_result
@@ -20,6 +22,13 @@ from .queueing import (
     batch_means_ci,
     bounded_slowdown,
     summarize_queueing,
+)
+from .streaming import (
+    P2Quantile,
+    StreamingBatchMeans,
+    StreamingQueueingStats,
+    StreamingSummary,
+    Welford,
 )
 from .stats import (
     geometric_mean,
@@ -47,4 +56,9 @@ __all__ = [
     "batch_means_ci",
     "bounded_slowdown",
     "summarize_queueing",
+    "P2Quantile",
+    "StreamingBatchMeans",
+    "StreamingQueueingStats",
+    "StreamingSummary",
+    "Welford",
 ]

@@ -23,7 +23,10 @@ Contents:
   observations are grouped into batches whose means are approximately
   independent).
 * :func:`summarize_queueing` — warmup truncation + derived metrics
-  (response time, bounded slowdown, throughput, drop fraction) with CIs.
+  (response time, bounded slowdown, throughput, drop fraction) with CIs
+  and p50/p95/p99 quantiles. Works from the full record list when present,
+  or from the driver's O(1)-memory :class:`~repro.metrics.streaming.
+  StreamingSummary` when records were disabled (``record_jobs=False``).
 """
 
 from __future__ import annotations
@@ -31,6 +34,8 @@ from __future__ import annotations
 import math
 from dataclasses import dataclass
 from typing import Sequence
+
+from .streaming import StreamingSummary, _t_fallback, exact_quantile
 
 __all__ = [
     "JobRecord",
@@ -132,6 +137,11 @@ class DynamicStats:
         (lower is better at equal throughput).
     horizon_us:
         Simulated time when the stats were collected (run end).
+    streaming:
+        Constant-size streamed summary fed per-completion by the driver
+        (always populated by new runs). When ``record_jobs=False`` demoted
+        ``jobs`` to an empty tuple, this is the only measurement left and
+        :func:`summarize_queueing` reads from it.
     """
 
     jobs: tuple[JobRecord, ...]
@@ -144,6 +154,7 @@ class DynamicStats:
     utilization_time_avg: float
     saturated_fraction: float
     horizon_us: float
+    streaming: StreamingSummary | None = None
 
     @property
     def completed(self) -> list[JobRecord]:
@@ -158,19 +169,19 @@ class DynamicStats:
 
 
 def _t_critical(df: int, confidence: float) -> float:
-    """Two-sided Student-t critical value (scipy when present, else normal).
+    """Two-sided Student-t critical value (scipy when present).
 
-    The container bakes scipy in; the normal fallback keeps the module
-    importable without it (slightly narrow CIs at tiny batch counts).
+    The container bakes scipy in; without it the df-aware
+    :func:`repro.metrics.streaming._t_fallback` expansion takes over
+    (<1% of scipy for df >= 3 — the old normal-quantile fallback ignored
+    ``df`` entirely and was anti-conservative at small batch counts).
     """
     try:
         from scipy import stats  # type: ignore
 
         return float(stats.t.ppf(0.5 + confidence / 2.0, df))
     except Exception:  # pragma: no cover - scipy is normally available
-        from statistics import NormalDist
-
-        return float(NormalDist().inv_cdf(0.5 + confidence / 2.0))
+        return _t_fallback(df, confidence)
 
 
 def batch_means_ci(
@@ -281,6 +292,12 @@ class QueueingSummary:
         Copied from :class:`DynamicStats` (whole-run time averages).
     max_starvation_age_us / starvation_bound_us / starvation_ok:
         Watchdog extrema; ``starvation_ok`` is the no-starvation verdict.
+    response_p50_us / response_p95_us / response_p99_us:
+        Response-time quantiles over post-warmup completions — exact
+        (linear interpolation) when job records are available, P² sketch
+        estimates when summarizing a records-off streamed run.
+    slowdown_p50 / slowdown_p95 / slowdown_p99:
+        Same for bounded slowdown.
     """
 
     n_jobs: int
@@ -299,6 +316,97 @@ class QueueingSummary:
     max_starvation_age_us: float
     starvation_bound_us: float
     starvation_ok: bool
+    response_p50_us: float | None = None
+    response_p95_us: float | None = None
+    response_p99_us: float | None = None
+    slowdown_p50: float | None = None
+    slowdown_p95: float | None = None
+    slowdown_p99: float | None = None
+
+
+def _window_throughput(
+    n_kept: int,
+    first_us: float,
+    last_us: float,
+    anchor_us: float | None,
+    horizon_us: float,
+) -> float:
+    """Completions per simulated second over the post-warmup window.
+
+    The primary estimator is the inter-completion rate over the kept
+    completions' own span. When every kept completion shares a timestamp
+    (span 0) the window has not vanished — the measurement window starts
+    at the last warmup completion (``anchor_us``), or at time 0 without
+    warmup — so the rate is taken over that window instead of silently
+    falling back to the whole-horizon rate (which understated throughput
+    exactly when completions were densest). The horizon fallback remains
+    only for the genuinely windowless cases (a single kept completion
+    with no warmup anchor, or everything at t=0).
+    """
+    span_us = last_us - first_us
+    if n_kept > 1 and span_us > 0:
+        return (n_kept - 1) / span_us * 1e6
+    if anchor_us is not None and last_us > anchor_us:
+        return n_kept / (last_us - anchor_us) * 1e6
+    if n_kept > 1 and last_us > 0:
+        return n_kept / last_us * 1e6
+    return n_kept / horizon_us * 1e6 if horizon_us > 0 else 0.0
+
+
+def _summarize_streamed(
+    stats: DynamicStats,
+    warmup_jobs: int,
+    n_batches: int,
+    confidence: float,
+    tau_us: float,
+) -> QueueingSummary:
+    """Build the summary from the driver's streamed accumulators."""
+    s = stats.streaming
+    assert s is not None
+    requested = (warmup_jobs, n_batches, confidence, tau_us)
+    streamed = (s.warmup_jobs, s.n_batches, s.confidence, s.tau_us)
+    if requested != streamed:
+        raise ValueError(
+            "records were disabled for this run; the streamed summary was "
+            f"accumulated with (warmup_jobs, n_batches, confidence, tau_us)="
+            f"{streamed} and cannot be re-summarized with {requested}"
+        )
+    if s.n_kept == 0 or s.mean_response_us is None:
+        raise ValueError(
+            f"no completions left after warmup ({s.n_observed} completed, "
+            f"warmup_jobs={warmup_jobs})"
+        )
+    throughput = _window_throughput(
+        s.n_kept,
+        s.first_kept_completion_us if s.first_kept_completion_us is not None else 0.0,
+        s.last_kept_completion_us if s.last_kept_completion_us is not None else 0.0,
+        s.warmup_anchor_us,
+        stats.horizon_us,
+    )
+    return QueueingSummary(
+        n_jobs=s.n_scheduled,
+        n_completed=s.n_observed,
+        n_dropped=stats.dropped,
+        drop_fraction=stats.dropped / s.n_scheduled if s.n_scheduled else 0.0,
+        mean_response_us=s.mean_response_us,
+        response_ci_us=s.response_ci_us,
+        mean_slowdown=s.mean_slowdown,
+        slowdown_ci=s.slowdown_ci,
+        mean_wait_us=s.mean_wait_us,
+        throughput_jobs_per_s=throughput,
+        queue_len_time_avg=stats.queue_len_time_avg,
+        utilization_time_avg=stats.utilization_time_avg,
+        saturated_fraction=stats.saturated_fraction,
+        max_starvation_age_us=stats.max_starvation_age_us,
+        starvation_bound_us=stats.starvation_bound_us,
+        starvation_ok=stats.starvation_violations == 0,
+        response_p50_us=s.quantile(0.5),
+        response_p95_us=s.quantile(0.95),
+        response_p99_us=s.quantile(0.99),
+        slowdown_p50=s.quantile(0.5, slowdown=True),
+        slowdown_p95=s.quantile(0.95, slowdown=True),
+        slowdown_p99=s.quantile(0.99, slowdown=True),
+    )
 
 
 def summarize_queueing(
@@ -315,13 +423,22 @@ def summarize_queueing(
     transient. Queue-length and utilisation averages are whole-run (they
     are already time averages and converge regardless).
 
+    When the run kept no job records (``record_jobs=False``) but carries a
+    streamed summary, the metrics come from that instead; the summarize
+    parameters must then match the ones the stream was accumulated with
+    (the driver wires them from the same ``DynamicWorkload`` fields), and
+    the quantiles are P² sketch estimates rather than exact.
+
     Raises
     ------
     ValueError
-        If no job completed after warmup (nothing to summarize).
+        If no job completed after warmup (nothing to summarize), or if a
+        records-off run is re-summarized with different parameters.
     """
     if warmup_jobs < 0:
         raise ValueError(f"warmup_jobs must be >= 0, got {warmup_jobs}")
+    if not stats.jobs and stats.streaming is not None:
+        return _summarize_streamed(stats, warmup_jobs, n_batches, confidence, tau_us)
     done = stats.completed
     kept = done[warmup_jobs:]
     if not kept:
@@ -336,15 +453,16 @@ def summarize_queueing(
     waits = [j.wait_us for j in kept]
     mean_resp, resp_ci = batch_means_ci(responses, n_batches, confidence)
     mean_slow, slow_ci = batch_means_ci(slowdowns, n_batches, confidence)
-    first = kept[0].completion_us
-    last = kept[-1].completion_us
-    span_us = last - first
-    # Rate over the post-warmup completion window; a single completion has
-    # no window, fall back to the whole horizon.
-    if span_us > 0 and len(kept) > 1:
-        throughput = (len(kept) - 1) / span_us * 1e6
-    else:
-        throughput = len(kept) / stats.horizon_us * 1e6 if stats.horizon_us > 0 else 0.0
+    resp_sorted = sorted(responses)
+    slow_sorted = sorted(slowdowns)
+    anchor = done[warmup_jobs - 1].completion_us if warmup_jobs > 0 else None
+    throughput = _window_throughput(
+        len(kept),
+        kept[0].completion_us,
+        kept[-1].completion_us,
+        anchor,
+        stats.horizon_us,
+    )
     return QueueingSummary(
         n_jobs=len(stats.jobs),
         n_completed=stats.n_completed,
@@ -362,4 +480,10 @@ def summarize_queueing(
         max_starvation_age_us=stats.max_starvation_age_us,
         starvation_bound_us=stats.starvation_bound_us,
         starvation_ok=stats.starvation_violations == 0,
+        response_p50_us=exact_quantile(resp_sorted, 0.5),
+        response_p95_us=exact_quantile(resp_sorted, 0.95),
+        response_p99_us=exact_quantile(resp_sorted, 0.99),
+        slowdown_p50=exact_quantile(slow_sorted, 0.5),
+        slowdown_p95=exact_quantile(slow_sorted, 0.95),
+        slowdown_p99=exact_quantile(slow_sorted, 0.99),
     )

@@ -64,16 +64,29 @@ from ..core.policies import (
 from ..core.policies_model import ModelDrivenPolicy
 from ..dynamic.arrivals import (
     ArrivalProcess,
+    DiurnalShape,
+    FlashCrowdShape,
     MMPPBurstyArrivals,
     PoissonArrivals,
+    RateShape,
+    ShapedArrivals,
     TraceArrivals,
 )
-from ..dynamic.config import DynamicWorkload, JobMix, paper_mix
+from ..dynamic.config import (
+    BurstyMix,
+    DynamicWorkload,
+    HotspotMix,
+    JobMix,
+    SequentialMix,
+    ZipfianMix,
+    paper_mix,
+)
 from ..errors import ConfigError, ReproError, SchedulingError, WorkloadError
 from ..experiments.base import SimulationSpec
 from ..faults.plan import FaultPlan
 from ..metrics.accounting import AppResult, RunResult
 from ..metrics.queueing import DynamicStats, JobRecord
+from ..metrics.streaming import StreamingSummary
 from ..workloads.base import ApplicationSpec
 from ..workloads.patterns import (
     ConstantPattern,
@@ -555,11 +568,72 @@ def arrivals_from_dict(payload: Any, path: str) -> ArrivalProcess:
             {"times_us": tuple(_expect_float(t, f"{path}.times_us[{i}]") for i, t in enumerate(times))},
             path,
         )
-    _fail(f"{path}.kind", f"unknown arrival kind {kind!r}; expected poisson, mmpp or trace")
+    if kind == "shaped":
+        _reject_unknown(payload, {"kind", "base", "shape"}, path)
+        base = arrivals_from_dict(_get(payload, "base", path), f"{path}.base")
+        shape = rate_shape_from_dict(_get(payload, "shape", path), f"{path}.shape")
+        return _build(ShapedArrivals, {"base": base, "shape": shape}, path)
+    _fail(
+        f"{path}.kind",
+        f"unknown arrival kind {kind!r}; expected poisson, mmpp, trace or shaped",
+    )
+
+
+def rate_shape_from_dict(payload: Any, path: str) -> RateShape:
+    """Decode a kind-tagged rate envelope."""
+    payload = _expect_dict(payload, path)
+    kind = _expect_str(_get(payload, "kind", path), f"{path}.kind")
+    if kind == "diurnal":
+        known = {"kind", "period_s", "amplitude", "phase"}
+        _reject_unknown(payload, known, path)
+        kwargs = {
+            key: _expect_float(payload[key], f"{path}.{key}")
+            for key in known - {"kind"}
+            if key in payload
+        }
+        return _build(DiurnalShape, kwargs, path)
+    if kind == "flash":
+        known = {"kind", "at_s", "duration_s", "magnitude"}
+        _reject_unknown(payload, known, path)
+        kwargs = {
+            key: _expect_float(payload[key], f"{path}.{key}")
+            for key in known - {"kind"}
+            if key in payload
+        }
+        for required in ("at_s", "duration_s", "magnitude"):
+            if required not in kwargs:
+                _fail(path, f"missing required field {required!r}")
+        return _build(FlashCrowdShape, kwargs, path)
+    _fail(f"{path}.kind", f"unknown rate-shape kind {kind!r}; expected diurnal or flash")
+
+
+def rate_shape_to_dict(shape: RateShape) -> dict[str, Any]:
+    """Encode a rate envelope."""
+    if isinstance(shape, DiurnalShape):
+        return {
+            "kind": "diurnal",
+            "period_s": shape.period_s,
+            "amplitude": shape.amplitude,
+            "phase": shape.phase,
+        }
+    if isinstance(shape, FlashCrowdShape):
+        return {
+            "kind": "flash",
+            "at_s": shape.at_s,
+            "duration_s": shape.duration_s,
+            "magnitude": shape.magnitude,
+        }
+    raise ConfigError(f"cannot serialize rate shape {type(shape).__name__}")
 
 
 def arrivals_to_dict(arrivals: ArrivalProcess) -> dict[str, Any]:
     """Encode an arrival process."""
+    if isinstance(arrivals, ShapedArrivals):
+        return {
+            "kind": "shaped",
+            "base": arrivals_to_dict(arrivals.base),
+            "shape": rate_shape_to_dict(arrivals.shape),
+        }
     if isinstance(arrivals, PoissonArrivals):
         return {"kind": "poisson", "rate_per_s": arrivals.rate_per_s}
     if isinstance(arrivals, MMPPBurstyArrivals):
@@ -575,39 +649,86 @@ def arrivals_to_dict(arrivals: ArrivalProcess) -> dict[str, Any]:
     raise ConfigError(f"cannot serialize arrival process {type(arrivals).__name__}")
 
 
+#: Skewed/correlated mix families: kind → (factory, extra-field decoders).
+_MIX_KINDS: dict[str, tuple[type, dict[str, Callable[[Any, str], Any]]]] = {
+    "weighted": (JobMix, {}),
+    "zipfian": (ZipfianMix, {"exponent": _expect_float}),
+    "hotspot": (HotspotMix, {"hot_fraction": _expect_float, "hot_index": _expect_int}),
+    "sequential": (SequentialMix, {"run_length": _expect_int}),
+    "bursty": (BurstyMix, {"mean_run_length": _expect_float}),
+}
+
+
 def job_mix_from_dict(payload: Any, path: str) -> JobMix:
-    """Decode a job mix: explicit entries or a ``{"paper": [...]}`` palette."""
+    """Decode a job mix: explicit entries or a ``{"paper": [...]}`` palette.
+
+    An optional ``kind`` tag (plus its parameters) selects a skewed or
+    correlated family over the same palette; absent, the mix is the plain
+    weighted one — keeping the pre-family wire format (and its spec
+    hashes) byte-identical.
+    """
     payload = _expect_dict(payload, path)
+    kind = "weighted"
+    if "kind" in payload:
+        kind = _expect_str(payload["kind"], f"{path}.kind")
+        if kind not in _MIX_KINDS:
+            _fail(
+                f"{path}.kind",
+                f"unknown mix kind {kind!r}; expected one of {', '.join(sorted(_MIX_KINDS))}",
+            )
+    factory, params = _MIX_KINDS[kind]
     if "paper" in payload:
-        _reject_unknown(payload, {"paper", "work_scale"}, path)
+        _reject_unknown(payload, {"kind", "paper", "work_scale"} | set(params), path)
         names = [
             _expect_str(n, f"{path}.paper[{i}]")
             for i, n in enumerate(_expect_list(payload["paper"], f"{path}.paper"))
         ]
         scale = _expect_float(payload.get("work_scale", 1.0), f"{path}.work_scale")
         try:
-            return paper_mix(names, work_scale=scale)
+            entries = paper_mix(names, work_scale=scale).entries
         except (ConfigError, WorkloadError, KeyError) as exc:
             _fail(f"{path}.paper", str(exc))
-    _reject_unknown(payload, {"entries"}, path)
-    raw = _expect_list(_get(payload, "entries", path), f"{path}.entries")
-    entries = []
-    for i, entry in enumerate(raw):
-        entry = _expect_list(entry, f"{path}.entries[{i}]")
-        if len(entry) != 2:
-            _fail(f"{path}.entries[{i}]", "expected a [app_spec, weight] pair")
-        entries.append(
-            (
-                app_spec_from_dict(entry[0], f"{path}.entries[{i}][0]"),
-                _expect_float(entry[1], f"{path}.entries[{i}][1]"),
+    else:
+        _reject_unknown(payload, {"kind", "entries"} | set(params), path)
+        raw = _expect_list(_get(payload, "entries", path), f"{path}.entries")
+        decoded = []
+        for i, entry in enumerate(raw):
+            entry = _expect_list(entry, f"{path}.entries[{i}]")
+            if len(entry) != 2:
+                _fail(f"{path}.entries[{i}]", "expected a [app_spec, weight] pair")
+            decoded.append(
+                (
+                    app_spec_from_dict(entry[0], f"{path}.entries[{i}][0]"),
+                    _expect_float(entry[1], f"{path}.entries[{i}][1]"),
+                )
             )
-        )
-    return _build(JobMix, {"entries": tuple(entries)}, path)
+        entries = tuple(decoded)
+    kwargs: dict[str, Any] = {"entries": entries}
+    for key, decode in params.items():
+        if key in payload:
+            kwargs[key] = decode(payload[key], f"{path}.{key}")
+    return _build(factory, kwargs, path)
 
 
 def job_mix_to_dict(mix: JobMix) -> dict[str, Any]:
-    """Encode a job mix with inline application specs."""
-    return {"entries": [[app_spec_to_dict(s), w] for s, w in mix.entries]}
+    """Encode a job mix with inline application specs.
+
+    Plain weighted mixes keep the bare ``{"entries": ...}`` form so
+    existing spec hashes are unchanged; the mix families add their
+    ``kind`` tag and parameters.
+    """
+    out: dict[str, Any] = {"entries": [[app_spec_to_dict(s), w] for s, w in mix.entries]}
+    if isinstance(mix, ZipfianMix):
+        out.update(kind="zipfian", exponent=mix.exponent)
+    elif isinstance(mix, HotspotMix):
+        out.update(kind="hotspot", hot_fraction=mix.hot_fraction, hot_index=mix.hot_index)
+    elif isinstance(mix, SequentialMix):
+        out.update(kind="sequential", run_length=mix.run_length)
+    elif isinstance(mix, BurstyMix):
+        out.update(kind="bursty", mean_run_length=mix.mean_run_length)
+    elif type(mix) is not JobMix:
+        raise ConfigError(f"cannot serialize job mix {type(mix).__name__}")
+    return out
 
 
 _DYNAMIC_SCALARS: dict[str, Callable[[Any, str], Any]] = {
@@ -619,6 +740,7 @@ _DYNAMIC_SCALARS: dict[str, Callable[[Any, str], Any]] = {
     "warmup_frac": _expect_float,
     "slowdown_tau_us": _expect_float,
     "saturation_threshold": _expect_float,
+    "record_jobs": _expect_bool,
 }
 
 
@@ -654,6 +776,7 @@ def dynamic_to_dict(workload: DynamicWorkload) -> dict[str, Any]:
         "warmup_frac": workload.warmup_frac,
         "slowdown_tau_us": workload.slowdown_tau_us,
         "saturation_threshold": workload.saturation_threshold,
+        "record_jobs": workload.record_jobs,
     }
 
 
@@ -847,6 +970,30 @@ def parse_submit_request(payload: Any) -> SubmitRequest:
 # --------------------------------------------------------------------------- run results
 
 
+def _streaming_to_dict(summary: StreamingSummary | None) -> dict[str, Any] | None:
+    """Encode the streamed queueing summary (flat scalars + quantile pairs)."""
+    if summary is None:
+        return None
+    out = {f: getattr(summary, f) for f in summary.__dataclass_fields__}
+    out["response_quantiles_us"] = [list(p) for p in summary.response_quantiles_us]
+    out["slowdown_quantiles"] = [list(p) for p in summary.slowdown_quantiles]
+    return out
+
+
+def _streaming_from_dict(payload: dict[str, Any] | None) -> StreamingSummary | None:
+    """Decode the streamed queueing summary. Inverse of :func:`_streaming_to_dict`."""
+    if payload is None:
+        return None
+    kwargs = dict(payload)
+    kwargs["response_quantiles_us"] = tuple(
+        (q, v) for q, v in payload["response_quantiles_us"]
+    )
+    kwargs["slowdown_quantiles"] = tuple(
+        (q, v) for q, v in payload["slowdown_quantiles"]
+    )
+    return StreamingSummary(**kwargs)
+
+
 def result_to_dict(result: RunResult) -> dict[str, Any]:
     """Encode a :class:`RunResult` for storage. Exact: floats round-trip
     bit-for-bit through JSON, so ``result_from_dict(result_to_dict(r)) == r``
@@ -913,6 +1060,7 @@ def result_to_dict(result: RunResult) -> dict[str, Any]:
                 "utilization_time_avg": result.dynamic.utilization_time_avg,
                 "saturated_fraction": result.dynamic.saturated_fraction,
                 "horizon_us": result.dynamic.horizon_us,
+                "streaming": _streaming_to_dict(result.dynamic.streaming),
             }
         ),
         "faults": None if result.faults is None else result.faults.to_dict(),
@@ -963,6 +1111,7 @@ def result_from_dict(payload: dict[str, Any]) -> RunResult:
                 utilization_time_avg=dynamic["utilization_time_avg"],
                 saturated_fraction=dynamic["saturated_fraction"],
                 horizon_us=dynamic["horizon_us"],
+                streaming=_streaming_from_dict(dynamic.get("streaming")),
             )
         ),
         faults=None if faults is None else FaultStats(**faults),

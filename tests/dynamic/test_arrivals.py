@@ -3,7 +3,14 @@
 import numpy as np
 import pytest
 
-from repro.dynamic import MMPPBurstyArrivals, PoissonArrivals, TraceArrivals
+from repro.dynamic import (
+    DiurnalShape,
+    FlashCrowdShape,
+    MMPPBurstyArrivals,
+    PoissonArrivals,
+    ShapedArrivals,
+    TraceArrivals,
+)
 from repro.errors import ConfigError
 from repro.rng import RngRegistry
 
@@ -138,3 +145,138 @@ class TestTrace:
     def test_mean_rate(self):
         trace = TraceArrivals(times_us=(0.0, 1e6, 2e6))
         assert trace.mean_rate_per_s == pytest.approx(1.0)
+
+
+class TestTraceFiniteness:
+    """Regression: NaN/inf timestamps used to sail through validation
+    (nan fails every < comparison, inf passes the monotonicity check)."""
+
+    @pytest.mark.parametrize("bad", [float("nan"), float("inf"), float("-inf")])
+    def test_direct_construction_rejected(self, bad):
+        with pytest.raises(ConfigError, match="finite.*index 1"):
+            TraceArrivals(times_us=(10.0, bad, 30.0))
+
+    def test_json_loader_rejected(self, tmp_path):
+        p = tmp_path / "nan.json"
+        p.write_text('{"times_us": [10.0, NaN, 30.0]}')
+        with pytest.raises(ConfigError, match="finite"):
+            TraceArrivals.from_json(str(p))
+        q = tmp_path / "inf.json"
+        q.write_text('{"times_us": [10.0, Infinity]}')
+        with pytest.raises(ConfigError, match="finite"):
+            TraceArrivals.from_json(str(q))
+
+    def test_csv_loader_rejected(self, tmp_path):
+        p = tmp_path / "nan.csv"
+        p.write_text("arrival_us\n10.0\nnan\n30.0\n")
+        with pytest.raises(ConfigError, match="finite"):
+            TraceArrivals.from_csv(str(p))
+        q = tmp_path / "inf.csv"
+        q.write_text("arrival_us\n10.0\ninf\n")
+        with pytest.raises(ConfigError, match="finite"):
+            TraceArrivals.from_csv(str(q))
+
+
+class TestRateShapes:
+    def test_diurnal_factor_and_mean(self):
+        shape = DiurnalShape(period_s=60.0, amplitude=0.5)
+        assert shape.factor(0.0) == pytest.approx(1.0)
+        assert shape.factor(15e6) == pytest.approx(1.5)  # quarter period: peak
+        assert shape.factor(45e6) == pytest.approx(0.5)  # trough
+        assert shape.mean_factor == pytest.approx(1.0)
+        assert shape.min_factor == pytest.approx(0.5)
+        assert shape.max_factor == pytest.approx(1.5)
+
+    def test_diurnal_integral_matches_numeric(self):
+        shape = DiurnalShape(period_s=10.0, amplitude=0.8, phase=0.25)
+        t = 37.3e6
+        steps = 200_000
+        dt = t / steps
+        numeric = sum(shape.factor((i + 0.5) * dt) for i in range(steps)) * dt
+        assert shape.integral_us(t) == pytest.approx(numeric, rel=1e-6)
+
+    def test_flash_factor_step(self):
+        shape = FlashCrowdShape(at_s=1.0, duration_s=1.0, magnitude=3.0)
+        assert shape.factor(0.5e6) == 1.0
+        assert shape.factor(1.5e6) == 4.0
+        assert shape.factor(2.5e6) == 1.0
+
+    def test_flash_integral_piecewise(self):
+        shape = FlashCrowdShape(at_s=1.0, duration_s=2.0, magnitude=1.0)
+        assert shape.integral_us(0.5e6) == pytest.approx(0.5e6)
+        assert shape.integral_us(2.0e6) == pytest.approx(1e6 + 2 * 1e6)
+        assert shape.integral_us(5.0e6) == pytest.approx(5e6 + 2e6)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            DiurnalShape(period_s=0.0)
+        with pytest.raises(ConfigError):
+            DiurnalShape(amplitude=1.0)
+        with pytest.raises(ConfigError):
+            FlashCrowdShape(at_s=-1.0, duration_s=1.0, magnitude=2.0)
+        with pytest.raises(ConfigError):
+            FlashCrowdShape(at_s=0.0, duration_s=0.0, magnitude=2.0)
+        with pytest.raises(ConfigError):
+            FlashCrowdShape(at_s=0.0, duration_s=1.0, magnitude=0.0)
+
+
+class TestShapedArrivals:
+    SHAPED = [
+        ShapedArrivals(
+            base=PoissonArrivals(rate_per_s=3.0),
+            shape=DiurnalShape(period_s=5.0, amplitude=0.6),
+        ),
+        ShapedArrivals(
+            base=MMPPBurstyArrivals(rate_low_per_s=1.0, rate_high_per_s=8.0),
+            shape=FlashCrowdShape(at_s=2.0, duration_s=2.0, magnitude=4.0),
+        ),
+    ]
+
+    @pytest.mark.parametrize("process", SHAPED, ids=lambda p: type(p.shape).__name__)
+    def test_deterministic(self, process):
+        a = process.sample_times(RngRegistry(7).stream("dynamic.arrivals"), 40)
+        b = process.sample_times(RngRegistry(7).stream("dynamic.arrivals"), 40)
+        assert a == b
+
+    @pytest.mark.parametrize("process", SHAPED, ids=lambda p: type(p.shape).__name__)
+    @pytest.mark.parametrize("seed", [1, 2, 17])
+    def test_strictly_increasing_and_nonnegative(self, process, seed):
+        times = process.sample_times(np.random.default_rng(seed), 60)
+        assert all(t >= 0 for t in times)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_mean_rate_scales_with_shape(self):
+        base = PoissonArrivals(rate_per_s=2.0)
+        flat = ShapedArrivals(base=base, shape=DiurnalShape(amplitude=0.3))
+        assert flat.mean_rate_per_s == pytest.approx(2.0)
+        # A finite flash bump vanishes in the long-run mean by design.
+        surge = ShapedArrivals(
+            base=base, shape=FlashCrowdShape(at_s=0.0, duration_s=1.0, magnitude=9.0)
+        )
+        assert surge.mean_rate_per_s == pytest.approx(2.0)
+
+    def test_flash_crowd_bunches_arrivals(self):
+        proc = ShapedArrivals(
+            base=PoissonArrivals(rate_per_s=5.0),
+            shape=FlashCrowdShape(at_s=10.0, duration_s=5.0, magnitude=9.0),
+        )
+        times = proc.sample_times(np.random.default_rng(3), 400)
+        surge = sum(1 for t in times if 10e6 <= t < 15e6)
+        before = sum(1 for t in times if 5e6 <= t < 10e6)
+        assert surge > 3 * max(before, 1)
+
+    def test_shapes_nest(self):
+        proc = ShapedArrivals(
+            base=ShapedArrivals(
+                base=PoissonArrivals(rate_per_s=3.0),
+                shape=DiurnalShape(period_s=8.0, amplitude=0.5),
+            ),
+            shape=FlashCrowdShape(at_s=4.0, duration_s=2.0, magnitude=2.0),
+        )
+        times = proc.sample_times(np.random.default_rng(5), 80)
+        assert all(b > a for a, b in zip(times, times[1:]))
+
+    def test_warp_preserves_count(self):
+        base = PoissonArrivals(rate_per_s=4.0)
+        proc = ShapedArrivals(base=base, shape=DiurnalShape(amplitude=0.9))
+        assert len(proc.sample_times(np.random.default_rng(9), 64)) == 64

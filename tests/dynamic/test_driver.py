@@ -11,6 +11,7 @@ from repro.dynamic import (
 )
 from repro.errors import ConfigError
 from repro.experiments.base import SimulationSpec, run_simulation, run_simulation_with_handle
+from repro.metrics.queueing import summarize_queueing
 
 
 def _spec(workload, scheduler="linux", seed=7, **kw):
@@ -139,3 +140,48 @@ class TestSpecValidation:
 
         with pytest.raises(ConfigError):
             run_simulation(_spec(_workload(), machine=MachineConfig(n_cpus=1)))
+
+
+class TestStreamingStats:
+    def test_streaming_attached_when_recording(self):
+        wl = _workload()
+        d = run_simulation(_spec(wl)).dynamic
+        assert d.streaming is not None
+        assert d.streaming.n_observed == d.n_completed
+        assert d.streaming.n_scheduled == len(d.jobs)
+
+    def test_records_disabled_end_to_end(self):
+        wl = _workload(record_jobs=False)
+        d = run_simulation(_spec(wl)).dynamic
+        assert d.jobs == ()
+        assert d.streaming is not None
+        assert d.streaming.n_observed == 8
+        s = summarize_queueing(
+            d, warmup_jobs=wl.warmup_jobs(), tau_us=wl.slowdown_tau_us
+        )
+        assert s.n_completed == 8
+        assert s.mean_response_us > 0
+        assert s.response_p50_us is not None
+
+    def test_streamed_summary_matches_records(self):
+        """Same seed, records on vs off: the streamed summary reproduces
+        the exact record-based one (buffered regime: bit-identical)."""
+        on = run_simulation(_spec(_workload())).dynamic
+        off = run_simulation(_spec(_workload(record_jobs=False))).dynamic
+        wl = _workload()
+        kw = dict(warmup_jobs=wl.warmup_jobs(), tau_us=wl.slowdown_tau_us)
+        exact = summarize_queueing(on, **kw)
+        streamed = summarize_queueing(off, **kw)
+        assert streamed.mean_response_us == exact.mean_response_us
+        assert streamed.response_ci_us == exact.response_ci_us
+        assert streamed.mean_slowdown == exact.mean_slowdown
+        assert streamed.throughput_jobs_per_s == exact.throughput_jobs_per_s
+        assert streamed.n_completed == exact.n_completed
+
+    def test_record_toggle_does_not_perturb_run(self):
+        """record_jobs must not change the simulation itself."""
+        on = run_simulation(_spec(_workload())).dynamic
+        off = run_simulation(_spec(_workload(record_jobs=False))).dynamic
+        assert on.streaming == off.streaming
+        assert on.horizon_us == off.horizon_us
+        assert on.queue_len_time_avg == off.queue_len_time_avg

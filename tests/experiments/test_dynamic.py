@@ -170,3 +170,159 @@ class TestExport:
         assert lines[0].startswith("policy,rate_per_s,mean_response_us")
         assert len(lines) == 1 + len(sweep_rows)
         assert lines[1].split(",")[-1] == "1"  # starvation_ok
+
+
+class TestShapeAndMixFactories:
+    def test_make_shape_diurnal(self):
+        from repro.dynamic import DiurnalShape
+        from repro.experiments.dynamic import make_shape
+
+        shape = make_shape("diurnal", period_s=30.0, amplitude=0.4)
+        assert isinstance(shape, DiurnalShape)
+        assert shape.period_s == 30.0
+
+    def test_make_shape_flash(self):
+        from repro.dynamic import FlashCrowdShape
+        from repro.experiments.dynamic import make_shape
+
+        shape = make_shape("flash", at_s=5.0, duration_s=2.0, magnitude=3.0)
+        assert isinstance(shape, FlashCrowdShape)
+
+    def test_make_shape_rejects_unknown(self):
+        from repro.experiments.dynamic import make_shape
+
+        with pytest.raises(ConfigError):
+            make_shape("tidal")
+        with pytest.raises(ConfigError):
+            make_shape("diurnal", wavelength=3.0)
+
+    def test_make_mix_families(self):
+        from repro.dynamic import BurstyMix, HotspotMix, SequentialMix, ZipfianMix
+        from repro.experiments.dynamic import make_mix
+
+        assert isinstance(make_mix("zipfian", exponent=1.2), ZipfianMix)
+        assert isinstance(make_mix("hotspot", hot_fraction=0.7), HotspotMix)
+        assert isinstance(make_mix("sequential", run_length=3), SequentialMix)
+        assert isinstance(make_mix("bursty", mean_run_length=5.0), BurstyMix)
+
+    def test_make_mix_weighted_rejects_params(self):
+        from repro.experiments.dynamic import make_mix
+
+        with pytest.raises(ConfigError):
+            make_mix("weighted", exponent=1.0)
+        with pytest.raises(ConfigError):
+            make_mix("nope")
+
+
+class TestStreamingSweep:
+    def test_no_records_sweep_has_quantiles(self):
+        rows = run_dynamic_sweep(record_jobs=False, **SWEEP_KW)
+        for row in rows:
+            assert row.response_p50_us is not None
+            assert row.response_p50_us <= row.response_p95_us <= row.response_p99_us
+
+    def test_no_records_matches_records_on_means(self, sweep_rows):
+        rows = run_dynamic_sweep(record_jobs=False, **SWEEP_KW)
+        by_policy = {r.policy: r for r in rows}
+        for ref in sweep_rows:
+            row = by_policy[ref.policy]
+            assert row.mean_response_us == ref.mean_response_us
+            assert row.mean_slowdown == ref.mean_slowdown
+            assert row.throughput_jobs_per_s == ref.throughput_jobs_per_s
+
+    def test_no_records_serial_parallel_identical(self):
+        serial = run_dynamic_sweep(record_jobs=False, **SWEEP_KW)
+        parallel = run_dynamic_sweep(record_jobs=False, jobs=2, **SWEEP_KW)
+        assert parallel == serial
+
+    def test_shaped_sweep_runs(self):
+        from repro.experiments.dynamic import make_shape
+
+        rows = run_dynamic_sweep(
+            shapes=[make_shape("diurnal", period_s=10.0, amplitude=0.5)],
+            policies=["linux"],
+            **SWEEP_KW,
+        )
+        assert rows[0].summaries[0].n_completed == 6
+
+    def test_mix_sweep_runs(self):
+        from repro.experiments.dynamic import make_mix
+
+        rows = run_dynamic_sweep(
+            mix=make_mix("zipfian", work_scale=0.05, exponent=1.5),
+            policies=["linux"],
+            **SWEEP_KW,
+        )
+        assert rows[0].summaries[0].n_completed == 6
+
+    def test_format_quantiles_flag(self, sweep_rows):
+        plain = format_dynamic(sweep_rows)
+        with_q = format_dynamic(sweep_rows, quantiles=True)
+        assert "p95" not in plain
+        assert "p50" in with_q and "p95" in with_q and "p99" in with_q
+
+
+class TestCliStreaming:
+    BASE = [
+        "dynamic",
+        "--policy", "linux",
+        "--rate", "3.0",
+        "--seed", "7",
+        "--scale", "0.05",
+        "--num-jobs", "5",
+        "--replications", "1",
+    ]
+
+    def test_quantiles_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(self.BASE + ["--quantiles"]) == 0
+        out = capsys.readouterr().out
+        assert "p50" in out and "p99" in out
+
+    def test_no_records_flag(self, capsys):
+        from repro.cli import main
+
+        assert main(self.BASE + ["--no-records", "--quantiles"]) == 0
+        assert "DYN-1" in capsys.readouterr().out
+
+    def test_shape_and_mix_flags(self, capsys):
+        from repro.cli import main
+
+        code = main(
+            self.BASE
+            + [
+                "--shape", "diurnal:period_s=10,amplitude=0.5",
+                "--shape", "flash:at_s=1,duration_s=1,magnitude=2",
+                "--mix", "zipfian:exponent=1.2",
+            ]
+        )
+        assert code == 0
+        assert "DYN-1" in capsys.readouterr().out
+
+    def test_bad_shape_spec_rejected(self):
+        from repro.cli import main
+
+        with pytest.raises(ConfigError):
+            main(self.BASE + ["--shape", "diurnal:period_s"])
+        with pytest.raises(ConfigError):
+            main(self.BASE + ["--shape", ":period_s=1"])
+
+
+class TestExportQuantiles:
+    def test_quantile_columns_present(self, tmp_path, sweep_rows):
+        from repro.experiments.export import export_dynamic
+
+        path = export_dynamic(sweep_rows, str(tmp_path))
+        with open(path) as fh:
+            header, first = fh.read().strip().splitlines()[:2]
+        cols = header.split(",")
+        i = cols.index("response_p50_us")
+        assert cols[i : i + 3] == [
+            "response_p50_us",
+            "response_p95_us",
+            "response_p99_us",
+        ]
+        assert cols[-1] == "starvation_ok"
+        # Records-on sweeps populate exact quantiles.
+        assert first.split(",")[i] != ""

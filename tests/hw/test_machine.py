@@ -221,6 +221,54 @@ class TestRebuildDebt:
             machine.add_rebuild_debt(a.tid, -1.0)
 
 
+class TestSubUlpResiduals:
+    """Regression: horizon pinning at large absolute times.
+
+    At t ~ 5e8 us a debt residual just above the snap tolerance can have a
+    drain time smaller than ulp(t), so ``t + drain == t``. The horizon
+    must quantize up to the next representable instant (and must never
+    serve a cached value equal to `now`), or the engine livelocks with
+    the horizon pinned at the current instant and no events firing.
+    """
+
+    # ulp(2**40) ~ 2.4e-4 us: any plausible residual drain rounds to zero
+    T = float(2**40)
+
+    def _pinned_machine(self, machine):
+        a = machine.add_thread("a", _const(1.0), 1e15, footprint_lines=0.0)
+        machine.dispatch(0, a.tid)
+        machine.advance_to(self.T)
+        machine.add_rebuild_debt(a.tid, 1.2e-6)  # just above _SNAP
+        return a
+
+    def test_horizon_strictly_ahead_of_sub_ulp_residual(self, machine):
+        self._pinned_machine(machine)
+        h = machine.horizon()
+        assert h > machine.now
+        assert h == math.nextafter(machine.now, math.inf)
+
+    def test_residual_drains_instead_of_pinning(self, machine):
+        a = self._pinned_machine(machine)
+        for _ in range(64):
+            if a.rebuild_debt == 0.0:
+                break
+            h = machine.horizon()
+            assert h > machine.now  # forward progress on every step
+            machine.advance_to(h)
+        assert a.rebuild_debt == 0.0
+
+    def test_stale_cached_horizon_is_recomputed(self, machine):
+        a = self._pinned_machine(machine)
+        h1 = machine.horizon()
+        # Force the state the engine can reach: the cached horizon was a
+        # legitimate future instant, the engine advanced exactly to it,
+        # and the transition pass left a residual above the snap
+        # tolerance without marking dirty. The cache now reads `now`.
+        machine._horizon_abs = machine.now
+        assert machine.horizon() == h1  # pinned cache rejected, recomputed
+        assert a.rebuild_debt > 0.0
+
+
 class TestUtilisationIntrospection:
     def test_idle_machine_zero_utilisation(self, machine):
         assert machine.bus_utilisation == 0.0

@@ -167,3 +167,52 @@ class TestSummarize:
         jobs = [_job(0, arrival=0.0, admit=0.0, completion=100.0)]
         s = summarize_queueing(_stats(jobs, violations=2))
         assert not s.starvation_ok
+
+    def test_exact_quantiles_populated(self):
+        jobs = [
+            _job(i, arrival=0.0, admit=0.0, completion=float(i + 1) * 100.0)
+            for i in range(10)
+        ]
+        s = summarize_queueing(_stats(jobs))
+        responses = sorted((i + 1) * 100.0 for i in range(10))
+        assert s.response_p50_us == pytest.approx(550.0)
+        assert s.response_p95_us == pytest.approx(
+            responses[-2] + 0.55 * (responses[-1] - responses[-2])
+        )
+        assert s.response_p99_us <= responses[-1]
+        assert s.slowdown_p50 >= 1.0
+
+
+class TestSimultaneousCompletionThroughput:
+    """Regression: >=2 post-warmup completions sharing a timestamp used to
+    fall through to the whole-horizon rate, understating throughput by the
+    idle tail of the run."""
+
+    def test_shared_timestamp_uses_window_not_horizon(self):
+        import dataclasses
+
+        jobs = [_job(i, arrival=0.0, admit=0.0, completion=100.0) for i in range(3)]
+        stats = dataclasses.replace(_stats(jobs), horizon_us=1000.0)
+        s = summarize_queueing(stats)
+        # 3 completions by t=100us, not 3 over the 1000us horizon.
+        assert s.throughput_jobs_per_s == pytest.approx(3 / 100.0 * 1e6)
+
+    def test_shared_timestamp_with_warmup_anchor(self):
+        import dataclasses
+
+        jobs = [
+            _job(0, arrival=0.0, admit=0.0, completion=50.0),
+            _job(1, arrival=0.0, admit=0.0, completion=80.0),
+        ] + [_job(i, arrival=0.0, admit=0.0, completion=100.0) for i in range(2, 5)]
+        stats = dataclasses.replace(_stats(jobs), horizon_us=1000.0)
+        s = summarize_queueing(stats, warmup_jobs=2)
+        # Window opens at the last warmup completion (t=80us).
+        assert s.throughput_jobs_per_s == pytest.approx(3 / (100.0 - 80.0) * 1e6)
+
+    def test_distinct_timestamps_unchanged(self):
+        jobs = [
+            _job(i, arrival=i * 100.0, admit=i * 100.0 + 10, completion=i * 100.0 + 210)
+            for i in range(10)
+        ]
+        s = summarize_queueing(_stats(jobs))
+        assert s.throughput_jobs_per_s == pytest.approx(9 / 900 * 1e6)

@@ -193,3 +193,139 @@ class TestResultCodec:
         result = run_simulation(spec)
         text = canonical_json(result_to_dict(result))
         assert isinstance(text, str) and text.startswith("{")
+
+
+class TestArrivalShapeCodec:
+    def _round_trip(self, arrivals):
+        from repro.service.schemas import arrivals_from_dict, arrivals_to_dict
+
+        return arrivals_from_dict(arrivals_to_dict(arrivals), "dynamic.arrivals")
+
+    def test_shaped_round_trips(self):
+        from repro.dynamic import DiurnalShape, PoissonArrivals, ShapedArrivals
+
+        proc = ShapedArrivals(
+            base=PoissonArrivals(rate_per_s=2.0),
+            shape=DiurnalShape(period_s=30.0, amplitude=0.4, phase=0.1),
+        )
+        assert self._round_trip(proc) == proc
+
+    def test_nested_shaped_round_trips(self):
+        from repro.dynamic import (
+            DiurnalShape,
+            FlashCrowdShape,
+            PoissonArrivals,
+            ShapedArrivals,
+        )
+
+        proc = ShapedArrivals(
+            base=ShapedArrivals(
+                base=PoissonArrivals(rate_per_s=2.0),
+                shape=DiurnalShape(period_s=30.0, amplitude=0.4),
+            ),
+            shape=FlashCrowdShape(at_s=5.0, duration_s=2.0, magnitude=3.0),
+        )
+        assert self._round_trip(proc) == proc
+
+    def test_shaped_payload_validated(self):
+        from repro.service.schemas import arrivals_from_dict
+
+        with pytest.raises(SpecValidationError):
+            arrivals_from_dict({"kind": "shaped"}, "dynamic.arrivals")
+        with pytest.raises(SpecValidationError):
+            arrivals_from_dict(
+                {
+                    "kind": "shaped",
+                    "base": {"kind": "poisson", "rate_per_s": 1.0},
+                    "shape": {"kind": "lunar"},
+                },
+                "dynamic.arrivals",
+            )
+
+
+class TestJobMixCodec:
+    def _round_trip(self, mix):
+        from repro.service.schemas import job_mix_from_dict, job_mix_to_dict
+
+        return job_mix_from_dict(job_mix_to_dict(mix), "dynamic.mix")
+
+    def test_plain_mix_payload_untagged(self):
+        from repro.dynamic import paper_mix
+        from repro.service.schemas import job_mix_to_dict
+
+        payload = job_mix_to_dict(paper_mix(work_scale=0.05))
+        # The pre-existing wire format: no "kind" tag, so old spec hashes
+        # for plain mixes are unchanged.
+        assert set(payload) == {"entries"}
+
+    def test_family_mixes_round_trip(self):
+        from repro.dynamic import (
+            BurstyMix,
+            HotspotMix,
+            SequentialMix,
+            ZipfianMix,
+            paper_mix,
+        )
+
+        entries = paper_mix(work_scale=0.05).entries
+        for mix in [
+            ZipfianMix(entries=entries, exponent=1.3),
+            HotspotMix(entries=entries, hot_fraction=0.7, hot_index=1),
+            SequentialMix(entries=entries, run_length=3),
+            BurstyMix(entries=entries, mean_run_length=6.0),
+        ]:
+            decoded = self._round_trip(mix)
+            assert type(decoded) is type(mix)
+            assert decoded == mix
+
+    def test_unknown_kind_rejected(self):
+        from repro.service.schemas import job_mix_from_dict
+
+        with pytest.raises(SpecValidationError):
+            job_mix_from_dict(
+                {"kind": "pareto", "paper": ["CG"], "work_scale": 0.05},
+                "dynamic.mix",
+            )
+
+
+class TestStreamingResultCodec:
+    def _dynamic_spec(self, **extra):
+        payload = {
+            "targets": [],
+            "scheduler": {"policy": "quanta_window"},
+            "dynamic": {
+                "arrivals": {"kind": "poisson", "rate_per_s": 2.0},
+                "mix": {"paper": ["CG", "SP"], "work_scale": 0.02},
+                "n_jobs": 3,
+                **extra,
+            },
+            "seed": 11,
+        }
+        return spec_from_dict(payload)
+
+    def test_record_jobs_round_trips_in_spec(self):
+        from repro.service.schemas import spec_to_dict
+
+        spec = self._dynamic_spec(record_jobs=False)
+        assert spec.dynamic.record_jobs is False
+        payload = spec_to_dict(spec)
+        assert payload["dynamic"]["record_jobs"] is False
+        # Policy objects don't define __eq__; the dynamic section does.
+        assert spec_from_dict(payload).dynamic == spec.dynamic
+
+    def test_records_off_result_round_trips_exactly(self):
+        result = run_simulation(self._dynamic_spec(record_jobs=False))
+        assert result.dynamic.jobs == ()
+        assert result.dynamic.streaming is not None
+        decoded = result_from_dict(result_to_dict(result))
+        assert decoded == result
+        assert decoded.dynamic.streaming == result.dynamic.streaming
+
+    def test_streaming_summary_survives_json(self):
+        from repro.config import canonical_json
+        import json
+
+        result = run_simulation(self._dynamic_spec(record_jobs=False))
+        text = canonical_json(result_to_dict(result))
+        decoded = result_from_dict(json.loads(text))
+        assert decoded.dynamic.streaming == result.dynamic.streaming
