@@ -158,11 +158,41 @@ def build_parser() -> argparse.ArgumentParser:
     )
     srv.add_argument(
         "--queue-depth", type=int, default=256, metavar="N",
-        help="bounded job-queue capacity; submissions beyond it get HTTP 429",
+        help="bounded job-queue capacity; submissions beyond it get HTTP 503",
     )
     srv.add_argument(
         "--no-cache", action="store_true",
         help="always re-run submissions even when an identical spec already completed",
+    )
+    srv.add_argument(
+        "--max-attempts", type=int, default=3, metavar="N",
+        help=(
+            "execution attempts per spec before it is quarantined "
+            "(worker crashes/hangs and service restarts both charge "
+            "attempts; default: 3)"
+        ),
+    )
+    srv.add_argument(
+        "--rate-limit", type=float, default=None, metavar="R",
+        help=(
+            "per-tenant sustained submission rate in requests/s "
+            "(token bucket; rejected submissions get HTTP 429 with "
+            "Retry-After; default: unlimited)"
+        ),
+    )
+    srv.add_argument(
+        "--burst", type=float, default=None, metavar="B",
+        help=(
+            "per-tenant burst allowance for --rate-limit "
+            "(default: 2x the rate, at least 1)"
+        ),
+    )
+    srv.add_argument(
+        "--max-in-flight", type=int, default=None, metavar="N",
+        help=(
+            "global cap on simulations owned by one dispatch cycle "
+            "(bounds graceful-drain latency; default: batch size)"
+        ),
     )
     parser.add_argument(
         "--solver", choices=["bisect", "newton", "vector"], default=None,
@@ -519,14 +549,29 @@ def _run_validate(args: argparse.Namespace) -> None:
 def _run_serve(args: argparse.Namespace) -> None:
     from .service import ResultStore, SimulationService
     from .service.api import serve
+    from .service.ratelimit import RateLimitConfig
 
+    rate_limit = None
+    if args.rate_limit is not None:
+        burst = args.burst if args.burst is not None else max(1.0, 2.0 * args.rate_limit)
+        rate_limit = RateLimitConfig(rate_per_s=args.rate_limit, burst=burst)
     store = ResultStore(args.results_dir)
     service = SimulationService(
         store,
         queue_depth=args.queue_depth,
         jobs=args.jobs,
         cache=not args.no_cache,
+        max_attempts=args.max_attempts,
+        rate_limit=rate_limit,
+        max_in_flight=args.max_in_flight,
     ).start()
+    stats = service.stats()
+    if stats.recovered_requeued or stats.recovered_quarantined:
+        print(
+            f"[repro serve] recovery: re-enqueued {stats.recovered_requeued} "
+            f"orphaned run(s), quarantined {stats.recovered_quarantined}",
+            file=sys.stderr,
+        )
     server = serve(service, host=args.host, port=args.port)
     host, port = server.server_address[:2]
     print(f"[repro serve] listening on http://{host}:{port} "

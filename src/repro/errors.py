@@ -61,6 +61,77 @@ class WorkloadError(ReproError):
     """
 
 
+class ExecutionError(ReproError):
+    """A supervised :func:`repro.parallel.run_many` spec failed terminally.
+
+    Base of the worker-supervision failure family. Unlike an exception a
+    spec *raises* (which propagates as itself), these describe failures of
+    the execution substrate — a worker process dying or hanging — that the
+    supervisor retried up to its attempt cap before giving up. The
+    ``spec_index`` attribute points at the offending spec's position in
+    the submitted sequence, so callers (the simulation service, sweep
+    harnesses) can attribute the failure to one run and keep the rest.
+    """
+
+    def __init__(self, spec_index: int, attempts: int, message: str) -> None:
+        self.spec_index = int(spec_index)
+        self.attempts = int(attempts)
+        super().__init__(message)
+
+
+class WorkerCrashError(ExecutionError):
+    """A worker process died while executing one spec (attempt cap hit).
+
+    Raised by a supervised ``run_many`` after the spec crashed its
+    isolation worker ``attempts`` times in a row (``BrokenProcessPool`` /
+    a worker killed by a signal). Deterministic simulations never crash
+    workers on their own, so this points at a poisoned spec or external
+    process kills — either way the spec is not retried further.
+    """
+
+    def __init__(self, spec_index: int, attempts: int, message: str | None = None) -> None:
+        super().__init__(
+            spec_index,
+            attempts,
+            message
+            or f"spec {spec_index} crashed its worker process on all {attempts} attempts",
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.spec_index, self.attempts, str(self)))
+
+
+class RunTimeoutError(ExecutionError):
+    """One spec exceeded its supervised wall-clock timeout (attempt cap hit).
+
+    Carries the timeout that was in force for the final attempt
+    (``timeout_s``) alongside the spec index and attempt count. The
+    timed-out worker process was killed; the simulation has no partial
+    result.
+    """
+
+    def __init__(
+        self,
+        spec_index: int,
+        attempts: int,
+        timeout_s: float,
+        message: str | None = None,
+    ) -> None:
+        self.timeout_s = float(timeout_s)
+        super().__init__(
+            spec_index,
+            attempts,
+            message
+            or (
+                f"spec {spec_index} exceeded its {self.timeout_s:.1f}s wall-clock "
+                f"timeout on all {attempts} attempts"
+            ),
+        )
+
+    def __reduce__(self):
+        return (type(self), (self.spec_index, self.attempts, self.timeout_s, str(self)))
+
+
 class AuditViolation(ReproError):
     """A runtime invariant check (:mod:`repro.audit`) failed.
 

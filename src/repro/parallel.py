@@ -42,10 +42,14 @@ import inspect
 import math
 import multiprocessing
 import os
+import signal
 import time
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass
 from typing import Any, Callable, Sequence
 
+from .errors import RunTimeoutError, WorkerCrashError
 from .experiments.base import (
     SimulationSpec,
     run_simulation,
@@ -63,6 +67,7 @@ __all__ = [
     "usable_cpus",
     "cgroup_cpu_quota",
     "effective_cpu_budget",
+    "SupervisionConfig",
 ]
 
 #: Callback invoked as tasks complete: ``progress(done, total)``. Callbacks
@@ -180,6 +185,141 @@ def auto_chunk_size(total: int, n_jobs: int) -> int:
     return max(1, total // (4 * max(1, n_jobs)))
 
 
+@dataclass(frozen=True)
+class SupervisionConfig:
+    """Worker-supervision policy for the parallel :func:`run_many` path.
+
+    With supervision enabled, a worker process dying mid-batch
+    (``BrokenProcessPool`` — e.g. an OOM kill or an external SIGKILL) or a
+    worker exceeding its wall-clock budget no longer aborts the whole
+    batch: the supervisor harvests every already-completed run, then
+    re-executes the unfinished specs one at a time in *isolation* (a fresh
+    single-worker pool per attempt) with bounded exponential-backoff
+    retries. Because simulations are deterministic functions of their
+    spec, a retry re-executes the identical run — a result produced on
+    attempt three is bit-identical to a first-try result. A spec that
+    keeps crashing (or hanging) its isolation worker raises a typed
+    :class:`~repro.errors.WorkerCrashError` /
+    :class:`~repro.errors.RunTimeoutError` carrying the spec index and
+    attempt count once ``max_attempts`` is reached, so callers can
+    quarantine exactly that spec and keep the rest.
+
+    Timeouts derive from observed behaviour: each chunk's wall-clock
+    budget is ``specs_in_chunk × clamp(timeout_factor × max(observed
+    per-spec wall times), floor, ceiling)`` — before any spec has
+    completed, the ceiling applies. Supervision is inert on the serial
+    path (an in-process run cannot be preempted or crash in isolation),
+    which is also why its fault-free overhead is ~zero there (gated by
+    ``benchmarks/bench_supervision.py``).
+
+    Attributes
+    ----------
+    max_attempts:
+        Isolation executions per spec before the typed error is raised.
+        The phase-1 batch execution that *detects* a failure is not
+        charged to any spec (a broken pool cannot name its killer);
+        attempts count attributable isolation runs only.
+    timeout_floor_s / timeout_ceiling_s:
+        Clamp on the derived per-spec timeout, seconds.
+    timeout_factor:
+        Multiple of the largest observed per-spec wall time.
+    backoff_base_s / backoff_max_s:
+        Exponential backoff between isolation attempts:
+        ``min(base × 2^(attempt-1), max)`` seconds.
+    poll_s:
+        Supervisor wake-up interval while watching deadlines.
+    """
+
+    max_attempts: int = 3
+    timeout_floor_s: float = 30.0
+    timeout_ceiling_s: float = 600.0
+    timeout_factor: float = 8.0
+    backoff_base_s: float = 0.05
+    backoff_max_s: float = 2.0
+    poll_s: float = 0.05
+
+    def __post_init__(self) -> None:
+        if self.max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {self.max_attempts}")
+        if not 0.0 < self.timeout_floor_s <= self.timeout_ceiling_s:
+            raise ValueError(
+                "need 0 < timeout_floor_s <= timeout_ceiling_s, got "
+                f"{self.timeout_floor_s}..{self.timeout_ceiling_s}"
+            )
+        if self.timeout_factor <= 0.0:
+            raise ValueError(f"timeout_factor must be > 0, got {self.timeout_factor}")
+        if self.backoff_base_s < 0.0 or self.backoff_max_s < self.backoff_base_s:
+            raise ValueError(
+                "need 0 <= backoff_base_s <= backoff_max_s, got "
+                f"{self.backoff_base_s}..{self.backoff_max_s}"
+            )
+        if self.poll_s <= 0.0:
+            raise ValueError(f"poll_s must be > 0, got {self.poll_s}")
+
+    def timeout_for(self, observed_walls: Sequence[float]) -> float:
+        """Per-spec wall-clock budget given the walls observed so far."""
+        if not observed_walls:
+            return self.timeout_ceiling_s
+        derived = self.timeout_factor * max(observed_walls)
+        return min(max(derived, self.timeout_floor_s), self.timeout_ceiling_s)
+
+    def backoff_for(self, attempt: int) -> float:
+        """Sleep before retrying after the ``attempt``-th failure."""
+        return min(self.backoff_base_s * (2.0 ** max(0, attempt - 1)), self.backoff_max_s)
+
+
+def _kill_pool_workers(pool: ProcessPoolExecutor) -> None:
+    """Forcibly kill a pool's worker processes (hung-worker teardown).
+
+    Reaches into the executor's ``_processes`` map (stable across CPython
+    versions we support); guarded so a layout change degrades to leaking
+    a worker rather than raising. SIGKILL, not SIGTERM: a worker stuck in
+    a hot loop may never reach a Python signal handler.
+    """
+    workers = getattr(pool, "_processes", None) or {}
+    for proc in list(workers.values()):
+        try:
+            proc.kill()
+        except Exception:  # pragma: no cover - teardown best-effort
+            pass
+
+
+def _chaos_kill_check(spec: SimulationSpec) -> None:
+    """Test hook: crash or hang this process when executing a marked spec.
+
+    Armed only when ``REPRO_CHAOS_KILL_SPEC`` (SIGKILL the worker) or
+    ``REPRO_CHAOS_HANG_SPEC`` (sleep far past any timeout) names the
+    spec's hash — the chaos harness and supervision tests use these to
+    make worker death and hung workers deterministic. With
+    ``REPRO_CHAOS_KILL_ONCE_DIR`` set, each fault fires once per hash (a
+    marker file makes retries succeed), which is how retry bit-identity
+    is exercised. Unset in production: the cost is two environment
+    lookups per spec.
+    """
+    kill = os.environ.get("REPRO_CHAOS_KILL_SPEC")
+    hang = os.environ.get("REPRO_CHAOS_HANG_SPEC")
+    if not kill and not hang:
+        return
+    spec_hash = spec.spec_hash()
+
+    def _armed(target: str | None, tag: str) -> bool:
+        if not target or spec_hash != target:
+            return False
+        once_dir = os.environ.get("REPRO_CHAOS_KILL_ONCE_DIR")
+        if once_dir:
+            marker = os.path.join(once_dir, f"{target}.{tag}")
+            if os.path.exists(marker):
+                return False
+            with open(marker, "w", encoding="ascii"):
+                pass
+        return True
+
+    if _armed(kill, "kill"):
+        os.kill(os.getpid(), signal.SIGKILL)
+    if _armed(hang, "hang"):
+        time.sleep(3600.0)
+
+
 def _supports_note(progress: ProgressFn) -> bool:
     """Whether a progress callback accepts a third (note) argument."""
     try:
@@ -223,6 +363,7 @@ def _execute(
     cost only.
     """
     index, spec, collect = task
+    _chaos_kill_check(spec)
     start = time.perf_counter()
     if collect is None:
         result, aux = run_simulation(spec), None
@@ -257,6 +398,7 @@ def run_many(
     chunk_size: int | None = None,
     on_result: Callable[[int, RunResult, float], None] | None = None,
     cancel: Callable[[], bool] | None = None,
+    supervise: SupervisionConfig | None = None,
 ) -> list:
     """Run every spec and return results in spec order.
 
@@ -298,6 +440,22 @@ def run_many(
         path. Once it returns true no further specs are started;
         already-dispatched chunks finish (their results are still
         reported). Unstarted specs stay ``None`` in the returned list.
+    supervise:
+        Optional :class:`SupervisionConfig`. When given (and the parallel
+        path engages), worker death and per-spec wall-clock timeouts are
+        survived: completed runs are harvested, unfinished specs re-run
+        one at a time in isolation with bounded retries, and a spec that
+        keeps failing raises :class:`~repro.errors.WorkerCrashError` or
+        :class:`~repro.errors.RunTimeoutError` carrying its index and
+        attempt count. Inert on the serial path — an in-process run
+        cannot be preempted, and nothing is retried.
+
+    Raises
+    ------
+    WorkerCrashError, RunTimeoutError
+        Only with ``supervise``: one spec exhausted its attempt cap.
+        Every run that completed before the raise was already delivered
+        through ``on_result``.
 
     Returns
     -------
@@ -333,13 +491,38 @@ def run_many(
     chunks = [tasks[i : i + chunk] for i in range(0, total, chunk)]
 
     ctx = multiprocessing.get_context("fork")
+    if supervise is None:
+        _run_pool(chunks, n_jobs, ctx, _record, progress, total, cancel)
+    else:
+        _run_supervised(chunks, n_jobs, ctx, supervise, _record, progress, total, cancel)
+    return out
+
+
+def _run_pool(
+    chunks: list,
+    n_jobs: int,
+    ctx,
+    record: Callable[[int, RunResult, Any, float], None],
+    progress: ProgressFn | None,
+    total: int,
+    cancel: Callable[[], bool] | None,
+) -> None:
+    """Unsupervised parallel dispatch: fail fast, but land every finisher.
+
+    A worker exception stops new submissions immediately, yet the loop
+    keeps consuming already-dispatched futures so each completed chunk
+    still flows through ``record`` (and hence ``on_result``) before the
+    first failure is re-raised — a mid-batch error no longer discards the
+    wall times of runs that did finish.
+    """
+    failure: BaseException | None = None
     with ProcessPoolExecutor(max_workers=n_jobs, mp_context=ctx) as pool:
         # With a cancel hook, keep at most one queued chunk per worker so
         # cancellation takes effect within roughly a chunk's latency; the
         # hook-free path submits everything up front as before.
         backlog = list(reversed(chunks))
         window = 2 * n_jobs if cancel is not None else len(chunks)
-        pending = set()
+        pending: set = set()
 
         def _refill() -> None:
             while backlog and len(pending) < window:
@@ -353,9 +536,156 @@ def run_many(
         while pending:
             finished, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in finished:
-                for index, result, aux, wall_s in future.result():  # re-raises worker errors
-                    _record(index, result, aux, wall_s)
+                try:
+                    rows = future.result()
+                except Exception as exc:
+                    if failure is None:
+                        failure = exc
+                    backlog.clear()
+                    continue
+                for index, result, aux, wall_s in rows:
+                    record(index, result, aux, wall_s)
                     done_count += 1
                 _notify(progress, done_count, total)
             _refill()
-    return out
+    if failure is not None:
+        raise failure
+
+
+def _run_supervised(
+    chunks: list,
+    n_jobs: int,
+    ctx,
+    sup: SupervisionConfig,
+    record: Callable[[int, RunResult, Any, float], None],
+    progress: ProgressFn | None,
+    total: int,
+    cancel: Callable[[], bool] | None,
+) -> None:
+    """Supervised parallel dispatch: survive worker death and hangs.
+
+    Phase 1 runs the normal chunked pool, but with the submission window
+    clamped to ``n_jobs`` (submitted == executing, so a chunk's deadline
+    clock only runs while a worker actually holds it) and a deadline per
+    in-flight chunk of ``len(chunk) × timeout_for(observed walls)``. A
+    ``BrokenProcessPool`` or an expired deadline ends phase 1: completed
+    futures are harvested, hung workers are SIGKILLed, and the surviving
+    results keep their landed state.
+
+    Phase 2 re-executes each unfinished spec *one at a time* in a fresh
+    single-worker pool, so a crash or timeout attributes to exactly that
+    spec. Each isolation run counts as one attempt; after
+    ``sup.max_attempts`` failures the typed error is raised with the spec
+    index (the unattributable phase-1 failure is charged to no spec).
+    Deterministic exceptions raised *by* a spec propagate as themselves,
+    unretried — supervision covers the execution substrate, not the
+    simulation's own contract.
+    """
+    task_by_index = {task[0]: task for chunk in chunks for task in chunk}
+    unfinished = set(task_by_index)
+    walls: list[float] = []
+    done_count = 0
+    failure: BaseException | None = None
+    crashed = timed_out = False
+
+    def _land(rows) -> None:
+        nonlocal done_count
+        for index, result, aux, wall_s in rows:
+            record(index, result, aux, wall_s)
+            walls.append(wall_s)
+            unfinished.discard(index)
+            done_count += 1
+        _notify(progress, done_count, total)
+
+    with ProcessPoolExecutor(max_workers=n_jobs, mp_context=ctx) as pool:
+        backlog = list(reversed(chunks))
+        pending: dict = {}  # future -> deadline (monotonic seconds)
+
+        def _refill() -> None:
+            while backlog and len(pending) < n_jobs:
+                if cancel is not None and cancel():
+                    backlog.clear()
+                    break
+                next_chunk = backlog.pop()
+                deadline = time.monotonic() + len(next_chunk) * sup.timeout_for(walls)
+                pending[pool.submit(_execute_chunk, next_chunk)] = deadline
+
+        _refill()
+        while pending:
+            finished, _ = wait(set(pending), timeout=sup.poll_s, return_when=FIRST_COMPLETED)
+            for future in finished:
+                pending.pop(future, None)
+                try:
+                    rows = future.result()
+                except BrokenProcessPool:
+                    crashed = True
+                    continue
+                except Exception as exc:
+                    # The spec's own deterministic failure: no retry. Stop
+                    # submitting, drain what is already running, re-raise.
+                    if failure is None:
+                        failure = exc
+                    backlog.clear()
+                    continue
+                _land(rows)
+            if crashed:
+                break
+            if not finished and pending and min(pending.values()) <= time.monotonic():
+                timed_out = True
+                _kill_pool_workers(pool)
+                break
+            _refill()
+
+        # Harvest stragglers that finished before the pool broke; the rest
+        # hold BrokenProcessPool and are swallowed here (phase 2 owns them).
+        for future in list(pending):
+            if future.done():
+                try:
+                    _land(future.result())
+                except Exception:
+                    pass
+        pool.shutdown(wait=True, cancel_futures=True)
+
+    if failure is not None:
+        raise failure
+    if not (crashed or timed_out):
+        return  # everything landed (or cancel() stopped submissions)
+
+    kind = "worker crash" if crashed else "worker timeout"
+    _notify(
+        progress,
+        done_count,
+        total,
+        f"{kind} detected: isolating {len(unfinished)} unfinished spec(s)",
+    )
+
+    for index in sorted(unfinished):
+        if cancel is not None and cancel():
+            break  # remaining specs stay None, same as an unsupervised cancel
+        task = task_by_index[index]
+        attempt = 0
+        while True:
+            attempt += 1
+            timeout_s = sup.timeout_for(walls)
+            pool = ProcessPoolExecutor(max_workers=1, mp_context=ctx)
+            outcome: str | None = None
+            try:
+                future = pool.submit(_execute_chunk, [task])
+                done_set, _ = wait({future}, timeout=timeout_s)
+                if not done_set:
+                    _kill_pool_workers(pool)
+                    outcome = "timeout"
+                else:
+                    try:
+                        _land(future.result())
+                    except BrokenProcessPool:
+                        outcome = "crash"
+            finally:
+                pool.shutdown(wait=True, cancel_futures=True)
+            if outcome is None:
+                break
+            if attempt >= sup.max_attempts:
+                if outcome == "timeout":
+                    raise RunTimeoutError(index, attempt, timeout_s)
+                raise WorkerCrashError(index, attempt)
+            time.sleep(sup.backoff_for(attempt))

@@ -16,9 +16,14 @@ many-tenant workload Eremeev et al., arXiv:2010.16058, evaluate):
   :class:`SimulationService` dispatcher reusing
   :func:`repro.parallel.run_many` chunked dispatch, with graceful drain
   on shutdown.
-* :mod:`repro.service.store` — a persistent sqlite result store keyed by
-  :meth:`SimulationSpec.spec_hash`, so identical resubmissions are
-  served from cache without re-running.
+* :mod:`repro.service.store` — a persistent sqlite result store (WAL
+  mode, versioned schema) keyed by :meth:`SimulationSpec.spec_hash`, so
+  identical resubmissions are served from cache without re-running; a
+  restart on the same results dir recovers orphaned runs and dead-letters
+  specs that keep crashing their workers (``quarantined``).
+* :mod:`repro.service.ratelimit` — per-tenant token-bucket overload
+  shedding in front of the queue (HTTP 429 + ``Retry-After``, distinct
+  from 503 queue-full).
 * :mod:`repro.service.stats` — live service statistics (queue depth,
   in-flight, cache hit rate, per-run wall time).
 * :mod:`repro.service.api` — the HTTP layer: a dependency-light
@@ -33,6 +38,7 @@ same spec — ``tests/service/test_service.py`` pins this down.
 
 from .api import create_fastapi_app, create_wsgi_app, serve, serve_background
 from .jobs import FairQueue, Job, QueueFullError, ServiceClosedError, SimulationService
+from .ratelimit import RateLimitConfig, RateLimitedError, RateLimiter
 from .schemas import (
     SpecValidationError,
     SubmitRequest,
@@ -49,6 +55,9 @@ __all__ = [
     "FairQueue",
     "Job",
     "QueueFullError",
+    "RateLimitConfig",
+    "RateLimitedError",
+    "RateLimiter",
     "ResultStore",
     "RunRecord",
     "ServiceClosedError",

@@ -11,12 +11,23 @@ Routes (all JSON)::
 
     POST /v1/runs              submit {"spec": {...}, "tenant"?, "label"?,
                                "no_cache"?} → 202 queued / 200 cached /
-                               400 validation / 429 queue full / 503 draining
-    GET  /v1/runs              list runs (?tenant=&status=&limit=)
+                               400 validation / 429 rate-limited (with
+                               Retry-After) / 503 queue full or draining
+    GET  /v1/runs              list runs (?tenant=&status=&limit=;
+                               unknown status → 400 naming the allowed)
     GET  /v1/runs/<id>         poll one run's lifecycle record
     GET  /v1/runs/<id>/result  the stored RunResult (409 until terminal)
+    GET  /v1/runs/<id>/audit   the stored audit report (404 when the run
+                               was not audited)
     GET  /v1/stats             queue/dispatch/cache/store counters
     GET  /v1/healthz           liveness (also reports dispatcher state)
+
+Overload responses are deliberately distinct: 429 means *this tenant*
+should slow to its sustained rate (the ``Retry-After`` header says when
+a token is available), while 503 queue-full means the whole service is
+saturated — backing off harder or resubmitting later is the right client
+move, and the body's ``error.type`` (``rate_limited`` vs ``queue_full``
+vs ``draining``) disambiguates programmatically.
 
 Validation failures return the structured
 :meth:`~repro.service.schemas.SpecValidationError.to_dict` body — the
@@ -28,6 +39,7 @@ server logs.
 from __future__ import annotations
 
 import json
+import math
 import threading
 from socketserver import ThreadingMixIn
 from typing import Any, Callable, Iterable
@@ -35,8 +47,9 @@ from urllib.parse import parse_qs
 from wsgiref.simple_server import WSGIRequestHandler, WSGIServer, make_server
 
 from .jobs import QueueFullError, ServiceClosedError, SimulationService
+from .ratelimit import RateLimitedError
 from .schemas import SpecValidationError, result_to_dict
-from .store import UnknownRunError
+from .store import RUN_STATUSES, UnknownRunError
 
 __all__ = ["create_wsgi_app", "create_fastapi_app", "serve", "ServiceServer"]
 
@@ -69,6 +82,11 @@ class _HttpError(Exception):
 
 def _error_body(kind: str, message: str, **extra: Any) -> dict[str, Any]:
     return {"error": {"type": kind, "message": message, **extra}}
+
+
+def _retry_after_header(retry_after_s: float) -> tuple[str, str]:
+    """``Retry-After`` wants whole seconds; round up so clients never retry early."""
+    return ("Retry-After", str(max(1, math.ceil(retry_after_s))))
 
 
 def _read_json_body(environ: dict[str, Any]) -> dict[str, Any]:
@@ -127,9 +145,15 @@ def create_wsgi_app(service: SimulationService) -> Callable:
                     limit = int(query.get("limit", "100"))
                 except ValueError:
                     raise _HttpError(400, _error_body("validation", "limit must be an integer"))
-                runs = service.list_runs(
-                    tenant=query.get("tenant"), status=query.get("status"), limit=limit
-                )
+                try:
+                    runs = service.list_runs(
+                        tenant=query.get("tenant"), status=query.get("status"), limit=limit
+                    )
+                except ValueError as exc:
+                    raise _HttpError(
+                        400,
+                        _error_body("validation", str(exc), allowed=list(RUN_STATUSES)),
+                    )
                 return 200, {"runs": runs}
             raise _HttpError(405, _error_body("method", f"{method} not allowed"))
 
@@ -156,19 +180,44 @@ def create_wsgi_app(service: SimulationService) -> Callable:
                 )
             return 200, {"run": record.to_dict(), "result": result_to_dict(result)}
 
+        if len(route) == 3 and route[0] == "runs" and route[2] == "audit":
+            if method != "GET":
+                raise _HttpError(405, _error_body("method", f"{method} not allowed"))
+            run_id = route[1]
+            record = service.store.get(run_id)  # unknown id → 404 via UnknownRunError
+            audit = service.store.get_audit(run_id)
+            if audit is None:
+                raise _HttpError(
+                    404,
+                    _error_body(
+                        "no_audit",
+                        f"run {run_id!r} has no stored audit report"
+                        " (submit the spec with \"audit\": true)",
+                        status=record.status,
+                    ),
+                )
+            return 200, {"run_id": run_id, "status": record.status, "audit": audit}
+
         raise _HttpError(404, _error_body("not_found", f"no route {path!r}"))
 
     def app(environ: dict[str, Any], start_response: Callable) -> Iterable[bytes]:
         method = environ.get("REQUEST_METHOD", "GET").upper()
         path = environ.get("PATH_INFO", "/")
+        extra_headers: list[tuple[str, str]] = []
         try:
             status, body = handle(method, path, environ)
         except _HttpError as exc:
             status, body = exc.status, exc.body
         except SpecValidationError as exc:
             status, body = 400, {"error": exc.to_dict()}
+        except RateLimitedError as exc:
+            status = 429
+            body = _error_body(
+                "rate_limited", str(exc), retry_after_s=exc.retry_after_s
+            )
+            extra_headers.append(_retry_after_header(exc.retry_after_s))
         except QueueFullError as exc:
-            status, body = 429, _error_body("queue_full", str(exc))
+            status, body = 503, _error_body("queue_full", str(exc))
         except ServiceClosedError as exc:
             status, body = 503, _error_body("draining", str(exc))
         except UnknownRunError as exc:
@@ -181,6 +230,7 @@ def create_wsgi_app(service: SimulationService) -> Callable:
             [
                 ("Content-Type", "application/json"),
                 ("Content-Length", str(len(payload))),
+                *extra_headers,
             ],
         )
         return [payload]
@@ -264,8 +314,16 @@ def create_fastapi_app(service: SimulationService):  # pragma: no cover - option
             response = service.submit(body)
         except SpecValidationError as exc:
             return _json(400, {"error": exc.to_dict()})
+        except RateLimitedError as exc:
+            response_429 = _json(
+                429,
+                _error_body("rate_limited", str(exc), retry_after_s=exc.retry_after_s),
+            )
+            name, value = _retry_after_header(exc.retry_after_s)
+            response_429.headers[name] = value
+            return response_429
         except QueueFullError as exc:
-            return _json(429, _error_body("queue_full", str(exc)))
+            return _json(503, _error_body("queue_full", str(exc)))
         except ServiceClosedError as exc:
             return _json(503, _error_body("draining", str(exc)))
         return _json(200 if response["cached"] else 202, response)
@@ -274,7 +332,13 @@ def create_fastapi_app(service: SimulationService):  # pragma: no cover - option
     async def list_runs(
         tenant: str | None = None, status: str | None = None, limit: int = 100
     ) -> JSONResponse:
-        return _json(200, {"runs": service.list_runs(tenant, status, limit)})
+        try:
+            runs = service.list_runs(tenant, status, limit)
+        except ValueError as exc:
+            return _json(
+                400, _error_body("validation", str(exc), allowed=list(RUN_STATUSES))
+            )
+        return _json(200, {"runs": runs})
 
     @app.get("/v1/runs/{run_id}")
     async def poll(run_id: str) -> JSONResponse:
@@ -301,6 +365,25 @@ def create_fastapi_app(service: SimulationService):  # pragma: no cover - option
                 ),
             )
         return _json(200, {"run": record.to_dict(), "result": result_to_dict(decoded)})
+
+    @app.get("/v1/runs/{run_id}/audit")
+    async def audit(run_id: str) -> JSONResponse:
+        try:
+            record = service.store.get(run_id)
+            report = service.store.get_audit(run_id)
+        except UnknownRunError as exc:
+            return _json(404, _error_body("not_found", str(exc)))
+        if report is None:
+            return _json(
+                404,
+                _error_body(
+                    "no_audit",
+                    f"run {run_id!r} has no stored audit report"
+                    " (submit the spec with \"audit\": true)",
+                    status=record.status,
+                ),
+            )
+        return _json(200, {"run_id": run_id, "status": record.status, "audit": report})
 
     @app.get("/v1/stats")
     async def stats() -> JSONResponse:

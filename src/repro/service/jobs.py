@@ -32,17 +32,20 @@ by the service equals a direct in-process run of the same spec.
 
 from __future__ import annotations
 
+import json
 import threading
+import time
 import traceback
 from collections import deque
 from dataclasses import dataclass
 
 from ..config import canonical_json
-from ..errors import ReproError
+from ..errors import ExecutionError, ReproError
 from ..experiments.base import SimulationSpec
 from ..metrics.accounting import RunResult
-from ..parallel import run_many
-from .schemas import SubmitRequest, parse_submit_request, spec_to_dict
+from ..parallel import SupervisionConfig, run_many
+from .ratelimit import RateLimitConfig, RateLimiter
+from .schemas import SubmitRequest, parse_submit_request, spec_from_dict, spec_to_dict
 from .stats import ServiceStats
 from .store import ResultStore, RunRecord
 
@@ -56,7 +59,13 @@ __all__ = [
 
 
 class QueueFullError(ReproError):
-    """The bounded job queue is at capacity (HTTP 429)."""
+    """The bounded job queue is at capacity (HTTP 503).
+
+    Saturation, not rate: the client should back off substantially or
+    spread load, unlike the per-tenant
+    :class:`~repro.service.ratelimit.RateLimitedError` (429) which names
+    a concrete ``Retry-After``.
+    """
 
 
 class ServiceClosedError(ReproError):
@@ -191,6 +200,24 @@ class SimulationService:
         :meth:`~repro.experiments.base.SimulationSpec.spec_hash`) from
         the store instead of re-running. Per-request ``no_cache``
         overrides.
+    supervise:
+        Worker-supervision policy for parallel batches (see
+        :class:`~repro.parallel.SupervisionConfig`). ``None`` builds one
+        from ``max_attempts``; supervision is inert when ``jobs=1``.
+    max_attempts:
+        Executions a spec may be charged before it is quarantined —
+        both by the supervised pool (isolation retries) and by the
+        restart-recovery pass (store-level ``attempts``).
+    rate_limit:
+        Optional per-tenant token-bucket config
+        (:class:`~repro.service.ratelimit.RateLimitConfig`); ``None``
+        disables rate limiting (queue-depth backpressure only).
+    max_in_flight:
+        Global cap on jobs dispatched per cycle, bounding how much work
+        a drain must wait out. ``None`` leaves ``batch_size`` in charge.
+    lease_s:
+        Advisory execution lease recorded at ``mark_running``; ``None``
+        derives it from the supervision timeout ceiling.
     """
 
     def __init__(
@@ -200,12 +227,28 @@ class SimulationService:
         jobs: int | None = 1,
         batch_size: int | None = None,
         cache: bool = True,
+        supervise: SupervisionConfig | None = None,
+        max_attempts: int = 3,
+        rate_limit: RateLimitConfig | None = None,
+        max_in_flight: int | None = None,
+        lease_s: float | None = None,
     ) -> None:
+        if max_attempts < 1:
+            raise ValueError(f"max_attempts must be >= 1, got {max_attempts}")
+        if max_in_flight is not None and max_in_flight < 1:
+            raise ValueError(f"max_in_flight must be >= 1, got {max_in_flight}")
         self.store = store
         self.queue = FairQueue(capacity=queue_depth)
         self.jobs = jobs
         self.batch_size = batch_size if batch_size is not None else max(4, jobs or 1)
         self.cache_enabled = cache
+        self.max_attempts = max_attempts
+        self.supervise = (
+            supervise if supervise is not None else SupervisionConfig(max_attempts=max_attempts)
+        )
+        self.max_in_flight = max_in_flight
+        self.lease_s = float(lease_s) if lease_s is not None else self.supervise.timeout_ceiling_s
+        self.limiter = None if rate_limit is None else RateLimiter(rate_limit)
         self._lock = threading.Lock()
         self._in_flight: dict[str, Job] = {}
         self._stopping = False
@@ -218,21 +261,90 @@ class SimulationService:
         self._cancelled = 0
         self._executed = 0
         self._failed = 0
+        self._quarantined = 0
         self._cache_lookups = 0
         self._cache_hits = 0
+        self._recovered_requeued = 0
+        self._recovered_quarantined = 0
 
     # -- lifecycle -----------------------------------------------------------
 
     def start(self) -> "SimulationService":
-        """Start the dispatcher thread (idempotent); returns self."""
+        """Start the dispatcher thread (idempotent); returns self.
+
+        Runs the restart-recovery pass first, so rows orphaned by a
+        previous (crashed or killed) service process are back in the
+        queue before the dispatcher takes its first batch.
+        """
         if self._thread is None or not self._thread.is_alive():
             self._stopping = False
             self._accepting = True
+            self.recover()
             self._thread = threading.Thread(
                 target=self._dispatch_loop, name="repro-service-dispatch", daemon=True
             )
             self._thread.start()
         return self
+
+    def recover(self) -> dict[str, int]:
+        """Re-disposition store rows orphaned by a previous process.
+
+        The store has a single owner (this process), so on a fresh start
+        *every* non-terminal row is orphaned — no executor can still be
+        running it, whatever its lease says. Disposition:
+
+        * ``attempts >= max_attempts`` → ``quarantined`` (the row has
+          already been granted its full execution budget across previous
+          service lives; the last error, if any, is preserved);
+        * ``running`` with budget left → back to ``queued`` (attempts
+          stay charged) and re-enqueued;
+        * ``queued`` with budget left → re-enqueued as-is.
+
+        Skipped entirely when this process already has live queue or
+        in-flight state (an in-process restart — those rows have a live
+        owner). Returns and records ``{"requeued": n, "quarantined": n}``.
+        """
+        summary = {"requeued": 0, "quarantined": 0}
+        if self.queue.depth > 0 or self._in_flight:
+            return summary
+        for record in self.store.pending_runs():
+            if record.attempts >= self.max_attempts:
+                prior = f": last error: {record.error}" if record.error else ""
+                self.store.mark_quarantined(
+                    record.run_id,
+                    error=(
+                        f"exhausted {record.attempts} execution attempts across"
+                        f" service restarts{prior}"
+                    ),
+                )
+                summary["quarantined"] += 1
+                continue
+            if record.status == "running":
+                self.store.requeue(record.run_id)
+            spec = spec_from_dict(json.loads(self.store.get_spec_json(record.run_id)))
+            job = Job(
+                run_id=record.run_id,
+                tenant=record.tenant,
+                spec=spec,
+                spec_hash=record.spec_hash,
+                label=record.label,
+            )
+            try:
+                self.queue.offer(job)
+            except QueueFullError:
+                # A backlog bigger than the queue cannot be readmitted
+                # whole; the overflow is terminal rather than silently
+                # stranded (the client can resubmit, and will likely be
+                # cache-served once the admitted portion completes).
+                self.store.mark_cancelled(record.run_id)
+                with self._lock:
+                    self._cancelled += 1
+                continue
+            summary["requeued"] += 1
+        with self._lock:
+            self._recovered_requeued += summary["requeued"]
+            self._recovered_quarantined += summary["quarantined"]
+        return summary
 
     def shutdown(self, drain: bool = True, timeout: float | None = None) -> bool:
         """Stop the service.
@@ -281,9 +393,10 @@ class SimulationService:
         """Validate and accept one submission; the 202-response body.
 
         Raises :class:`~repro.service.schemas.SpecValidationError` (400),
-        :class:`QueueFullError` (429) or :class:`ServiceClosedError`
-        (503). On a cache hit the returned status is already terminal
-        (``cached``) and no work is enqueued.
+        :class:`~repro.service.ratelimit.RateLimitedError` (429 +
+        ``Retry-After``), :class:`QueueFullError` (503) or
+        :class:`ServiceClosedError` (503). On a cache hit the returned
+        status is already terminal (``cached``) and no work is enqueued.
         """
         with self._lock:
             self._submitted += 1
@@ -299,6 +412,10 @@ class SimulationService:
         """As :meth:`submit`, for an already-validated request."""
         if not self._accepting:
             raise ServiceClosedError("service is draining; not accepting submissions")
+        if self.limiter is not None:
+            # Shed before any store row exists: a rate-limited submission
+            # leaves no trace beyond the limiter's reject counter.
+            self.limiter.acquire(request.tenant)
         spec_hash = request.spec.spec_hash()
         spec_json = canonical_json(spec_to_dict(request.spec))
         record = self.store.create(
@@ -371,9 +488,15 @@ class SimulationService:
                 accepted=self.queue.accepted,
                 rejected_full=self.queue.rejected_full,
                 rejected_invalid=self._rejected_invalid,
+                rejected_rate_limited=(
+                    0 if self.limiter is None else self.limiter.rejected
+                ),
                 cancelled=self._cancelled,
                 executed_runs=self._executed,
                 failed_runs=self._failed,
+                quarantined_runs=self._quarantined,
+                recovered_requeued=self._recovered_requeued,
+                recovered_quarantined=self._recovered_quarantined,
                 cache_lookups=self._cache_lookups,
                 cache_hits=self._cache_hits,
                 draining=not self._accepting,
@@ -389,7 +512,16 @@ class SimulationService:
             with self._lock:
                 if self._stopping:
                     return
-            batch = self.queue.take_batch(self.batch_size, timeout=0.2)
+            # The global in-flight cap bounds how much work one dispatch
+            # cycle can own — and hence how long a graceful drain waits.
+            allowance = self.batch_size
+            if self.max_in_flight is not None:
+                with self._lock:
+                    allowance = min(allowance, self.max_in_flight - len(self._in_flight))
+            if allowance < 1:
+                time.sleep(0.02)  # pragma: no cover - dispatch is synchronous today
+                continue
+            batch = self.queue.take_batch(allowance, timeout=0.2)
             if not batch:
                 with self._idle:
                     self._idle.notify_all()
@@ -403,7 +535,38 @@ class SimulationService:
             for job in batch:
                 self._in_flight[job.run_id] = job
         for job in batch:
-            self.store.mark_running(job.run_id)
+            self.store.mark_running(job.run_id, lease_s=self.lease_s)
+        pending = batch
+        while pending:
+            try:
+                self._execute_batch(pending)
+            except ExecutionError as exc:
+                # Supervision attributed a worker crash / hang to exactly
+                # one spec and exhausted its retry budget: dead-letter it
+                # (attempt count from the supervisor — it saw the
+                # attributable isolation runs) and keep running the rest.
+                job = pending[exc.spec_index]
+                self.store.mark_quarantined(
+                    job.run_id, error=str(exc), attempts=exc.attempts
+                )
+                with self._lock:
+                    self._quarantined += 1
+                    self._in_flight.pop(job.run_id, None)
+                pending = [
+                    j for j in pending if self.store.get(j.run_id).status == "running"
+                ]
+                continue
+            except Exception:
+                # A worker error without a spec attribution (serial path,
+                # or a deterministic spec failure mid-chunk). Runs are
+                # deterministic, so replay serially, one guarded spec at
+                # a time (already-completed runs were marked done by
+                # on_result and are skipped).
+                self._run_batch_isolated(pending)
+            return
+
+    def _execute_batch(self, batch: list[Job]) -> None:
+        """One supervised ``run_many`` pass over ``batch`` (all running)."""
 
         def _on_result(index: int, result: RunResult, wall_s: float) -> None:
             job = batch[index]
@@ -416,21 +579,13 @@ class SimulationService:
             with self._lock:
                 return self._stopping
 
-        try:
-            results = run_many(
-                [job.spec for job in batch],
-                jobs=self.jobs,
-                on_result=_on_result,
-                cancel=_cancelled,
-            )
-        except Exception:
-            # A worker error fails the whole run_many call without saying
-            # which spec raised. Runs are deterministic, so replay the
-            # batch serially, one guarded spec at a time, to attribute it
-            # (already-completed runs were marked done by _on_result and
-            # are skipped).
-            self._run_batch_isolated(batch)
-            return
+        results = run_many(
+            [job.spec for job in batch],
+            jobs=self.jobs,
+            on_result=_on_result,
+            cancel=_cancelled,
+            supervise=self.supervise,
+        )
         # Specs skipped by a cancel hook come back as None: mark them.
         for job, result in zip(batch, results):
             if result is None and self.store.get(job.run_id).status == "running":

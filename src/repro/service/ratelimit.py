@@ -1,0 +1,131 @@
+"""Per-tenant token-bucket rate limiting for the simulation service.
+
+The fair queue already bounds *standing* backlog (queue-full → 503), but
+nothing bounded *arrival rate*: a tenant scripting tight-loop submissions
+could consume the whole queue capacity between dispatch cycles, starving
+other tenants at admission even though draining stays fair. The
+:class:`RateLimiter` sits in front of the queue and sheds that load
+early — before a store row is created — with enough information for a
+well-behaved client to back off (:class:`RateLimitedError` carries
+``retry_after_s``, surfaced as HTTP 429 + ``Retry-After``; a full queue
+remains a distinct 503, because "slow down" and "the system is saturated"
+call for different client behaviour).
+
+Classic token bucket, one per tenant: tokens refill continuously at
+``rate_per_s`` up to ``burst``; each accepted submission spends one.
+Buckets start full, so a tenant's first ``burst`` submissions are never
+limited — the limiter shapes sustained rate, not honest bursts (exactly
+the arrival-envelope framing of :mod:`repro.dynamic`'s shaped arrivals,
+applied to our own front door).
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable
+
+from ..errors import ReproError
+
+__all__ = ["RateLimitConfig", "RateLimitedError", "RateLimiter", "TokenBucket"]
+
+
+class RateLimitedError(ReproError):
+    """A tenant exceeded its sustained submission rate (HTTP 429).
+
+    ``retry_after_s`` is the time until the tenant's bucket next holds a
+    whole token — the value of the ``Retry-After`` response header.
+    """
+
+    def __init__(self, tenant: str, retry_after_s: float) -> None:
+        self.tenant = tenant
+        self.retry_after_s = float(retry_after_s)
+        super().__init__(
+            f"tenant {tenant!r} exceeded its submission rate;"
+            f" retry in {self.retry_after_s:.2f}s"
+        )
+
+
+@dataclass(frozen=True)
+class RateLimitConfig:
+    """Token-bucket parameters applied to every tenant independently.
+
+    Attributes
+    ----------
+    rate_per_s:
+        Sustained refill rate — accepted submissions per second a tenant
+        can maintain indefinitely.
+    burst:
+        Bucket capacity — submissions a tenant can land back-to-back
+        after an idle period before the sustained rate applies.
+    """
+
+    rate_per_s: float = 50.0
+    burst: float = 100.0
+
+    def __post_init__(self) -> None:
+        if self.rate_per_s <= 0.0:
+            raise ValueError(f"rate_per_s must be > 0, got {self.rate_per_s}")
+        if self.burst < 1.0:
+            raise ValueError(f"burst must be >= 1, got {self.burst}")
+
+
+class TokenBucket:
+    """One tenant's bucket. Not thread-safe — callers hold the limiter lock.
+
+    ``clock`` is injectable (monotonic seconds) so tests can drive time
+    explicitly instead of sleeping.
+    """
+
+    def __init__(self, config: RateLimitConfig, clock: Callable[[], float]) -> None:
+        self.config = config
+        self._clock = clock
+        self._tokens = float(config.burst)
+        self._last = clock()
+
+    def try_acquire(self) -> float:
+        """Spend one token. Returns 0.0 on success, else seconds to wait."""
+        now = self._clock()
+        elapsed = max(0.0, now - self._last)
+        self._last = now
+        self._tokens = min(
+            float(self.config.burst),
+            self._tokens + elapsed * self.config.rate_per_s,
+        )
+        if self._tokens >= 1.0:
+            self._tokens -= 1.0
+            return 0.0
+        return (1.0 - self._tokens) / self.config.rate_per_s
+
+
+class RateLimiter:
+    """Thread-safe per-tenant bucket map with reject accounting.
+
+    Buckets are created lazily per tenant and never expire — a bucket is
+    two floats, and tenant cardinality is bounded by real clients (the
+    fair queue's per-tenant map makes the same call).
+    """
+
+    def __init__(
+        self,
+        config: RateLimitConfig,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        self.config = config
+        self._clock = clock
+        self._buckets: dict[str, TokenBucket] = {}
+        self._lock = threading.Lock()
+        #: Monotone count of submissions shed (stats endpoint).
+        self.rejected = 0
+
+    def acquire(self, tenant: str) -> None:
+        """Admit one submission or raise :class:`RateLimitedError`."""
+        with self._lock:
+            bucket = self._buckets.get(tenant)
+            if bucket is None:
+                bucket = self._buckets[tenant] = TokenBucket(self.config, self._clock)
+            wait_s = bucket.try_acquire()
+            if wait_s > 0.0:
+                self.rejected += 1
+                raise RateLimitedError(tenant, wait_s)

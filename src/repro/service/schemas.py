@@ -107,6 +107,8 @@ __all__ = [
     "scheduler_to_json",
     "result_from_dict",
     "result_to_dict",
+    "audit_from_dict",
+    "audit_to_dict",
 ]
 
 
@@ -994,6 +996,32 @@ def _streaming_from_dict(payload: dict[str, Any] | None) -> StreamingSummary | N
     return StreamingSummary(**kwargs)
 
 
+def audit_to_dict(audit: Any) -> dict[str, Any] | None:
+    """Encode an :class:`~repro.audit.AuditReport` (or ``None``) as JSON.
+
+    Shared by :func:`result_to_dict` and the result store's persisted
+    ``audit_json`` column (the ``GET /v1/runs/<id>/audit`` body).
+    """
+    if audit is None:
+        return None
+    return {
+        "checks": [[name, n] for name, n in audit.checks],
+        "violations": list(audit.violations),
+    }
+
+
+def audit_from_dict(payload: dict[str, Any] | None) -> Any:
+    """Decode :func:`audit_to_dict` output back into an ``AuditReport``."""
+    if payload is None:
+        return None
+    from ..audit.checks import AuditReport
+
+    return AuditReport(
+        checks=tuple((name, n) for name, n in payload["checks"]),
+        violations=tuple(payload["violations"]),
+    )
+
+
 def result_to_dict(result: RunResult) -> dict[str, Any]:
     """Encode a :class:`RunResult` for storage. Exact: floats round-trip
     bit-for-bit through JSON, so ``result_from_dict(result_to_dict(r)) == r``
@@ -1029,13 +1057,7 @@ def result_to_dict(result: RunResult) -> dict[str, Any]:
         "solve_skips": result.solve_skips,
         "lane_rebuilds": result.lane_rebuilds,
         "profile": result.profile,
-        "audit": (
-            None if result.audit is None
-            else {
-                "checks": [[name, n] for name, n in result.audit.checks],
-                "violations": list(result.audit.violations),
-            }
-        ),
+        "audit": audit_to_dict(result.audit),
         "dynamic": (
             None if result.dynamic is None
             else {
@@ -1069,7 +1091,6 @@ def result_to_dict(result: RunResult) -> dict[str, Any]:
 
 def result_from_dict(payload: dict[str, Any]) -> RunResult:
     """Decode a stored :class:`RunResult`. Inverse of :func:`result_to_dict`."""
-    from ..audit.checks import AuditReport
     from ..faults.injector import FaultStats
 
     audit = payload.get("audit")
@@ -1091,13 +1112,7 @@ def result_from_dict(payload: dict[str, Any]) -> RunResult:
         solve_skips=payload.get("solve_skips", 0),
         lane_rebuilds=payload.get("lane_rebuilds", 0),
         profile=payload.get("profile"),
-        audit=(
-            None if audit is None
-            else AuditReport(
-                checks=tuple((name, n) for name, n in audit["checks"]),
-                violations=tuple(audit["violations"]),
-            )
-        ),
+        audit=audit_from_dict(audit),
         dynamic=(
             None if dynamic is None
             else DynamicStats(

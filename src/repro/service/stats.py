@@ -37,12 +37,18 @@ class ServiceStats:
         Per-tenant backlog (fair-queueing visibility).
     in_flight:
         Jobs currently executing in the worker pool.
-    submitted / accepted / rejected_full / rejected_invalid / cancelled:
+    submitted / accepted / rejected_full / rejected_invalid /
+    rejected_rate_limited / cancelled:
         Submission accounting: everything that arrived, what was
-        enqueued, what bounced off the full queue (429), what failed
-        validation (400), what a drain-less shutdown cancelled.
-    executed_runs / failed_runs:
-        Simulations actually run to completion / to an error.
+        enqueued, what bounced off the full queue (503), what failed
+        validation (400), what the per-tenant rate limiter shed (429),
+        what a drain-less shutdown cancelled.
+    executed_runs / failed_runs / quarantined_runs:
+        Simulations actually run to completion / to an error / dead-
+        lettered after exhausting their worker-crash attempt budget.
+    recovered_requeued / recovered_quarantined:
+        Restart-recovery dispositions of rows orphaned by previous
+        service processes on the same results dir.
     cache_lookups / cache_hits:
         Spec-hash cache traffic; ``cache_hit_rate`` derives from these.
     store_counts:
@@ -63,9 +69,13 @@ class ServiceStats:
     accepted: int = 0
     rejected_full: int = 0
     rejected_invalid: int = 0
+    rejected_rate_limited: int = 0
     cancelled: int = 0
     executed_runs: int = 0
     failed_runs: int = 0
+    quarantined_runs: int = 0
+    recovered_requeued: int = 0
+    recovered_quarantined: int = 0
     cache_lookups: int = 0
     cache_hits: int = 0
     store_counts: dict[str, int] = field(default_factory=dict)
@@ -91,9 +101,13 @@ class ServiceStats:
                 "accepted": self.accepted,
                 "rejected_full": self.rejected_full,
                 "rejected_invalid": self.rejected_invalid,
+                "rejected_rate_limited": self.rejected_rate_limited,
                 "cancelled": self.cancelled,
                 "executed_runs": self.executed_runs,
                 "failed_runs": self.failed_runs,
+                "quarantined_runs": self.quarantined_runs,
+                "recovered_requeued": self.recovered_requeued,
+                "recovered_quarantined": self.recovered_quarantined,
                 "draining": self.draining,
             },
             "cache": {

@@ -16,6 +16,17 @@ restarts, and queryable history for free (``list_runs`` filters). All
 access goes through one connection guarded by a lock — the service's
 HTTP threads and the dispatcher share the store, and sqlite's own
 serialized mode is build-dependent.
+
+Durability: file-backed stores open in WAL mode with ``synchronous=
+NORMAL`` and a busy timeout, so a SIGKILLed service never corrupts the
+database and a concurrent reader never hits ``database is locked``. The
+schema is versioned through ``PRAGMA user_version``; opening an older
+database migrates it in place (idempotent ``ALTER TABLE`` guarded by
+``PRAGMA table_info``). Restart recovery is built on three pieces kept
+here: the per-run ``attempts`` counter (charged by every
+:meth:`ResultStore.mark_running`), the advisory ``lease_expires_at``
+stamp, and the ``quarantined`` dead-letter status for specs that keep
+killing their executor.
 """
 
 from __future__ import annotations
@@ -31,15 +42,30 @@ from typing import Any
 
 from ..errors import ReproError
 from ..metrics.accounting import RunResult
-from .schemas import result_from_dict, result_to_dict
+from .schemas import audit_to_dict, result_from_dict, result_to_dict
 
 __all__ = ["ResultStore", "RunRecord", "UnknownRunError", "RUN_STATUSES"]
 
 #: Run lifecycle states. ``cached`` is terminal like ``done`` but records
-#: that the result was copied from a prior run instead of executed.
-RUN_STATUSES = ("queued", "running", "done", "cached", "failed", "cancelled")
+#: that the result was copied from a prior run instead of executed;
+#: ``quarantined`` is the dead-letter terminal state for specs that
+#: crashed or hung their executor ``max_attempts`` times (last error
+#: preserved, never retried automatically).
+RUN_STATUSES = (
+    "queued",
+    "running",
+    "done",
+    "cached",
+    "failed",
+    "cancelled",
+    "quarantined",
+)
 
-_TERMINAL = ("done", "cached", "failed", "cancelled")
+_TERMINAL = ("done", "cached", "failed", "cancelled", "quarantined")
+
+#: Current on-disk schema version (``PRAGMA user_version``). v1: PR 8
+#: initial schema. v2: ``attempts``, ``lease_expires_at``, ``audit_json``.
+_SCHEMA_VERSION = 2
 
 
 class UnknownRunError(ReproError):
@@ -66,6 +92,8 @@ class RunRecord:
     wall_time_s: float | None
     cached_from: str | None
     error: str | None
+    attempts: int = 0
+    lease_expires_at: float | None = None
 
     @property
     def terminal(self) -> bool:
@@ -86,6 +114,8 @@ class RunRecord:
             "wall_time_s": self.wall_time_s,
             "cached_from": self.cached_from,
             "error": self.error,
+            "attempts": self.attempts,
+            "lease_expires_at": self.lease_expires_at,
         }
 
 
@@ -103,15 +133,28 @@ CREATE TABLE IF NOT EXISTS runs (
     cached_from  TEXT,
     error        TEXT,
     spec_json    TEXT NOT NULL,
-    result_json  TEXT
+    result_json  TEXT,
+    attempts     INTEGER NOT NULL DEFAULT 0,
+    lease_expires_at REAL,
+    audit_json   TEXT
 );
 CREATE INDEX IF NOT EXISTS idx_runs_spec_hash ON runs(spec_hash, status);
 CREATE INDEX IF NOT EXISTS idx_runs_tenant ON runs(tenant, submitted_at);
 """
 
+#: Columns added after v1, with their declarations — the in-place
+#: migration adds whichever of these ``PRAGMA table_info`` says a
+#: pre-existing database is missing.
+_MIGRATION_COLS = (
+    ("attempts", "INTEGER NOT NULL DEFAULT 0"),
+    ("lease_expires_at", "REAL"),
+    ("audit_json", "TEXT"),
+)
+
 _RECORD_COLS = (
     "run_id, spec_hash, tenant, label, status, submitted_at, "
-    "started_at, finished_at, wall_time_s, cached_from, error"
+    "started_at, finished_at, wall_time_s, cached_from, error, "
+    "attempts, lease_expires_at"
 )
 
 
@@ -137,8 +180,37 @@ class ResultStore:
         self._conn = sqlite3.connect(path, check_same_thread=False)
         self._conn.row_factory = sqlite3.Row
         with self._lock:
+            # WAL survives a SIGKILL mid-commit (the journal replays on the
+            # next open) and lets readers proceed during a write;
+            # synchronous=NORMAL is the documented safe pairing with WAL.
+            # :memory: databases have no journal — the pragma is a no-op
+            # there, so it is simply applied unconditionally.
+            self._conn.execute("PRAGMA journal_mode=WAL")
+            self._conn.execute("PRAGMA synchronous=NORMAL")
+            self._conn.execute("PRAGMA busy_timeout=5000")
             self._conn.executescript(_SCHEMA)
+            self._migrate_locked()
             self._conn.commit()
+
+    def _migrate_locked(self) -> None:
+        """Bring a pre-existing database up to ``_SCHEMA_VERSION`` in place.
+
+        Idempotent: each post-v1 column is added only if ``PRAGMA
+        table_info`` says it is missing, so re-opening an already-migrated
+        (or freshly-created) database is a no-op. Old rows keep their
+        data; new columns read as their defaults (``attempts=0``, NULLs).
+        """
+        cols = {row["name"] for row in self._conn.execute("PRAGMA table_info(runs)")}
+        for name, decl in _MIGRATION_COLS:
+            if name not in cols:
+                self._conn.execute(f"ALTER TABLE runs ADD COLUMN {name} {decl}")
+        self._conn.execute(f"PRAGMA user_version = {_SCHEMA_VERSION}")
+
+    @property
+    def schema_version(self) -> int:
+        """The database's ``PRAGMA user_version`` (post-migration)."""
+        with self._lock:
+            return int(self._conn.execute("PRAGMA user_version").fetchone()[0])
 
     def close(self) -> None:
         """Close the underlying connection (idempotent)."""
@@ -176,23 +248,40 @@ class ResultStore:
         if cur.rowcount == 0:
             raise UnknownRunError(f"no run {run_id!r}")
 
-    def mark_running(self, run_id: str, now: float | None = None) -> None:
-        """queued → running."""
+    def mark_running(
+        self, run_id: str, now: float | None = None, lease_s: float | None = None
+    ) -> None:
+        """queued → running. Every call charges one execution attempt.
+
+        ``lease_s`` records an advisory expiry (``started_at + lease_s``)
+        alongside the transition: this process owns the store exclusively,
+        so the lease is not contended for — it exists so the recovery pass
+        (and operators inspecting the database) can distinguish a row that
+        *should* still be executing from one long abandoned.
+        """
+        started = time.time() if now is None else now
+        lease = None if lease_s is None else started + float(lease_s)
         self._transition(
-            run_id, "status = 'running', started_at = ?", (time.time() if now is None else now,)
+            run_id,
+            "status = 'running', started_at = ?,"
+            " attempts = attempts + 1, lease_expires_at = ?",
+            (started, lease),
         )
 
     def mark_done(
         self, run_id: str, result: RunResult, wall_time_s: float, now: float | None = None
     ) -> None:
-        """running → done, with the exact result JSON."""
+        """running → done, with the exact result JSON (and audit, if any)."""
+        audit = audit_to_dict(result.audit)
         self._transition(
             run_id,
-            "status = 'done', finished_at = ?, wall_time_s = ?, result_json = ?",
+            "status = 'done', finished_at = ?, wall_time_s = ?,"
+            " result_json = ?, audit_json = ?, lease_expires_at = NULL",
             (
                 time.time() if now is None else now,
                 wall_time_s,
                 json.dumps(result_to_dict(result)),
+                None if audit is None else json.dumps(audit),
             ),
         )
 
@@ -200,29 +289,71 @@ class ResultStore:
         """queued → cached: copy the source run's result without executing."""
         with self._lock:
             row = self._conn.execute(
-                "SELECT result_json FROM runs WHERE run_id = ?", (source.run_id,)
+                "SELECT result_json, audit_json FROM runs WHERE run_id = ?",
+                (source.run_id,),
             ).fetchone()
         if row is None or row["result_json"] is None:
             raise UnknownRunError(f"cache source {source.run_id!r} has no stored result")
         self._transition(
             run_id,
             "status = 'cached', finished_at = ?, wall_time_s = 0.0,"
-            " cached_from = ?, result_json = ?",
-            (time.time() if now is None else now, source.run_id, row["result_json"]),
+            " cached_from = ?, result_json = ?, audit_json = ?",
+            (
+                time.time() if now is None else now,
+                source.run_id,
+                row["result_json"],
+                row["audit_json"],
+            ),
         )
 
     def mark_failed(self, run_id: str, error: str, now: float | None = None) -> None:
         """running → failed, recording the error text."""
         self._transition(
             run_id,
-            "status = 'failed', finished_at = ?, error = ?",
+            "status = 'failed', finished_at = ?, error = ?, lease_expires_at = NULL",
             (time.time() if now is None else now, str(error)[:2000]),
         )
 
     def mark_cancelled(self, run_id: str, now: float | None = None) -> None:
         """queued → cancelled (drain-less shutdown)."""
         self._transition(
-            run_id, "status = 'cancelled', finished_at = ?", (time.time() if now is None else now,)
+            run_id,
+            "status = 'cancelled', finished_at = ?, lease_expires_at = NULL",
+            (time.time() if now is None else now,),
+        )
+
+    def mark_quarantined(
+        self,
+        run_id: str,
+        error: str,
+        attempts: int | None = None,
+        now: float | None = None,
+    ) -> None:
+        """queued/running → quarantined (dead-letter): attempt cap reached.
+
+        Preserves the last error for post-mortem. ``attempts`` overrides
+        the stored counter when the executor knows better (the supervised
+        ``run_many`` counts attributable isolation runs, which the store's
+        per-``mark_running`` counter cannot see).
+        """
+        assignments = "status = 'quarantined', finished_at = ?, error = ?, lease_expires_at = NULL"
+        params: list[Any] = [time.time() if now is None else now, str(error)[:2000]]
+        if attempts is not None:
+            assignments += ", attempts = ?"
+            params.append(int(attempts))
+        self._transition(run_id, assignments, tuple(params))
+
+    def requeue(self, run_id: str, now: float | None = None) -> None:
+        """running → queued (restart recovery): back to the dispatchable pool.
+
+        Clears the execution timestamps and the stale lease; attempts
+        already charged stay charged, which is what eventually routes a
+        repeatedly-orphaned run to :meth:`mark_quarantined`.
+        """
+        self._transition(
+            run_id,
+            "status = 'queued', started_at = NULL, lease_expires_at = NULL",
+            (),
         )
 
     # -- queries -------------------------------------------------------------
@@ -248,6 +379,38 @@ class ResultStore:
         if row["result_json"] is None:
             return None
         return result_from_dict(json.loads(row["result_json"]))
+
+    def get_audit(self, run_id: str) -> dict[str, Any] | None:
+        """The stored audit report (decoded JSON), or ``None`` if absent.
+
+        Present only for runs executed with ``audit=True`` in their spec
+        (and cache hits copied from such runs).
+        """
+        with self._lock:
+            row = self._conn.execute(
+                "SELECT audit_json FROM runs WHERE run_id = ?", (run_id,)
+            ).fetchone()
+        if row is None:
+            raise UnknownRunError(f"no run {run_id!r}")
+        if row["audit_json"] is None:
+            return None
+        return json.loads(row["audit_json"])
+
+    def pending_runs(self) -> list[RunRecord]:
+        """Non-terminal rows (``queued``/``running``), oldest first.
+
+        The restart-recovery worklist: on a fresh service process, every
+        row this returns was orphaned by the previous process (nothing
+        else writes the store), so each must be re-enqueued, cancelled or
+        quarantined.
+        """
+        with self._lock:
+            rows = self._conn.execute(
+                f"SELECT {_RECORD_COLS} FROM runs"
+                " WHERE status IN ('queued', 'running')"
+                " ORDER BY submitted_at ASC, run_id ASC"
+            ).fetchall()
+        return [RunRecord(**dict(r)) for r in rows]
 
     def get_spec_json(self, run_id: str) -> str:
         """The canonical spec JSON the run was submitted with."""
@@ -281,7 +444,17 @@ class ResultStore:
         status: str | None = None,
         limit: int = 100,
     ) -> list[RunRecord]:
-        """Run history, newest first, optionally filtered."""
+        """Run history, newest first, optionally filtered.
+
+        An unknown ``status`` raises :class:`ValueError` naming the
+        allowed values (the API layer maps it to a 400) — it used to
+        silently return an empty list, indistinguishable from "no runs in
+        that state".
+        """
+        if status is not None and status not in RUN_STATUSES:
+            raise ValueError(
+                f"unknown status {status!r}: expected one of {', '.join(RUN_STATUSES)}"
+            )
         clauses, params = [], []
         if tenant is not None:
             clauses.append("tenant = ?")

@@ -39,8 +39,8 @@ def app(service):
     return create_wsgi_app(service)
 
 
-def call(app, method: str, path: str, body: dict | None = None):
-    """Invoke the WSGI app; returns (status_code, decoded JSON body)."""
+def call_with_headers(app, method: str, path: str, body: dict | None = None):
+    """Invoke the WSGI app; returns (status_code, JSON body, headers)."""
     raw = json.dumps(body).encode() if body is not None else b""
     query = ""
     if "?" in path:
@@ -62,7 +62,13 @@ def call(app, method: str, path: str, body: dict | None = None):
     payload = b"".join(chunks)
     assert captured["headers"]["Content-Type"] == "application/json"
     assert int(captured["headers"]["Content-Length"]) == len(payload)
-    return captured["status"], json.loads(payload)
+    return captured["status"], json.loads(payload), captured["headers"]
+
+
+def call(app, method: str, path: str, body: dict | None = None):
+    """Invoke the WSGI app; returns (status_code, decoded JSON body)."""
+    status, payload, _ = call_with_headers(app, method, path, body)
+    return status, payload
 
 
 class TestSubmitAndPoll:
@@ -108,6 +114,40 @@ class TestSubmitAndPoll:
         assert [r["run_id"] for r in body["runs"]] == [accepted["run_id"]]
 
 
+class TestAuditEndpoint:
+    def test_audited_run_serves_report(self, app, service):
+        audited = {"spec": dict(PAYLOAD["spec"], audit=True)}
+        _, accepted = call(app, "POST", "/v1/runs", audited)
+        service.wait(accepted["run_id"], timeout=120.0)
+        status, body = call(app, "GET", f"/v1/runs/{accepted['run_id']}/audit")
+        assert status == 200
+        assert body["run_id"] == accepted["run_id"]
+        assert body["audit"]["violations"] == []
+        checks = dict((name, n) for name, n in body["audit"]["checks"])
+        assert sum(checks.values()) > 0
+
+    def test_cache_hit_copies_audit_report(self, app, service):
+        audited = {"spec": dict(PAYLOAD["spec"], audit=True)}
+        _, first = call(app, "POST", "/v1/runs", audited)
+        service.wait(first["run_id"], timeout=120.0)
+        status, second = call(app, "POST", "/v1/runs", audited)
+        assert status == 200 and second["cached"]
+        status, body = call(app, "GET", f"/v1/runs/{second['run_id']}/audit")
+        assert status == 200
+        assert body["status"] == "cached"
+        assert body["audit"]["violations"] == []
+
+    def test_unaudited_run_is_404(self, app, service):
+        _, accepted = call(app, "POST", "/v1/runs", PAYLOAD)
+        service.wait(accepted["run_id"], timeout=120.0)
+        status, body = call(app, "GET", f"/v1/runs/{accepted['run_id']}/audit")
+        assert status == 404 and body["error"]["type"] == "no_audit"
+
+    def test_unknown_run_audit_is_404(self, app):
+        status, body = call(app, "GET", "/v1/runs/deadbeef/audit")
+        assert status == 404 and body["error"]["type"] == "not_found"
+
+
 class TestErrorMapping:
     def test_validation_error_is_400_with_path(self, app):
         bad = {"spec": {"targets": [{"app": "NOPE"}]}}
@@ -116,7 +156,8 @@ class TestErrorMapping:
         assert body["error"]["type"] == "validation"
         assert body["error"]["path"] == "request.spec.targets[0].app"
 
-    def test_queue_full_is_429(self):
+    def test_queue_full_is_503(self):
+        # Saturation is 503, distinct from the per-tenant rate limit's 429.
         store = ResultStore(":memory:")
         service = SimulationService(store, queue_depth=1, jobs=1)  # no dispatcher
         app = create_wsgi_app(service)
@@ -125,9 +166,59 @@ class TestErrorMapping:
             assert status == 202
             other = {"spec": dict(PAYLOAD["spec"], seed=1)}
             status, body = call(app, "POST", "/v1/runs", other)
-            assert status == 429 and body["error"]["type"] == "queue_full"
+            assert status == 503 and body["error"]["type"] == "queue_full"
         finally:
             store.close()
+
+    def test_rate_limited_is_429_with_retry_after(self):
+        from repro.service.ratelimit import RateLimitConfig
+
+        store = ResultStore(":memory:")
+        service = SimulationService(
+            store,
+            queue_depth=16,
+            jobs=1,  # no dispatcher: submissions stay queued
+            rate_limit=RateLimitConfig(rate_per_s=0.5, burst=1.0),
+        )
+        app = create_wsgi_app(service)
+        try:
+            status, _ = call(app, "POST", "/v1/runs", PAYLOAD)
+            assert status == 202  # the burst token
+            other = {"spec": dict(PAYLOAD["spec"], seed=1)}
+            status, body, headers = call_with_headers(app, "POST", "/v1/runs", other)
+            assert status == 429
+            assert body["error"]["type"] == "rate_limited"
+            assert body["error"]["retry_after_s"] > 0
+            assert int(headers["Retry-After"]) >= 1
+        finally:
+            store.close()
+
+    def test_rate_limit_is_per_tenant(self):
+        from repro.service.ratelimit import RateLimitConfig
+
+        store = ResultStore(":memory:")
+        service = SimulationService(
+            store,
+            queue_depth=16,
+            jobs=1,
+            rate_limit=RateLimitConfig(rate_per_s=0.5, burst=1.0),
+        )
+        app = create_wsgi_app(service)
+        try:
+            assert call(app, "POST", "/v1/runs", PAYLOAD)[0] == 202
+            assert call(app, "POST", "/v1/runs", PAYLOAD)[0] == 429
+            # A different tenant still has its own full bucket.
+            other_tenant = dict(PAYLOAD, tenant="other")
+            assert call(app, "POST", "/v1/runs", other_tenant)[0] == 202
+        finally:
+            store.close()
+
+    def test_unknown_status_filter_is_400_with_allowed_values(self, app):
+        status, body = call(app, "GET", "/v1/runs?status=bogus")
+        assert status == 400
+        assert body["error"]["type"] == "validation"
+        assert "quarantined" in body["error"]["allowed"]
+        assert "queued" in body["error"]["allowed"]
 
     def test_draining_is_503(self, app, service):
         service.shutdown(drain=True, timeout=30.0)

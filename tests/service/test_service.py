@@ -101,7 +101,7 @@ class TestSubmissionErrors:
         assert stats.rejected_invalid == 1
         assert stats.store_counts == {}  # nothing was persisted
 
-    def test_queue_full_rejects_with_429_semantics(self):
+    def test_queue_full_rejects_with_backpressure_semantics(self):
         store = ResultStore(":memory:")
         # No dispatcher: the queue can only fill up.
         service = SimulationService(store, queue_depth=2, jobs=1)

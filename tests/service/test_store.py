@@ -155,6 +155,183 @@ class TestQueriesAndStats:
         assert store.wall_time_stats()["mean_wall_s"] == 0.0
 
 
+class TestDurability:
+    def test_mark_running_charges_attempt_and_sets_lease(self, store):
+        record = _create(store)
+        assert record.attempts == 0
+        store.mark_running(record.run_id, now=100.0, lease_s=60.0)
+        running = store.get(record.run_id)
+        assert running.attempts == 1
+        assert running.lease_expires_at == 160.0
+
+    def test_requeue_keeps_attempts_clears_execution_state(self, store):
+        record = _create(store)
+        store.mark_running(record.run_id, lease_s=60.0)
+        store.requeue(record.run_id)
+        requeued = store.get(record.run_id)
+        assert requeued.status == "queued" and not requeued.terminal
+        assert requeued.attempts == 1  # charged attempts stay charged
+        assert requeued.started_at is None
+        assert requeued.lease_expires_at is None
+        # A later execution charges the next attempt on the same counter.
+        store.mark_running(record.run_id)
+        assert store.get(record.run_id).attempts == 2
+
+    def test_quarantined_is_terminal_with_error(self, store):
+        record = _create(store)
+        store.mark_running(record.run_id, lease_s=60.0)
+        store.mark_quarantined(record.run_id, "worker crashed twice", attempts=2)
+        final = store.get(record.run_id)
+        assert final.status == "quarantined" and final.terminal
+        assert final.attempts == 2  # the executor's override wins
+        assert "crashed" in final.error
+        assert final.lease_expires_at is None
+        assert store.counts() == {"quarantined": 1}
+
+    def test_quarantined_rows_never_serve_the_cache(self, store):
+        record = _create(store)
+        store.mark_running(record.run_id)
+        store.mark_quarantined(record.run_id, "poisoned")
+        assert store.lookup_cached(record.spec_hash) is None
+
+    def test_pending_runs_lists_queued_and_running_oldest_first(self, store):
+        first = store.create(
+            spec_hash="h1", spec_json="{}", tenant="t", label=None, now=1.0
+        )
+        second = store.create(
+            spec_hash="h2", spec_json="{}", tenant="t", label=None, now=2.0
+        )
+        third = store.create(
+            spec_hash="h3", spec_json="{}", tenant="t", label=None, now=3.0
+        )
+        store.mark_running(second.run_id)
+        store.mark_cancelled(third.run_id)  # terminal: not pending
+        pending = store.pending_runs()
+        assert [r.run_id for r in pending] == [first.run_id, second.run_id]
+
+    def test_list_runs_unknown_status_raises_with_allowed_values(self, store):
+        with pytest.raises(ValueError, match="quarantined"):
+            store.list_runs(status="bogus")
+        # The valid statuses all filter cleanly.
+        assert store.list_runs(status="quarantined") == []
+
+
+class TestAuditPersistence:
+    def _audited_done(self, store):
+        spec = spec_from_dict(dict(SPEC_PAYLOAD, audit=True))
+        record = store.create(
+            spec_hash=spec.spec_hash(),
+            spec_json=canonical_json(spec_to_dict(spec)),
+            tenant="t1",
+            label=None,
+        )
+        store.mark_running(record.run_id)
+        store.mark_done(record.run_id, run_simulation(spec), wall_time_s=0.5)
+        return record
+
+    def test_unaudited_run_has_no_report(self, store):
+        record = _create(store)
+        store.mark_running(record.run_id)
+        store.mark_done(record.run_id, run_simulation(_spec()), wall_time_s=0.5)
+        assert store.get_audit(record.run_id) is None
+
+    def test_unknown_run_raises(self, store):
+        with pytest.raises(UnknownRunError):
+            store.get_audit("nope")
+
+    def test_audited_run_round_trips_report(self, store):
+        record = self._audited_done(store)
+        report = store.get_audit(record.run_id)
+        assert report is not None
+        assert report["violations"] == []
+        assert sum(n for _, n in report["checks"]) > 0
+
+    def test_cache_hit_copies_audit(self, store):
+        source = self._audited_done(store)
+        second = store.create(
+            spec_hash=source.spec_hash, spec_json="{}", tenant="t2", label=None
+        )
+        store.mark_cached(second.run_id, store.get(source.run_id))
+        assert store.get_audit(second.run_id) == store.get_audit(source.run_id)
+
+
+#: The PR-8 (v1) schema, byte-for-byte: no attempts / lease_expires_at /
+#: audit_json columns, user_version 1. The migration test opens a store
+#: over a database created with exactly this.
+_V1_SCHEMA = """
+CREATE TABLE runs (
+    run_id       TEXT PRIMARY KEY,
+    spec_hash    TEXT NOT NULL,
+    tenant       TEXT NOT NULL,
+    label        TEXT,
+    status       TEXT NOT NULL,
+    submitted_at REAL NOT NULL,
+    started_at   REAL,
+    finished_at  REAL,
+    wall_time_s  REAL,
+    cached_from  TEXT,
+    error        TEXT,
+    spec_json    TEXT NOT NULL,
+    result_json  TEXT
+);
+CREATE INDEX idx_runs_spec_hash ON runs(spec_hash, status);
+CREATE INDEX idx_runs_tenant ON runs(tenant, submitted_at);
+PRAGMA user_version = 1;
+"""
+
+
+class TestSchemaMigration:
+    def _make_v1_db(self, results_dir):
+        import sqlite3
+
+        os.makedirs(results_dir, exist_ok=True)
+        conn = sqlite3.connect(os.path.join(results_dir, "runs.sqlite3"))
+        conn.executescript(_V1_SCHEMA)
+        conn.execute(
+            "INSERT INTO runs (run_id, spec_hash, tenant, status,"
+            " submitted_at, spec_json) VALUES (?, ?, ?, ?, ?, ?)",
+            ("legacy-1", "hash-1", "t1", "done", 1.0, "{}"),
+        )
+        conn.commit()
+        conn.close()
+
+    def test_v1_database_upgrades_in_place(self, tmp_path):
+        results_dir = str(tmp_path / "results")
+        self._make_v1_db(results_dir)
+        store = ResultStore(results_dir)
+        try:
+            assert store.schema_version == 2
+            legacy = store.get("legacy-1")
+            assert legacy.status == "done"
+            assert legacy.attempts == 0  # backfilled default
+            assert legacy.lease_expires_at is None
+            assert store.get_audit("legacy-1") is None
+            # New-schema writes work against the migrated table.
+            record = _create(store)
+            store.mark_running(record.run_id, lease_s=30.0)
+            assert store.get(record.run_id).attempts == 1
+        finally:
+            store.close()
+
+    def test_migration_is_idempotent(self, tmp_path):
+        results_dir = str(tmp_path / "results")
+        self._make_v1_db(results_dir)
+        for _ in range(3):  # every reopen re-runs the migration path
+            store = ResultStore(results_dir)
+            try:
+                assert store.schema_version == 2
+                assert store.get("legacy-1").status == "done"
+            finally:
+                store.close()
+
+    def test_fresh_database_is_current_version(self, tmp_path):
+        store = ResultStore(str(tmp_path / "fresh"))
+        try:
+            assert store.schema_version == 2
+        finally:
+            store.close()
+
+
 class TestPersistence:
     def test_results_survive_reopen(self, tmp_path):
         results_dir = str(tmp_path / "results")

@@ -3,9 +3,15 @@
 import pytest
 
 from repro.config import MachineConfig
-from repro.errors import ConfigError, SimulationError
+from repro.errors import (
+    ConfigError,
+    RunTimeoutError,
+    SimulationError,
+    WorkerCrashError,
+)
 from repro.experiments.base import SimulationSpec, solo_spec
 from repro.parallel import (
+    SupervisionConfig,
     auto_chunk_size,
     cgroup_cpu_quota,
     default_jobs,
@@ -333,3 +339,145 @@ class TestResultAndCancelHooks:
     def test_cancel_before_start_runs_nothing(self):
         results = run_many(_specs(3), jobs=1, cancel=lambda: True)
         assert results == [None, None, None]
+
+    def test_on_result_delivered_before_worker_exception_raises(self):
+        # Regression: a chunk failing mid-batch used to abandon the
+        # still-running sibling chunks' results. The executor must drain
+        # every dispatched chunk — delivering its results through
+        # on_result — before re-raising the first failure.
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+        goods = _specs(4)
+        doomed = SimulationSpec(
+            targets=[goods[0].targets[0]], seed=1, max_time_us=1.0
+        )  # too short to finish: SimulationError at execution time
+        landed: list[int] = []
+        with pytest.raises(SimulationError):
+            run_many(
+                [doomed] + goods, jobs=2, chunk_size=1,
+                on_result=lambda i, r, w: landed.append(i),
+            )
+        assert sorted(landed) == [1, 2, 3, 4]  # every good spec landed
+
+
+#: Tiny supervision policy: fast retries, fast deadline polls. The
+#: ceiling stays generous — crash tests must never time out first.
+_FAST_SUP = SupervisionConfig(
+    max_attempts=2,
+    timeout_floor_s=30.0,
+    backoff_base_s=0.01,
+    backoff_max_s=0.02,
+    poll_s=0.01,
+)
+
+
+class TestSupervisionConfig:
+    def test_timeout_before_observations_is_ceiling(self):
+        sup = SupervisionConfig(timeout_ceiling_s=600.0)
+        assert sup.timeout_for([]) == 600.0
+
+    def test_timeout_derives_from_observed_walls(self):
+        sup = SupervisionConfig(
+            timeout_floor_s=1.0, timeout_ceiling_s=100.0, timeout_factor=8.0
+        )
+        assert sup.timeout_for([0.5, 2.0, 1.0]) == 16.0  # 8 x max
+        assert sup.timeout_for([0.01]) == 1.0  # clamped to floor
+        assert sup.timeout_for([50.0]) == 100.0  # clamped to ceiling
+
+    def test_backoff_doubles_and_caps(self):
+        sup = SupervisionConfig(backoff_base_s=0.1, backoff_max_s=0.5)
+        assert sup.backoff_for(1) == pytest.approx(0.1)
+        assert sup.backoff_for(2) == pytest.approx(0.2)
+        assert sup.backoff_for(3) == pytest.approx(0.4)
+        assert sup.backoff_for(4) == pytest.approx(0.5)  # capped
+
+    @pytest.mark.parametrize("kwargs", [
+        {"max_attempts": 0},
+        {"timeout_floor_s": 0.0},
+        {"timeout_floor_s": 10.0, "timeout_ceiling_s": 5.0},
+        {"timeout_factor": 0.0},
+        {"backoff_base_s": -1.0},
+        {"backoff_base_s": 1.0, "backoff_max_s": 0.5},
+        {"poll_s": 0.0},
+    ])
+    def test_invalid_config_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            SupervisionConfig(**kwargs)
+
+
+class TestSupervisedRunMany:
+    """Crash/hang survival via the ``REPRO_CHAOS_*`` env hooks.
+
+    The hooks live in the worker-side ``_execute`` and fire on the
+    matching spec hash; forked workers inherit the monkeypatched
+    environment from this process.
+    """
+
+    @pytest.fixture(autouse=True)
+    def _need_fork(self):
+        if not fork_available():
+            pytest.skip("no fork on this platform")
+
+    def test_fault_free_supervised_is_bit_identical(self):
+        specs = _specs(4)
+        serial = run_many(specs, jobs=1)
+        assert run_many(specs, jobs=2, chunk_size=1, supervise=_FAST_SUP) == serial
+
+    def test_crashing_spec_raises_typed_error_with_attribution(self, monkeypatch):
+        specs = _specs(3)
+        monkeypatch.setenv("REPRO_CHAOS_KILL_SPEC", specs[1].spec_hash())
+        with pytest.raises(WorkerCrashError) as excinfo:
+            run_many(specs, jobs=2, chunk_size=1, supervise=_FAST_SUP)
+        assert excinfo.value.spec_index == 1
+        assert excinfo.value.attempts == _FAST_SUP.max_attempts
+
+    def test_siblings_land_despite_crasher(self, monkeypatch):
+        # Crasher last: unfinished specs re-run in index order, so every
+        # sibling is delivered (phase 1 or isolation) before the raise.
+        specs = _specs(3)
+        serial = run_many(specs, jobs=1)
+        monkeypatch.setenv("REPRO_CHAOS_KILL_SPEC", specs[2].spec_hash())
+        landed: dict[int, object] = {}
+        with pytest.raises(WorkerCrashError):
+            run_many(
+                specs, jobs=2, chunk_size=1, supervise=_FAST_SUP,
+                on_result=lambda i, r, w: landed.__setitem__(i, r),
+            )
+        assert sorted(landed) == [0, 1]  # both siblings, bit-identically
+        assert all(landed[i] == serial[i] for i in landed)
+
+    def test_hanging_spec_raises_timeout_error(self, monkeypatch):
+        specs = _specs(2)
+        monkeypatch.setenv("REPRO_CHAOS_HANG_SPEC", specs[1].spec_hash())
+        sup = SupervisionConfig(
+            max_attempts=2,
+            timeout_floor_s=0.2,
+            timeout_ceiling_s=0.5,
+            backoff_base_s=0.01,
+            backoff_max_s=0.02,
+            poll_s=0.02,
+        )
+        with pytest.raises(RunTimeoutError) as excinfo:
+            run_many(specs, jobs=2, chunk_size=1, supervise=sup)
+        assert excinfo.value.spec_index == 1
+        assert excinfo.value.attempts == 2
+        assert excinfo.value.timeout_s <= 0.5
+
+    def test_crash_once_retry_is_bit_identical(self, monkeypatch, tmp_path):
+        specs = _specs(3)
+        serial = run_many(specs, jobs=1)
+        monkeypatch.setenv("REPRO_CHAOS_KILL_SPEC", specs[2].spec_hash())
+        monkeypatch.setenv("REPRO_CHAOS_KILL_ONCE_DIR", str(tmp_path))
+        results = run_many(specs, jobs=2, chunk_size=1, supervise=_FAST_SUP)
+        assert results == serial  # the retried run is indistinguishable
+        assert (tmp_path / f"{specs[2].spec_hash()}.kill").exists()
+
+    def test_unsupervised_crash_raises_broken_pool(self, monkeypatch):
+        # Without supervise, worker death stays a BrokenProcessPool —
+        # opting out preserves the old contract.
+        from concurrent.futures.process import BrokenProcessPool
+
+        specs = _specs(2)
+        monkeypatch.setenv("REPRO_CHAOS_KILL_SPEC", specs[0].spec_hash())
+        with pytest.raises(BrokenProcessPool):
+            run_many(specs, jobs=2, chunk_size=1)
